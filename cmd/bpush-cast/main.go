@@ -1,0 +1,93 @@
+// Command bpush-cast runs a live broadcast station: a server database with
+// a synthetic update workload whose becasts are pushed over TCP to any
+// number of subscribers. Pair it with the examples (examples/stockticker)
+// or your own bpush.Tuner clients.
+//
+// Usage:
+//
+//	bpush-cast -addr 127.0.0.1:7475 -db 1000 -interval 200ms -versions 4
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"os/signal"
+	"time"
+
+	"bpush/internal/netcast"
+	"bpush/internal/workload"
+)
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "bpush-cast:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string) error {
+	cfg, err := buildConfig(args)
+	if err != nil {
+		return err
+	}
+	st, err := netcast.NewStation(cfg)
+	if err != nil {
+		return err
+	}
+	defer func() { _ = st.Close() }()
+	fmt.Printf("broadcasting %d items every %v on %s (S=%d)\n", cfg.DBSize, cfg.Interval, st.Addr(), cfg.Versions)
+	fmt.Println("press Ctrl-C to stop")
+
+	sigc := make(chan os.Signal, 1)
+	signal.Notify(sigc, os.Interrupt)
+	ticker := time.NewTicker(5 * time.Second)
+	defer ticker.Stop()
+	for {
+		select {
+		case <-sigc:
+			fmt.Println("\nshutting down")
+			return nil
+		case <-ticker.C:
+			fmt.Printf("subscribers: %d\n", st.Subscribers())
+		}
+	}
+}
+
+// buildConfig parses the flags into a station configuration.
+func buildConfig(args []string) (netcast.StationConfig, error) {
+	fs := flag.NewFlagSet("bpush-cast", flag.ContinueOnError)
+	var (
+		addr     = fs.String("addr", "127.0.0.1:7475", "listen address")
+		dbSize   = fs.Int("db", 1000, "broadcast size D in items")
+		versions = fs.Int("versions", 1, "versions kept on air (S)")
+		updRange = fs.Int("update-range", 500, "update distribution range")
+		offset   = fs.Int("offset", 100, "update pattern offset")
+		theta    = fs.Float64("theta", 0.95, "Zipf skew")
+		serverTx = fs.Int("server-tx", 10, "server transactions per cycle")
+		updates  = fs.Int("updates", 50, "updates per cycle")
+		workers  = fs.Int("workers", 1, "server executor workers (>1 uses strict 2PL)")
+		interval = fs.Duration("interval", 500*time.Millisecond, "time per broadcast cycle")
+		seed     = fs.Int64("seed", 1, "workload seed")
+	)
+	if err := fs.Parse(args); err != nil {
+		return netcast.StationConfig{}, err
+	}
+	return netcast.StationConfig{
+		Addr:     *addr,
+		DBSize:   *dbSize,
+		Versions: *versions,
+		Workload: workload.ServerConfig{
+			DBSize:          *dbSize,
+			UpdateRange:     *updRange,
+			Offset:          *offset,
+			Theta:           *theta,
+			TxPerCycle:      *serverTx,
+			UpdatesPerCycle: *updates,
+			ReadsPerUpdate:  4,
+		},
+		Interval: *interval,
+		Workers:  *workers,
+		Seed:     *seed,
+	}, nil
+}

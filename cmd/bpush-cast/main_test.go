@@ -1,0 +1,43 @@
+package main
+
+import (
+	"testing"
+	"time"
+)
+
+func TestBuildConfigDefaults(t *testing.T) {
+	cfg, err := buildConfig(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cfg.DBSize != 1000 || cfg.Versions != 1 || cfg.Interval != 500*time.Millisecond {
+		t.Errorf("unexpected defaults: %+v", cfg)
+	}
+	if cfg.Workload.DBSize != cfg.DBSize {
+		t.Error("workload DBSize not aligned with station DBSize")
+	}
+	if cfg.Workload.ReadsPerUpdate != 4 {
+		t.Errorf("ReadsPerUpdate = %d, want the paper's 4", cfg.Workload.ReadsPerUpdate)
+	}
+}
+
+func TestBuildConfigOverrides(t *testing.T) {
+	cfg, err := buildConfig([]string{
+		"-db", "200", "-versions", "3", "-interval", "50ms", "-workers", "4", "-updates", "20",
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cfg.DBSize != 200 || cfg.Versions != 3 || cfg.Interval != 50*time.Millisecond || cfg.Workers != 4 {
+		t.Errorf("overrides not applied: %+v", cfg)
+	}
+	if cfg.Workload.UpdatesPerCycle != 20 {
+		t.Errorf("updates = %d, want 20", cfg.Workload.UpdatesPerCycle)
+	}
+}
+
+func TestBuildConfigRejectsBadFlags(t *testing.T) {
+	if _, err := buildConfig([]string{"-no-such-flag"}); err == nil {
+		t.Error("unknown flag accepted")
+	}
+}

@@ -1,0 +1,66 @@
+package main
+
+import (
+	"strings"
+	"testing"
+	"time"
+
+	"bpush/internal/core"
+	"bpush/internal/netcast"
+	"bpush/internal/workload"
+)
+
+func TestParseScheme(t *testing.T) {
+	if _, err := parseScheme("sgt"); err != nil {
+		t.Errorf("parseScheme(sgt): %v", err)
+	}
+	if _, err := parseScheme("bogus"); err == nil {
+		t.Error("bogus scheme accepted")
+	}
+	if k, err := parseScheme("mv"); err != nil || k != core.KindMVBroadcast {
+		t.Errorf("parseScheme(mv) = %v, %v", k, err)
+	}
+}
+
+func TestRunAgainstLiveStation(t *testing.T) {
+	st, err := netcast.NewStation(netcast.StationConfig{
+		Addr:     "127.0.0.1:0",
+		DBSize:   60,
+		Versions: 4,
+		Workload: workload.ServerConfig{
+			DBSize: 60, UpdateRange: 30, Theta: 0.95,
+			TxPerCycle: 2, UpdatesPerCycle: 3, ReadsPerUpdate: 2,
+		},
+		Interval: 5 * time.Millisecond,
+		Seed:     1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer func() { _ = st.Close() }()
+
+	var out strings.Builder
+	err = run([]string{
+		"-addr", st.Addr(), "-scheme", "multiversion", "-ops", "3", "-queries", "4", "-think", "1",
+	}, &out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := out.String()
+	if !strings.Contains(got, "done: ") {
+		t.Errorf("missing summary line:\n%s", got)
+	}
+	if !strings.Contains(got, "COMMIT") {
+		t.Errorf("no committed query against a multiversion stream:\n%s", got)
+	}
+}
+
+func TestRunRejectsBadFlags(t *testing.T) {
+	var out strings.Builder
+	if err := run([]string{"-scheme", "nope"}, &out); err == nil {
+		t.Error("unknown scheme accepted")
+	}
+	if err := run([]string{"-addr", "127.0.0.1:1"}, &out); err == nil {
+		t.Error("unreachable station accepted")
+	}
+}

@@ -1,0 +1,181 @@
+// Command bpush-exp regenerates the tables and figures of the evaluation
+// section of Pitoura & Chrysanthis (ICDCS 1999).
+//
+// Usage:
+//
+//	bpush-exp                      # everything
+//	bpush-exp -fig fig5-left       # one exhibit
+//	bpush-exp -csv -fig fig6       # CSV output
+//	bpush-exp -queries 2000        # more queries per data point
+//
+// Exhibits: fig5-left, fig5-right, fig6, fig7-span, fig7-updates,
+// fig8-left, fig8-right, table1, params, all; extension exhibits:
+// ext-disconnect, ext-scalability.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"sort"
+	"time"
+
+	"bpush/internal/experiments"
+	"bpush/internal/plot"
+	"bpush/internal/sim"
+)
+
+func main() {
+	if err := run(os.Args[1:], os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "bpush-exp:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string, out io.Writer) error {
+	fs := flag.NewFlagSet("bpush-exp", flag.ContinueOnError)
+	var (
+		fig     = fs.String("fig", "all", "exhibit to regenerate")
+		queries = fs.Int("queries", 600, "queries per data point")
+		warmup  = fs.Int("warmup", 100, "warmup queries per data point")
+		seed    = fs.Int64("seed", 1, "random seed")
+		check   = fs.Bool("check", false, "run the consistency oracle during sweeps")
+		cache   = fs.Int("cache", 100, "client cache size for the cached schemes")
+		csv     = fs.Bool("csv", false, "emit CSV instead of aligned text")
+		svgDir  = fs.String("svg", "", "also write each figure as an SVG plot into this directory")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	o := experiments.Options{
+		Queries:   *queries,
+		Warmup:    *warmup,
+		Seed:      *seed,
+		Check:     *check,
+		CacheSize: *cache,
+	}
+
+	printFig := func(f *experiments.Figure) error {
+		fmt.Fprintf(out, "== %s: %s ==\n", f.ID, f.Title)
+		if *csv {
+			fmt.Fprint(out, f.Table().CSV())
+		} else {
+			fmt.Fprint(out, f.Table().String())
+		}
+		fmt.Fprintln(out)
+		if *svgDir != "" {
+			if err := writeSVG(*svgDir, f); err != nil {
+				return err
+			}
+			fmt.Fprintf(out, "(wrote %s)\n\n", filepath.Join(*svgDir, f.ID+".svg"))
+		}
+		return nil
+	}
+
+	switch *fig {
+	case "params":
+		printParams(out)
+		return nil
+	case "table1":
+		t, err := experiments.Table1(o)
+		if err != nil {
+			return err
+		}
+		fmt.Fprintln(out, "== table1: Comparison of the proposed approaches ==")
+		if *csv {
+			fmt.Fprint(out, t.CSV())
+		} else {
+			fmt.Fprint(out, t.String())
+		}
+		return nil
+	case "all":
+		start := time.Now()
+		figs, err := experiments.AllFigures(o)
+		if err != nil {
+			return err
+		}
+		ids := make([]string, 0, len(figs))
+		for id := range figs {
+			ids = append(ids, id)
+		}
+		sort.Strings(ids)
+		for _, id := range ids {
+			if err := printFig(figs[id]); err != nil {
+				return err
+			}
+		}
+		t, err := experiments.Table1(o)
+		if err != nil {
+			return err
+		}
+		fmt.Fprintln(out, "== table1: Comparison of the proposed approaches ==")
+		fmt.Fprint(out, t.String())
+		fmt.Fprintf(out, "\n(total %v)\n", time.Since(start).Round(time.Second))
+		return nil
+	}
+
+	var (
+		f   *experiments.Figure
+		err error
+	)
+	switch *fig {
+	case "fig5-left":
+		f, err = experiments.Fig5Left(o)
+	case "fig5-right":
+		f, err = experiments.Fig5Right(o)
+	case "fig6":
+		f, err = experiments.Fig6(o)
+	case "fig7-span":
+		f, err = experiments.Fig7Span()
+	case "fig7-updates":
+		f, err = experiments.Fig7Updates()
+	case "fig8-left":
+		f, err = experiments.Fig8Left(o)
+	case "fig8-right":
+		f, err = experiments.Fig8Right(o)
+	case "ext-disconnect":
+		f, err = experiments.ExtDisconnect(o)
+	case "ext-scalability":
+		f, err = experiments.ExtScalability(o)
+	default:
+		return fmt.Errorf("unknown exhibit %q", *fig)
+	}
+	if err != nil {
+		return err
+	}
+	return printFig(f)
+}
+
+// writeSVG renders a figure as an SVG plot in dir.
+func writeSVG(dir string, f *experiments.Figure) error {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return err
+	}
+	chart := &plot.Chart{Title: f.Title, XLabel: f.XLabel, YLabel: f.YLabel}
+	for _, s := range f.Series {
+		chart.Lines = append(chart.Lines, plot.Line{Name: s.Name, X: s.X, Y: s.Y})
+	}
+	svg, err := chart.SVG()
+	if err != nil {
+		return fmt.Errorf("%s: %w", f.ID, err)
+	}
+	return os.WriteFile(filepath.Join(dir, f.ID+".svg"), []byte(svg), 0o644)
+}
+
+func printParams(out io.Writer) {
+	cfg := sim.DefaultConfig()
+	fmt.Fprintln(out, "== params: performance model defaults (paper Figure 4) ==")
+	fmt.Fprintf(out, "BroadcastSize (D)     %d\n", cfg.DBSize)
+	fmt.Fprintf(out, "UpdateRange           %d\n", cfg.UpdateRange)
+	fmt.Fprintf(out, "theta                 %.2f\n", cfg.Theta)
+	fmt.Fprintf(out, "Offset                %d\n", cfg.Offset)
+	fmt.Fprintf(out, "N (server tx/cycle)   %d\n", cfg.ServerTx)
+	fmt.Fprintf(out, "U (updates/cycle)     %d\n", cfg.Updates)
+	fmt.Fprintf(out, "reads per update      %d\n", cfg.ReadsPerUpdate)
+	fmt.Fprintf(out, "ReadRange             %d\n", cfg.ReadRange)
+	fmt.Fprintf(out, "ops per query         %d\n", cfg.OpsPerQuery)
+	fmt.Fprintf(out, "ThinkTime             %d slots\n", cfg.ThinkTime)
+	fmt.Fprintf(out, "queries / warmup      %d / %d\n", cfg.Queries, cfg.Warmup)
+}

@@ -1,0 +1,81 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func TestParamsExhibit(t *testing.T) {
+	var out strings.Builder
+	if err := run([]string{"-fig", "params"}, &out); err != nil {
+		t.Fatal(err)
+	}
+	got := out.String()
+	for _, want := range []string{"BroadcastSize (D)     1000", "theta                 0.95", "U (updates/cycle)     50"} {
+		if !strings.Contains(got, want) {
+			t.Errorf("params output missing %q:\n%s", want, got)
+		}
+	}
+}
+
+func TestAnalyticFigures(t *testing.T) {
+	for _, fig := range []string{"fig7-span", "fig7-updates"} {
+		var out strings.Builder
+		if err := run([]string{"-fig", fig}, &out); err != nil {
+			t.Fatalf("%s: %v", fig, err)
+		}
+		if !strings.Contains(out.String(), "== "+fig) {
+			t.Errorf("%s header missing:\n%s", fig, out.String())
+		}
+		if !strings.Contains(out.String(), "multiversion-overflow") {
+			t.Errorf("%s series missing:\n%s", fig, out.String())
+		}
+	}
+}
+
+func TestAnalyticFigureCSV(t *testing.T) {
+	var out strings.Builder
+	if err := run([]string{"-fig", "fig7-span", "-csv"}, &out); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.String(), "span,invalidation-only") {
+		t.Errorf("CSV header missing:\n%s", out.String())
+	}
+}
+
+func TestSimulatedFigureSmall(t *testing.T) {
+	if testing.Short() {
+		t.Skip("simulation sweep")
+	}
+	var out strings.Builder
+	if err := run([]string{"-fig", "fig8-right", "-queries", "40", "-warmup", "10"}, &out); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.String(), "multiversion") {
+		t.Errorf("fig8-right output missing series:\n%s", out.String())
+	}
+}
+
+func TestUnknownExhibitRejected(t *testing.T) {
+	var out strings.Builder
+	if err := run([]string{"-fig", "fig99"}, &out); err == nil {
+		t.Error("unknown exhibit accepted")
+	}
+}
+
+func TestSVGOutput(t *testing.T) {
+	dir := t.TempDir()
+	var out strings.Builder
+	if err := run([]string{"-fig", "fig7-span", "-svg", dir}, &out); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(filepath.Join(dir, "fig7-span.svg"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(data), "<svg") || !strings.Contains(string(data), "polyline") {
+		t.Error("SVG content missing expected elements")
+	}
+}

@@ -1,0 +1,116 @@
+// Command bpush-sim runs a single simulation of the §5.1 performance model
+// and prints the resulting metrics.
+//
+// Usage:
+//
+//	bpush-sim -scheme sgt -cache 100 -ops 10 -updates 50 -offset 100 -queries 2000
+//
+// Schemes: inv-only, vcache, multiversion, mv-cache, sgt.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+
+	"bpush/internal/core"
+	"bpush/internal/sim"
+)
+
+func main() {
+	if err := run(os.Args[1:], os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "bpush-sim:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string, out io.Writer) error {
+	fs := flag.NewFlagSet("bpush-sim", flag.ContinueOnError)
+	var (
+		schemeName = fs.String("scheme", "inv-only", "scheme: inv-only | vcache | multiversion | mv-cache | sgt")
+		cacheSize  = fs.Int("cache", 0, "client cache size in pages (0 = no cache)")
+		granule    = fs.Int("granularity", 1, "invalidation-report granularity in items per bucket")
+		dbSize     = fs.Int("db", 1000, "broadcast size D in items")
+		updRange   = fs.Int("update-range", 500, "update distribution range")
+		offset     = fs.Int("offset", 100, "update vs. client-read pattern offset")
+		theta      = fs.Float64("theta", 0.95, "Zipf skew parameter")
+		serverTx   = fs.Int("server-tx", 10, "server transactions per cycle (N)")
+		updates    = fs.Int("updates", 50, "updates per cycle (U)")
+		versions   = fs.Int("versions", 1, "versions the server keeps on air (S)")
+		readRange  = fs.Int("read-range", 1000, "client read range")
+		ops        = fs.Int("ops", 10, "read operations per query")
+		think      = fs.Int("think", 2, "think time in broadcast slots")
+		disconnect = fs.Float64("disconnect", 0, "per-cycle disconnection probability")
+		queries    = fs.Int("queries", 2000, "measured queries")
+		warmup     = fs.Int("warmup", 100, "warmup queries")
+		seed       = fs.Int64("seed", 1, "random seed")
+		check      = fs.Bool("check", false, "run the consistency oracle on every commit")
+		diskHot    = fs.Int("disk-hot", 0, "broadcast-disk: size of the hot partition (0 = flat broadcast)")
+		diskFreq   = fs.Int("disk-freq", 0, "broadcast-disk: relative frequency of the hot disk")
+		intervals  = fs.Int("intervals", 1, "h-interval organization: reports (and chunks) per broadcast period")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	kind, err := parseScheme(*schemeName)
+	if err != nil {
+		return err
+	}
+	cfg := sim.DefaultConfig()
+	cfg.DBSize = *dbSize
+	cfg.UpdateRange = *updRange
+	cfg.Offset = *offset
+	cfg.Theta = *theta
+	cfg.ServerTx = *serverTx
+	cfg.Updates = *updates
+	cfg.ServerVersions = *versions
+	cfg.ReadRange = *readRange
+	cfg.OpsPerQuery = *ops
+	cfg.ThinkTime = *think
+	cfg.DisconnectProb = *disconnect
+	cfg.Queries = *queries
+	cfg.Warmup = *warmup
+	cfg.Seed = *seed
+	cfg.Check = *check
+	cfg.DiskHot = *diskHot
+	cfg.DiskFreq = *diskFreq
+	cfg.Intervals = *intervals
+	cfg.Scheme = core.Options{Kind: kind, CacheSize: *cacheSize, BucketGranularity: *granule}
+
+	m, err := sim.Run(cfg)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(out, "scheme            %s\n", m.SchemeName)
+	fmt.Fprintf(out, "queries           %d (%d committed, %d aborted)\n", m.Queries, m.Committed, m.Aborted)
+	fmt.Fprintf(out, "abort rate        %.4f\n", m.AbortRate)
+	fmt.Fprintf(out, "accept rate       %.4f\n", m.AcceptRate)
+	fmt.Fprintf(out, "latency           %.3f cycles (committed queries)\n", m.MeanLatency)
+	fmt.Fprintf(out, "span              %.3f cycles\n", m.MeanSpan)
+	fmt.Fprintf(out, "cache hit rate    %.4f\n", m.CacheHitRate)
+	fmt.Fprintf(out, "overflow reads    %.4f of reads\n", m.OverflowReadRate)
+	fmt.Fprintf(out, "becast length     %.1f slots\n", m.MeanBcastSlots)
+	fmt.Fprintf(out, "cycles simulated  %d\n", m.Cycles)
+	if *check {
+		fmt.Fprintf(out, "oracle            %d commits checked, %d outside window\n", m.OracleChecked, m.OracleSkipped)
+	}
+	return nil
+}
+
+func parseScheme(s string) (core.Kind, error) {
+	switch s {
+	case "inv-only":
+		return core.KindInvOnly, nil
+	case "vcache":
+		return core.KindVCache, nil
+	case "multiversion", "mv":
+		return core.KindMVBroadcast, nil
+	case "mv-cache", "mc":
+		return core.KindMVCache, nil
+	case "sgt":
+		return core.KindSGT, nil
+	default:
+		return 0, fmt.Errorf("unknown scheme %q", s)
+	}
+}

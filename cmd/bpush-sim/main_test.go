@@ -1,0 +1,67 @@
+package main
+
+import (
+	"strings"
+	"testing"
+
+	"bpush/internal/core"
+)
+
+func TestParseScheme(t *testing.T) {
+	tests := []struct {
+		give    string
+		want    core.Kind
+		wantErr bool
+	}{
+		{give: "inv-only", want: core.KindInvOnly},
+		{give: "vcache", want: core.KindVCache},
+		{give: "multiversion", want: core.KindMVBroadcast},
+		{give: "mv", want: core.KindMVBroadcast},
+		{give: "mv-cache", want: core.KindMVCache},
+		{give: "mc", want: core.KindMVCache},
+		{give: "sgt", want: core.KindSGT},
+		{give: "2pl", wantErr: true},
+		{give: "", wantErr: true},
+	}
+	for _, tt := range tests {
+		got, err := parseScheme(tt.give)
+		if (err != nil) != tt.wantErr {
+			t.Errorf("parseScheme(%q) error = %v, wantErr %v", tt.give, err, tt.wantErr)
+			continue
+		}
+		if err == nil && got != tt.want {
+			t.Errorf("parseScheme(%q) = %v, want %v", tt.give, got, tt.want)
+		}
+	}
+}
+
+func TestRunSmallSimulation(t *testing.T) {
+	var out strings.Builder
+	err := run([]string{
+		"-scheme", "sgt", "-cache", "20", "-db", "120", "-update-range", "60",
+		"-read-range", "120", "-updates", "6", "-queries", "40", "-warmup", "5",
+		"-check",
+	}, &out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := out.String()
+	for _, want := range []string{"scheme            sgt+cache", "abort rate", "latency", "oracle"} {
+		if !strings.Contains(got, want) {
+			t.Errorf("output missing %q:\n%s", want, got)
+		}
+	}
+}
+
+func TestRunRejectsBadFlags(t *testing.T) {
+	var out strings.Builder
+	if err := run([]string{"-scheme", "nope"}, &out); err == nil {
+		t.Error("unknown scheme accepted")
+	}
+	if err := run([]string{"-queries", "0"}, &out); err == nil {
+		t.Error("zero queries accepted")
+	}
+	if err := run([]string{"-no-such-flag"}, &out); err == nil {
+		t.Error("unknown flag accepted")
+	}
+}

@@ -1,0 +1,87 @@
+// Roadtraffic: dissemination of road travel times to mobile clients.
+//
+// A traffic center broadcasts travel times for 800 road segments. Mobile
+// route planners run long read-only transactions (a route touches many
+// segments), drive through tunnels (missing broadcast cycles), and still
+// need a consistent snapshot — the scenario where multiversion broadcast
+// shines. The demo contrasts:
+//
+//  1. invalidation-only vs. multiversion under disconnections, and
+//
+//  2. a flat broadcast vs. a 2-speed broadcast-disk program (the §7
+//     extension) for query latency on hot downtown segments.
+//
+//     go run ./examples/roadtraffic
+package main
+
+import (
+	"fmt"
+	"os"
+
+	"bpush"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "roadtraffic:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	fmt.Println("Road-traffic dissemination: 800 segments, 40 sensor updates per cycle")
+	fmt.Println()
+
+	fmt.Println("-- mobile clients missing 15% of cycles (tunnels, garages) --")
+	fmt.Printf("%-28s %10s %10s\n", "scheme", "accepted", "latency")
+	for _, s := range []struct {
+		label    string
+		opts     bpush.SchemeOptions
+		versions int
+	}{
+		{label: "invalidation-only", opts: bpush.SchemeOptions{Kind: bpush.InvalidationOnly}, versions: 1},
+		{label: "SGT", opts: bpush.SchemeOptions{Kind: bpush.SGT}, versions: 1},
+		{label: "SGT + version numbers", opts: bpush.SchemeOptions{Kind: bpush.SGT, TolerateDisconnects: true}, versions: 1},
+		{label: "multiversion (S=30)", opts: bpush.SchemeOptions{Kind: bpush.MultiversionBroadcast}, versions: 30},
+	} {
+		m, err := simulate(s.opts, s.versions, 0.15, 0, 0)
+		if err != nil {
+			return fmt.Errorf("%s: %w", s.label, err)
+		}
+		fmt.Printf("%-28s %9.1f%% %8.2fc\n", s.label, 100*m.AcceptRate, m.MeanLatency)
+	}
+
+	fmt.Println()
+	fmt.Println("-- broadcast organization: flat vs. 2-speed disk (hot downtown first 80 segments x4) --")
+	fmt.Printf("%-28s %14s %12s\n", "organization", "latency(slots)", "becast slots")
+	flat, err := simulate(bpush.SchemeOptions{Kind: bpush.InvalidationOnly, CacheSize: 60}, 1, 0, 0, 0)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("%-28s %14.0f %12.0f\n", "flat", flat.MeanLatencySlots, flat.MeanBcastSlots)
+	disk, err := simulate(bpush.SchemeOptions{Kind: bpush.InvalidationOnly, CacheSize: 60}, 1, 0, 80, 4)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("%-28s %14.0f %12.0f\n", "2-disk (80 hot @ 4x)", disk.MeanLatencySlots, disk.MeanBcastSlots)
+	fmt.Println()
+	fmt.Println("Hot-segment queries wait less on the fast disk; the becast grows by the repeats.")
+	return nil
+}
+
+func simulate(opts bpush.SchemeOptions, versions int, disconnect float64, diskHot, diskFreq int) (*bpush.SimMetrics, error) {
+	cfg := bpush.DefaultSimConfig()
+	cfg.DBSize = 800
+	cfg.UpdateRange = 400
+	cfg.ReadRange = 200 // route planners mostly query the metro area
+	cfg.Updates = 40
+	cfg.OpsPerQuery = 12 // a route crosses many segments
+	cfg.Queries = 400
+	cfg.ServerVersions = versions
+	cfg.DisconnectProb = disconnect
+	cfg.DiskHot = diskHot
+	cfg.DiskFreq = diskFreq
+	cfg.Scheme = opts
+	cfg.Check = true
+	return bpush.Simulate(cfg)
+}

@@ -1,0 +1,135 @@
+// Stockticker: a live push-based stock feed over TCP.
+//
+// A broadcast station cyclically pushes 300 "tickers" whose prices are
+// updated by server transactions (think trading engine). Three independent
+// clients subscribe concurrently and each values a 5-stock portfolio with
+// read-only transactions — one per consistency scheme. The point of the
+// demo: every committed valuation is internally consistent (all prices
+// from one database state) even though prices change mid-read, and the
+// server never hears from any client.
+//
+//	go run ./examples/stockticker
+package main
+
+import (
+	"fmt"
+	"os"
+	"sync"
+	"time"
+
+	"bpush"
+)
+
+const (
+	tickers   = 300
+	portfolio = 5
+	queries   = 8
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "stockticker:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	station, err := bpush.NewStation(bpush.StationConfig{
+		Addr:     "127.0.0.1:0",
+		DBSize:   tickers,
+		Versions: 8, // keep 8 cycles of history on air for the MV client
+		Workload: bpush.ServerWorkload{
+			DBSize:          tickers,
+			UpdateRange:     150, // the actively traded half
+			Theta:           0.95,
+			TxPerCycle:      5,
+			UpdatesPerCycle: 20,
+			ReadsPerUpdate:  4,
+		},
+		Interval: 25 * time.Millisecond,
+		Seed:     time.Now().UnixNano(),
+	})
+	if err != nil {
+		return err
+	}
+	defer func() { _ = station.Close() }()
+	fmt.Printf("ticker feed on %s: %d tickers, 20 trades/cycle, cycle = 25ms\n\n", station.Addr(), tickers)
+
+	watchers := []struct {
+		name string
+		opts bpush.SchemeOptions
+	}{
+		{"desk-A (inv-only+cache)", bpush.SchemeOptions{Kind: bpush.InvalidationOnly, CacheSize: 50}},
+		{"desk-B (SGT)", bpush.SchemeOptions{Kind: bpush.SGT, CacheSize: 50}},
+		{"desk-C (multiversion)", bpush.SchemeOptions{Kind: bpush.MultiversionBroadcast}},
+	}
+
+	var (
+		wg  sync.WaitGroup
+		mu  sync.Mutex // serializes report lines
+		any error
+	)
+	for i, w := range watchers {
+		wg.Add(1)
+		go func(idx int, name string, opts bpush.SchemeOptions) {
+			defer wg.Done()
+			if err := watch(station.Addr(), idx, name, opts, &mu); err != nil {
+				mu.Lock()
+				any = err
+				mu.Unlock()
+			}
+		}(i, w.name, w.opts)
+	}
+	wg.Wait()
+	return any
+}
+
+func watch(addr string, idx int, name string, opts bpush.SchemeOptions, mu *sync.Mutex) error {
+	tuner, err := bpush.DialTuner(addr)
+	if err != nil {
+		return err
+	}
+	defer tuner.Close()
+	scheme, err := bpush.NewScheme(opts)
+	if err != nil {
+		return err
+	}
+	cl, err := bpush.NewClient(scheme, tuner, bpush.ClientConfig{ThinkTime: 3})
+	if err != nil {
+		return err
+	}
+
+	// Each desk watches a different slice of hot tickers.
+	basket := make([]bpush.ItemID, portfolio)
+	for i := range basket {
+		basket[i] = bpush.ItemID(1 + idx*7 + i*11)
+	}
+
+	committed, aborted := 0, 0
+	for q := 0; q < queries; q++ {
+		res, err := cl.RunQuery(basket)
+		if err != nil {
+			return fmt.Errorf("%s: %w", name, err)
+		}
+		if !res.Committed {
+			aborted++
+			mu.Lock()
+			fmt.Printf("%-26s valuation ABORTED (%s)\n", name, res.AbortReason)
+			mu.Unlock()
+			continue
+		}
+		committed++
+		var total bpush.Value
+		for _, obs := range res.Info.Reads {
+			total += obs.Value
+		}
+		mu.Lock()
+		fmt.Printf("%-26s valuation %14d  (cycle %d, %d reads, %d cycles, consistent)\n",
+			name, total, res.Info.CommitCycle, res.Reads, res.LatencyCycles)
+		mu.Unlock()
+	}
+	mu.Lock()
+	fmt.Printf("%-26s done: %d committed / %d aborted\n", name, committed, aborted)
+	mu.Unlock()
+	return nil
+}

@@ -1,0 +1,3 @@
+module bpush
+
+go 1.22

@@ -1,0 +1,349 @@
+// Package broadcast assembles becasts: the per-cycle broadcast programs the
+// server puts on air. A becast carries, in order, (1) a control segment —
+// the invalidation report (augmented with first-writer transaction IDs for
+// SGT) and the serialization-graph delta — and (2) the data segment, one
+// entry per item in broadcast order, each entry carrying the item's current
+// version, its last writer, and (for the overflow organization of §3.2,
+// Figure 2b) a pointer to the item's older versions stored in overflow
+// buckets at the end of the becast.
+//
+// With the overflow organization the offset of every item from the start of
+// the becast is fixed, so clients can use a locally stored directory
+// instead of an on-air index; this is the organization implemented here and
+// used by the evaluation. The clustered organization of Figure 2(a) is
+// covered by the analytic size accounting (see sizing.go).
+package broadcast
+
+import (
+	"fmt"
+	"sort"
+
+	"bpush/internal/model"
+	"bpush/internal/server"
+	"bpush/internal/sg"
+)
+
+// InvalidationEntry is one line of the invalidation report: an item updated
+// during the previous cycle and the first transaction that wrote it (the
+// target of the precedence edge a query must add, per Claim 2; only the
+// SGT method consumes the writer field).
+type InvalidationEntry struct {
+	Item        model.ItemID
+	FirstWriter model.TxID
+}
+
+// Entry is one data-segment slot: the current version of an item plus the
+// index of its first older version in the overflow segment (-1 when the
+// item has no older versions on air).
+type Entry struct {
+	Item     model.ItemID
+	Version  model.Version
+	Overflow int
+}
+
+// OldVersion is one overflow-segment slot.
+type OldVersion struct {
+	Item    model.ItemID
+	Version model.Version
+}
+
+// Bcast is the full content of one broadcast cycle.
+type Bcast struct {
+	Cycle model.Cycle
+	// Report is the invalidation report, ascending by item.
+	Report []InvalidationEntry
+	// Delta is the serialization-graph difference broadcast for SGT.
+	Delta sg.Delta
+	// Entries is the data segment in broadcast order. With a flat
+	// organization entry i carries item i+1; broadcast-disk programs may
+	// repeat hot items.
+	Entries []Entry
+	// Overflow holds older versions, grouped per item in reverse
+	// chronological order, after the data segment.
+	Overflow []OldVersion
+	// NumCommitted is the number of server transactions whose effects
+	// first appear in this becast.
+	NumCommitted int
+	// TotalItems is the number of items in the database. With the
+	// h-interval organization (§7) a becast carries only a chunk of the
+	// item space, so TotalItems can exceed Items(); clients use it to
+	// distinguish "not on air this interval" from "no such item".
+	TotalItems int
+
+	// positions lists every data-segment slot carrying an item, in
+	// ascending order (broadcast-disk programs repeat hot items).
+	positions map[model.ItemID][]int
+}
+
+// Program is the order in which items occupy data-segment slots. A flat
+// program lists each item exactly once in key order.
+type Program []model.ItemID
+
+// FlatProgram returns the flat organization: items 1..d in key order, each
+// broadcast once per cycle, so every item's offset is fixed across cycles.
+func FlatProgram(d int) Program {
+	p := make(Program, d)
+	for i := range p {
+		p[i] = model.ItemID(i + 1)
+	}
+	return p
+}
+
+// Assemble builds the becast of the server's current cycle from the log of
+// the transactions committed during the previous cycle. Pass a nil log for
+// the very first cycle (no updates yet). The program must reference only
+// items in 1..DBSize and include every item at least once.
+func Assemble(srv *server.Server, log *server.CycleLog, program Program) (*Bcast, error) {
+	return assemble(srv, log, program, true)
+}
+
+// AssembleChunk builds a *partial* becast carrying only the items of the
+// given program — the h-interval organization of §7, where invalidation
+// reports (and fresh values) go on air every h-th of a broadcast period.
+// Items outside the chunk stay addressable through TotalItems.
+func AssembleChunk(srv *server.Server, log *server.CycleLog, program Program) (*Bcast, error) {
+	return assemble(srv, log, program, false)
+}
+
+func assemble(srv *server.Server, log *server.CycleLog, program Program, requireFull bool) (*Bcast, error) {
+	cycle := srv.Cycle()
+	b := &Bcast{
+		Cycle:      cycle,
+		TotalItems: srv.DBSize(),
+		positions:  make(map[model.ItemID][]int, len(program)),
+	}
+	if log != nil {
+		if log.Cycle != cycle {
+			return nil, fmt.Errorf("broadcast: log for %v but server at %v", log.Cycle, cycle)
+		}
+		b.Delta = log.Delta
+		b.NumCommitted = log.NumCommitted
+		b.Report = make([]InvalidationEntry, 0, len(log.Updated))
+		for _, item := range log.Updated {
+			b.Report = append(b.Report, InvalidationEntry{
+				Item:        item,
+				FirstWriter: log.FirstWriter[item],
+			})
+		}
+	}
+
+	seen := make(map[model.ItemID]bool, srv.DBSize())
+	b.Entries = make([]Entry, len(program))
+	for i, item := range program {
+		versions, err := srv.Versions(item)
+		if err != nil {
+			return nil, fmt.Errorf("broadcast: program slot %d: %w", i, err)
+		}
+		cur := versions[len(versions)-1]
+		off := -1
+		if len(versions) > 1 && !seen[item] {
+			off = len(b.Overflow)
+			// Reverse chronological: newest old version first, so a
+			// client scanning from the pointer stops at the first
+			// version with cycle <= its start cycle.
+			for j := len(versions) - 2; j >= 0; j-- {
+				b.Overflow = append(b.Overflow, OldVersion{Item: item, Version: versions[j]})
+			}
+		} else if len(versions) > 1 {
+			// Repeated slot (broadcast-disk program): point at the
+			// already-emitted group.
+			off = b.overflowIndexOf(item)
+		}
+		b.Entries[i] = Entry{Item: item, Version: cur, Overflow: off}
+		b.positions[item] = append(b.positions[item], i)
+		seen[item] = true
+	}
+	if requireFull && len(seen) != srv.DBSize() {
+		return nil, fmt.Errorf("broadcast: program covers %d of %d items", len(seen), srv.DBSize())
+	}
+	if len(seen) == 0 {
+		return nil, fmt.Errorf("broadcast: empty program")
+	}
+	return b, nil
+}
+
+// New reconstructs a becast from its parts (the wire decoder's entry
+// point). Positions are rebuilt from the entry order. totalItems may be 0,
+// in which case the becast is assumed complete.
+func New(cycle model.Cycle, report []InvalidationEntry, delta sg.Delta, entries []Entry, overflow []OldVersion, numCommitted, totalItems int) (*Bcast, error) {
+	if len(entries) == 0 {
+		return nil, fmt.Errorf("broadcast: empty data segment")
+	}
+	b := &Bcast{
+		Cycle:        cycle,
+		Report:       report,
+		Delta:        delta,
+		Entries:      entries,
+		Overflow:     overflow,
+		NumCommitted: numCommitted,
+		TotalItems:   totalItems,
+		positions:    make(map[model.ItemID][]int, len(entries)),
+	}
+	for i, e := range entries {
+		if e.Overflow >= len(overflow) {
+			return nil, fmt.Errorf("broadcast: slot %d overflow pointer %d out of range", i, e.Overflow)
+		}
+		b.positions[e.Item] = append(b.positions[e.Item], i)
+	}
+	if b.TotalItems == 0 {
+		b.TotalItems = len(b.positions)
+	}
+	return b, nil
+}
+
+func (b *Bcast) overflowIndexOf(item model.ItemID) int {
+	for i, ov := range b.Overflow {
+		if ov.Item == item {
+			return i
+		}
+	}
+	return -1
+}
+
+// Position returns the first data-segment slot carrying item, or -1.
+func (b *Bcast) Position(item model.ItemID) int {
+	if ps, ok := b.positions[item]; ok {
+		return ps[0]
+	}
+	return -1
+}
+
+// NextPosition returns the first data-segment slot >= pos carrying item,
+// or -1 when the item's remaining occurrences this cycle have all gone by
+// (or the item is not on air). With a flat program this is Position(item)
+// when still ahead; broadcast-disk programs give hot items several chances
+// per cycle.
+func (b *Bcast) NextPosition(item model.ItemID, pos int) int {
+	ps, ok := b.positions[item]
+	if !ok {
+		return -1
+	}
+	lo, hi := 0, len(ps)
+	for lo < hi {
+		mid := (lo + hi) / 2
+		if ps[mid] < pos {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	if lo == len(ps) {
+		return -1
+	}
+	return ps[lo]
+}
+
+// Len returns the total number of data-carrying slots (data + overflow).
+func (b *Bcast) Len() int { return len(b.Entries) + len(b.Overflow) }
+
+// Items returns the number of distinct items on air.
+func (b *Bcast) Items() int { return len(b.positions) }
+
+// OnAir reports whether item occupies a data slot this cycle.
+func (b *Bcast) OnAir(item model.ItemID) bool {
+	_, ok := b.positions[item]
+	return ok
+}
+
+// InDatabase reports whether item is a valid database item, whether or
+// not it is on air this cycle (h-interval chunks carry a subset).
+func (b *Bcast) InDatabase(item model.ItemID) bool {
+	return item != model.InvalidItem && int(item) <= b.TotalItems
+}
+
+// EntryAt returns the entry at a data-segment slot.
+func (b *Bcast) EntryAt(slot int) (Entry, error) {
+	if slot < 0 || slot >= len(b.Entries) {
+		return Entry{}, fmt.Errorf("broadcast: slot %d out of range 0..%d", slot, len(b.Entries)-1)
+	}
+	return b.Entries[slot], nil
+}
+
+// OldVersionsOf returns the on-air older versions of an item, newest first,
+// by following the overflow pointer the way a client would. The returned
+// slice aliases the becast and must not be modified.
+func (b *Bcast) OldVersionsOf(item model.ItemID) []OldVersion {
+	p := b.Position(item)
+	if p < 0 {
+		return nil
+	}
+	off := b.Entries[p].Overflow
+	if off < 0 {
+		return nil
+	}
+	end := off
+	for end < len(b.Overflow) && b.Overflow[end].Item == item {
+		end++
+	}
+	return b.Overflow[off:end]
+}
+
+// OverflowSlot returns the absolute slot (counting from the start of the
+// data segment) of overflow index i; overflow buckets trail the data
+// segment, which is why long-running multiversion readers pay a latency
+// penalty (§3.2).
+func (b *Bcast) OverflowSlot(i int) int { return len(b.Entries) + i }
+
+// ReadCurrent returns the current version of an item as broadcast this
+// cycle, for callers that do not model channel timing.
+func (b *Bcast) ReadCurrent(item model.ItemID) (model.Version, error) {
+	p := b.Position(item)
+	if p < 0 {
+		return model.Version{}, fmt.Errorf("broadcast: %v not in program", item)
+	}
+	return b.Entries[p].Version, nil
+}
+
+// BestVersionAtOrBefore returns the newest on-air version of item with
+// version cycle <= c0, the multiversion read rule of §3.2, and whether the
+// read would be served from the overflow segment. ok is false when no
+// on-air version is old enough (the transaction's span exceeded S).
+func (b *Bcast) BestVersionAtOrBefore(item model.ItemID, c0 model.Cycle) (v model.Version, fromOverflow, ok bool) {
+	p := b.Position(item)
+	if p < 0 {
+		return model.Version{}, false, false
+	}
+	cur := b.Entries[p].Version
+	if cur.Cycle <= c0 {
+		return cur, false, true
+	}
+	for _, ov := range b.OldVersionsOf(item) {
+		if ov.Version.Cycle <= c0 {
+			return ov.Version, true, true
+		}
+	}
+	return model.Version{}, false, false
+}
+
+// UpdatedItems returns the items of the invalidation report as a set.
+func (b *Bcast) UpdatedItems() map[model.ItemID]model.TxID {
+	out := make(map[model.ItemID]model.TxID, len(b.Report))
+	for _, e := range b.Report {
+		out[e.Item] = e.FirstWriter
+	}
+	return out
+}
+
+// BucketReport maps the item-granularity invalidation report to bucket
+// granularity (§7 extension): it returns the sorted set of bucket numbers
+// (data-segment slot / itemsPerBucket) containing an updated item. A
+// bucket is considered updated if any of its items has been updated.
+func (b *Bcast) BucketReport(itemsPerBucket int) ([]int, error) {
+	if itemsPerBucket <= 0 {
+		return nil, fmt.Errorf("broadcast: itemsPerBucket must be positive, got %d", itemsPerBucket)
+	}
+	set := make(map[int]struct{})
+	for _, e := range b.Report {
+		p := b.Position(e.Item)
+		if p < 0 {
+			continue
+		}
+		set[p/itemsPerBucket] = struct{}{}
+	}
+	out := make([]int, 0, len(set))
+	for bk := range set {
+		out = append(out, bk)
+	}
+	sort.Ints(out)
+	return out, nil
+}

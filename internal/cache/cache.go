@@ -1,0 +1,177 @@
+// Package cache implements the client-side caches of Pitoura & Chrysanthis
+// §4: a page-based LRU cache maintained with invalidation combined with
+// autoprefetching (after Acharya et al.), whose entries carry the version
+// cycle of the cached value (enabling the invalidation-only-with-versioned-
+// cache method of §4.1), and a two-partition multiversion cache (§4.2) that
+// additionally retains older versions of updated items for long-running
+// read-only transactions.
+//
+// The unit of caching is a page; the evaluation uses one item per page (see
+// DESIGN.md on the paper's bucket-size parameter), and bucket-granularity
+// invalidation is layered on top by the client, which maps an invalidated
+// bucket to its items.
+package cache
+
+import (
+	"container/list"
+	"fmt"
+
+	"bpush/internal/model"
+)
+
+// Entry is a cached page: the version of the item it holds and whether the
+// page has been invalidated and is awaiting autoprefetch. Per §4, a page in
+// cache either has a current value or is marked for autoprefetching.
+type Entry struct {
+	Item    model.ItemID
+	Version model.Version
+	// Invalid marks the page as invalidated; the value is stale and must
+	// not be served, but the page stays resident so the client can
+	// autoprefetch the new value when it appears on air.
+	Invalid bool
+}
+
+// Cache is an LRU cache of current item versions. It is not safe for
+// concurrent use; each client owns its own cache.
+type Cache struct {
+	capacity int
+	order    *list.List // front = most recently used; values are *Entry
+	index    map[model.ItemID]*list.Element
+	hits     int64
+	misses   int64
+}
+
+// New creates a cache holding up to capacity pages. A capacity of zero
+// yields a cache that never hits, which models a cache-less client.
+func New(capacity int) (*Cache, error) {
+	if capacity < 0 {
+		return nil, fmt.Errorf("cache: capacity must be non-negative, got %d", capacity)
+	}
+	return &Cache{
+		capacity: capacity,
+		order:    list.New(),
+		index:    make(map[model.ItemID]*list.Element, capacity),
+	}, nil
+}
+
+// Capacity returns the configured page capacity.
+func (c *Cache) Capacity() int { return c.capacity }
+
+// Len returns the number of resident pages (including invalidated ones).
+func (c *Cache) Len() int { return len(c.index) }
+
+// Get returns the cached version of item if present and not invalidated,
+// bumping its recency. The paper's read rule: "if the item is found in
+// cache and the page is not invalidated, the item is read from the cache".
+func (c *Cache) Get(item model.ItemID) (model.Version, bool) {
+	el, ok := c.index[item]
+	if !ok {
+		c.misses++
+		return model.Version{}, false
+	}
+	e := el.Value.(*Entry)
+	if e.Invalid {
+		c.misses++
+		return model.Version{}, false
+	}
+	c.order.MoveToFront(el)
+	c.hits++
+	return e.Version, true
+}
+
+// Peek returns the entry without touching recency or counters. It reports
+// invalidated pages too, so callers can distinguish "resident but stale"
+// from "absent".
+func (c *Cache) Peek(item model.ItemID) (Entry, bool) {
+	el, ok := c.index[item]
+	if !ok {
+		return Entry{}, false
+	}
+	return *el.Value.(*Entry), true
+}
+
+// Put inserts or refreshes the page for item with the given version,
+// clearing any invalidation mark (this is what autoprefetch does when the
+// new value appears on the broadcast). The least recently used page is
+// evicted if the cache is full. The evicted item and true are returned when
+// an eviction happened.
+func (c *Cache) Put(item model.ItemID, v model.Version) (model.ItemID, bool) {
+	if c.capacity == 0 {
+		return model.InvalidItem, false
+	}
+	if el, ok := c.index[item]; ok {
+		e := el.Value.(*Entry)
+		e.Version = v
+		e.Invalid = false
+		c.order.MoveToFront(el)
+		return model.InvalidItem, false
+	}
+	var evicted model.ItemID
+	var didEvict bool
+	if len(c.index) >= c.capacity {
+		back := c.order.Back()
+		if back != nil {
+			victim := back.Value.(*Entry)
+			delete(c.index, victim.Item)
+			c.order.Remove(back)
+			evicted, didEvict = victim.Item, true
+		}
+	}
+	c.index[item] = c.order.PushFront(&Entry{Item: item, Version: v})
+	return evicted, didEvict
+}
+
+// Invalidate marks the page for item stale if resident, returning the
+// entry as it was before invalidation and whether the item was resident.
+// The page remains resident for autoprefetching.
+func (c *Cache) Invalidate(item model.ItemID) (Entry, bool) {
+	el, ok := c.index[item]
+	if !ok {
+		return Entry{}, false
+	}
+	e := el.Value.(*Entry)
+	prev := *e
+	e.Invalid = true
+	return prev, true
+}
+
+// InvalidItems returns the resident pages currently marked for
+// autoprefetch, in recency order (most recent first). The order is
+// deterministic so that downstream refills touch the LRU list
+// reproducibly.
+func (c *Cache) InvalidItems() []model.ItemID {
+	var out []model.ItemID
+	for el := c.order.Front(); el != nil; el = el.Next() {
+		if e := el.Value.(*Entry); e.Invalid {
+			out = append(out, e.Item)
+		}
+	}
+	return out
+}
+
+// Items returns the IDs of all resident pages (valid and invalidated), in
+// recency order, most recent first.
+func (c *Cache) Items() []model.ItemID {
+	out := make([]model.ItemID, 0, len(c.index))
+	for el := c.order.Front(); el != nil; el = el.Next() {
+		out = append(out, el.Value.(*Entry).Item)
+	}
+	return out
+}
+
+// Clear drops every resident page.
+func (c *Cache) Clear() {
+	c.order.Init()
+	c.index = make(map[model.ItemID]*list.Element, c.capacity)
+}
+
+// Remove drops the page for item entirely.
+func (c *Cache) Remove(item model.ItemID) {
+	if el, ok := c.index[item]; ok {
+		delete(c.index, item)
+		c.order.Remove(el)
+	}
+}
+
+// Stats returns the hit and miss counters accumulated by Get.
+func (c *Cache) Stats() (hits, misses int64) { return c.hits, c.misses }

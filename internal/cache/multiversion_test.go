@@ -1,0 +1,185 @@
+package cache
+
+import (
+	"testing"
+
+	"bpush/internal/model"
+)
+
+func mustMulti(t *testing.T, cur, old int) *MultiCache {
+	t.Helper()
+	m, err := NewMulti(cur, old)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return m
+}
+
+func TestNewMultiValidation(t *testing.T) {
+	if _, err := NewMulti(-1, 2); err == nil {
+		t.Error("negative current capacity accepted")
+	}
+	if _, err := NewMulti(2, -1); err == nil {
+		t.Error("negative old capacity accepted")
+	}
+}
+
+func TestInvalidateDemotesToOldPartition(t *testing.T) {
+	m := mustMulti(t, 4, 4)
+	m.Put(1, ver(10, 2))
+	m.Invalidate(1, 5) // overwritten during cycle 4, report seen at 5
+	// Current partition no longer serves the item...
+	if _, ok := m.GetCurrent(1); ok {
+		t.Error("invalidated current entry served")
+	}
+	// ...but the demoted version covers cycles 2..4.
+	for _, c := range []model.Cycle{2, 3, 4} {
+		v, ok := m.GetAtOrBefore(1, c)
+		if !ok || v.Value != 10 {
+			t.Errorf("GetAtOrBefore(1,%v) = %+v ok=%v, want demoted value 10", c, v, ok)
+		}
+	}
+	if _, ok := m.GetAtOrBefore(1, 5); ok {
+		t.Error("demoted version served beyond its validity interval")
+	}
+	if _, ok := m.GetAtOrBefore(1, 1); ok {
+		t.Error("demoted version served before its creation cycle")
+	}
+	if m.OldLen() != 1 {
+		t.Errorf("OldLen() = %d, want 1", m.OldLen())
+	}
+}
+
+func TestGetAtOrBeforeServesCoveringVersion(t *testing.T) {
+	m := mustMulti(t, 4, 4)
+	m.Put(1, ver(10, 2))
+	m.Invalidate(1, 5)
+	m.Put(1, ver(20, 5)) // autoprefetch
+	m.Invalidate(1, 8)
+	m.Put(1, ver(30, 8))
+
+	tests := []struct {
+		name      string
+		c         model.Cycle
+		wantVal   model.Value
+		wantFound bool
+	}{
+		{name: "current qualifies", c: 9, wantVal: 30, wantFound: true},
+		{name: "middle version", c: 6, wantVal: 20, wantFound: true},
+		{name: "middle upper bound", c: 7, wantVal: 20, wantFound: true},
+		{name: "oldest version", c: 3, wantVal: 10, wantFound: true},
+		{name: "oldest lower bound", c: 2, wantVal: 10, wantFound: true},
+		{name: "before everything", c: 1, wantFound: false},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			v, ok := m.GetAtOrBefore(1, tt.c)
+			if ok != tt.wantFound {
+				t.Fatalf("found = %v, want %v", ok, tt.wantFound)
+			}
+			if ok && v.Value != tt.wantVal {
+				t.Errorf("value = %d, want %d", v.Value, tt.wantVal)
+			}
+		})
+	}
+}
+
+func TestCurrentEntryNotServedWhenTooNew(t *testing.T) {
+	m := mustMulti(t, 4, 4)
+	m.Put(1, ver(30, 8))
+	if _, ok := m.GetAtOrBefore(1, 5); ok {
+		t.Error("current version from cycle 8 served for a <=5 read")
+	}
+}
+
+func TestEvictionOfMiddleVersionNeverServesStale(t *testing.T) {
+	// The correctness-critical property: after evicting a middle
+	// version, a query for the evicted interval must MISS, not fall back
+	// to an older version.
+	m := mustMulti(t, 8, 2)
+	m.Put(1, ver(10, 2))
+	m.Invalidate(1, 5) // v10 covers 2..4
+	m.Put(1, ver(20, 5))
+	m.Invalidate(1, 8) // v20 covers 5..7
+	m.Put(1, ver(30, 8))
+	m.Invalidate(1, 9) // v30 covers 8..8; old partition now overflows
+
+	// Capacity 2: the LRU victim is v10 (cycles 2..4).
+	if _, ok := m.GetAtOrBefore(1, 3); ok {
+		t.Error("evicted interval still served")
+	}
+	// Cycle 6 is covered by v20, which must still be exact.
+	v, ok := m.GetAtOrBefore(1, 6)
+	if !ok || v.Value != 20 {
+		t.Errorf("GetAtOrBefore(1,6) = %+v ok=%v, want 20", v, ok)
+	}
+	// Crucially: no query may ever receive a version whose interval does
+	// not cover it.
+	for c := model.Cycle(1); c <= 9; c++ {
+		if got, ok := m.GetAtOrBefore(1, c); ok {
+			if got.Cycle > c {
+				t.Errorf("cycle %v served version created later (%v)", c, got.Cycle)
+			}
+		}
+	}
+}
+
+func TestZeroOldCapacity(t *testing.T) {
+	m := mustMulti(t, 4, 0)
+	m.Put(1, ver(10, 2))
+	m.Invalidate(1, 5)
+	if m.OldLen() != 0 {
+		t.Errorf("OldLen() = %d, want 0", m.OldLen())
+	}
+	if _, ok := m.GetAtOrBefore(1, 3); ok {
+		t.Error("old version served with zero old capacity")
+	}
+}
+
+func TestDoubleInvalidateDoesNotDemoteStale(t *testing.T) {
+	m := mustMulti(t, 4, 4)
+	m.Put(1, ver(10, 2))
+	m.Invalidate(1, 5)
+	m.Invalidate(1, 6) // second report before autoprefetch
+	if m.OldLen() != 1 {
+		t.Errorf("OldLen() = %d after double invalidation, want 1", m.OldLen())
+	}
+}
+
+func TestIdempotentDemotionExtendsValidity(t *testing.T) {
+	m := mustMulti(t, 4, 4)
+	m.Put(1, ver(10, 2))
+	m.Invalidate(1, 5)
+	m.Put(1, ver(10, 2)) // same version re-cached
+	m.Invalidate(1, 7)   // demoted again with a later horizon
+	if m.OldLen() != 1 {
+		t.Errorf("OldLen() = %d, want 1 (same version demoted twice)", m.OldLen())
+	}
+	if _, ok := m.GetAtOrBefore(1, 6); !ok {
+		t.Error("extended validity interval not honored")
+	}
+}
+
+func TestFlushCurrentKeepsOldVersions(t *testing.T) {
+	m := mustMulti(t, 4, 4)
+	m.Put(1, ver(10, 2))
+	m.Invalidate(1, 5)
+	m.Put(1, ver(20, 5))
+	m.FlushCurrent()
+	if _, ok := m.GetCurrent(1); ok {
+		t.Error("current entry survived flush")
+	}
+	v, ok := m.GetAtOrBefore(1, 3)
+	if !ok || v.Value != 10 {
+		t.Errorf("old version lost by FlushCurrent: %+v ok=%v", v, ok)
+	}
+}
+
+func TestInvalidateAtCycleZeroIgnoresDemotion(t *testing.T) {
+	m := mustMulti(t, 4, 4)
+	m.Put(1, ver(10, 2))
+	m.Invalidate(1, 0)
+	if m.OldLen() != 0 {
+		t.Errorf("OldLen() = %d, want 0 (cycle 0 has no previous state)", m.OldLen())
+	}
+}

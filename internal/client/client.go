@@ -1,0 +1,252 @@
+// Package client implements the client runtime of the broadcast-push
+// system: the tuner that follows the channel position by position, the
+// think-time pacing of the §5.1 performance model, and the read loop that
+// drives a core.Scheme through its ServeLocal/ServeChannel protocol —
+// including waiting for the next cycle when a needed slot has already gone
+// by (access to the broadcast is strictly sequential) and injecting
+// disconnections.
+package client
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+
+	"bpush/internal/broadcast"
+	"bpush/internal/core"
+	"bpush/internal/model"
+)
+
+// Feed supplies consecutive becasts: the client's view of the channel. The
+// simulator implements it by driving the server; the network client
+// implements it by decoding frames from a TCP stream.
+type Feed interface {
+	// Next blocks until the next becast and returns it.
+	Next() (*broadcast.Bcast, error)
+}
+
+// Config configures a client runtime.
+type Config struct {
+	// ThinkTime is the number of broadcast slots the client waits before
+	// issuing each read request (§5.1).
+	ThinkTime int
+	// DisconnectProb is the per-cycle probability that the client misses
+	// the becast entirely (sleeps through it). Zero disables
+	// disconnection injection.
+	DisconnectProb float64
+	// Seed feeds the disconnection RNG.
+	Seed int64
+}
+
+func (c Config) validate() error {
+	if c.ThinkTime < 0 {
+		return fmt.Errorf("client: negative think time %d", c.ThinkTime)
+	}
+	if c.DisconnectProb < 0 || c.DisconnectProb >= 1 {
+		return fmt.Errorf("client: disconnect probability %g outside [0, 1)", c.DisconnectProb)
+	}
+	return nil
+}
+
+// QueryResult reports the outcome of one read-only transaction.
+type QueryResult struct {
+	// Committed reports whether the query committed; AbortReason holds
+	// the scheme's reason otherwise.
+	Committed   bool
+	AbortReason string
+	// Info is the scheme's commit record (only valid when Committed).
+	Info core.CommitInfo
+	// LatencyCycles is the number of broadcast cycles the query was
+	// active in, from its first read request to commit/abort.
+	LatencyCycles int
+	// Span is the number of distinct cycles the query read data from.
+	Span int
+	// Read-source breakdown.
+	Reads, CacheReads, BroadcastReads, OverflowReads int
+	// LatencySlots is the same interval measured in broadcast slots —
+	// the metric to use when comparing organizations whose cycles have
+	// different lengths (broadcast disks, multiversion overflow).
+	LatencySlots int64
+	// MissedCycles counts cycles the client slept through while the
+	// query was active.
+	MissedCycles int
+}
+
+// Client drives one scheme over one channel feed. Not safe for concurrent
+// use.
+type Client struct {
+	cfg    Config
+	scheme core.Scheme
+	feed   Feed
+	rng    *rand.Rand
+
+	cur      *broadcast.Bcast
+	pos      int
+	curLen   int   // slots of the cycle currently on air (heard or not)
+	slotBase int64 // slots of all fully elapsed cycles
+	missed   int   // cycles slept through (total)
+}
+
+// New creates a client and tunes in to the first becast of the feed.
+func New(scheme core.Scheme, feed Feed, cfg Config) (*Client, error) {
+	if err := cfg.validate(); err != nil {
+		return nil, err
+	}
+	if scheme == nil || feed == nil {
+		return nil, fmt.Errorf("client: nil scheme or feed")
+	}
+	c := &Client{cfg: cfg, scheme: scheme, feed: feed}
+	if cfg.DisconnectProb > 0 {
+		c.rng = rand.New(rand.NewSource(cfg.Seed))
+	}
+	if err := c.nextCycle(); err != nil {
+		return nil, fmt.Errorf("client: tune in: %w", err)
+	}
+	return c, nil
+}
+
+// Cycle returns the cycle the client is currently listening to.
+func (c *Client) Cycle() model.Cycle { return c.cur.Cycle }
+
+// abs returns the absolute channel time in slots: all fully elapsed
+// cycles plus the position within the current one.
+func (c *Client) abs() int64 { return c.slotBase + int64(c.pos) }
+
+// Scheme returns the scheme the client drives.
+func (c *Client) Scheme() core.Scheme { return c.scheme }
+
+// Items returns the number of distinct items on the becast the client is
+// listening to — the self-descriptive part of the broadcast that lets a
+// freshly tuned-in client size its workload.
+func (c *Client) Items() int { return c.cur.Items() }
+
+// nextCycle consumes feeds until a becast is actually heard, applying
+// disconnection injection.
+func (c *Client) nextCycle() error {
+	for {
+		b, err := c.feed.Next()
+		if err != nil {
+			return err
+		}
+		c.slotBase += int64(c.curLen)
+		c.curLen = b.Len()
+		if c.rng != nil && c.rng.Float64() < c.cfg.DisconnectProb {
+			c.missed++
+			if err := c.scheme.MissCycle(b.Cycle); err != nil {
+				return err
+			}
+			continue
+		}
+		if err := c.scheme.NewCycle(b); err != nil {
+			return err
+		}
+		c.cur = b
+		c.pos = 0
+		return nil
+	}
+}
+
+// think advances the channel position by the configured think time,
+// crossing cycle boundaries as needed.
+func (c *Client) think() error {
+	c.pos += c.cfg.ThinkTime
+	for c.pos >= c.cur.Len() {
+		over := c.pos - c.cur.Len()
+		if err := c.nextCycle(); err != nil {
+			return err
+		}
+		c.pos = over
+	}
+	return nil
+}
+
+// RunQuery executes one read-only transaction over the given items, in
+// request order. It returns the query outcome; the error return is
+// reserved for infrastructure failures (feed errors, unknown items), not
+// transaction aborts.
+func (c *Client) RunQuery(items []model.ItemID) (QueryResult, error) {
+	if err := c.scheme.Begin(); err != nil {
+		return QueryResult{}, fmt.Errorf("client: begin: %w", err)
+	}
+	var res QueryResult
+	startCycle := c.cur.Cycle
+	startSlots := c.abs()
+	missedBefore := c.missed
+	spanCycles := make(map[model.Cycle]struct{})
+
+	finish := func() QueryResult {
+		res.LatencyCycles = int(c.cur.Cycle-startCycle) + 1
+		res.LatencySlots = c.abs() - startSlots
+		res.Span = len(spanCycles)
+		res.MissedCycles = c.missed - missedBefore
+		return res
+	}
+	abort := func(err error) QueryResult {
+		var ae *core.AbortError
+		if errors.As(err, &ae) {
+			res.AbortReason = ae.Reason
+		} else {
+			res.AbortReason = err.Error()
+		}
+		c.scheme.Abort()
+		return finish()
+	}
+
+	for _, item := range items {
+		if err := c.think(); err != nil {
+			c.scheme.Abort()
+			return QueryResult{}, err
+		}
+		for {
+			_, ok, err := c.scheme.ServeLocal(item)
+			if errors.Is(err, core.ErrAborted) {
+				return abort(err), nil
+			}
+			if err != nil {
+				c.scheme.Abort()
+				return QueryResult{}, err
+			}
+			if ok {
+				res.Reads++
+				res.CacheReads++
+				spanCycles[c.cur.Cycle] = struct{}{}
+				break
+			}
+			r, slot, err := c.scheme.ServeChannel(item, c.pos)
+			if errors.Is(err, core.ErrNextCycle) {
+				if err := c.nextCycle(); err != nil {
+					c.scheme.Abort()
+					return QueryResult{}, err
+				}
+				continue
+			}
+			if errors.Is(err, core.ErrAborted) {
+				return abort(err), nil
+			}
+			if err != nil {
+				c.scheme.Abort()
+				return QueryResult{}, err
+			}
+			res.Reads++
+			switch r.Source {
+			case core.SourceOverflow:
+				res.OverflowReads++
+			default:
+				res.BroadcastReads++
+			}
+			spanCycles[c.cur.Cycle] = struct{}{}
+			c.pos = slot + 1
+			break
+		}
+	}
+	info, err := c.scheme.Commit()
+	if errors.Is(err, core.ErrAborted) {
+		return abort(err), nil
+	}
+	if err != nil {
+		return QueryResult{}, fmt.Errorf("client: commit: %w", err)
+	}
+	res.Committed = true
+	res.Info = info
+	return finish(), nil
+}

@@ -1,0 +1,381 @@
+// Package core implements the read-only transaction processing schemes of
+// Pitoura & Chrysanthis (ICDCS 1999): the paper's primary contribution.
+//
+// Each scheme runs entirely at the client. It consumes the control
+// information the server puts on each becast (invalidation reports,
+// serialization-graph deltas, versions) and decides, read by read, whether
+// the active read-only transaction can continue and which version of an
+// item it must observe, guaranteeing that the readset of every committed
+// transaction is a subset of a consistent database state — without ever
+// contacting the server, which is what makes the methods scale to
+// arbitrary client populations.
+//
+// The five methods:
+//
+//   - KindInvOnly (§3.1): abort when an item already read appears in the
+//     per-cycle invalidation report. Serializes at the commit cycle (the
+//     most current view).
+//   - KindVCache (§4.1): invalidation-only with a versioned cache; a
+//     "marked" transaction continues from sufficiently old cache entries
+//     and serializes at the cycle before its first invalidation.
+//   - KindMVBroadcast (§3.2): the server keeps S versions on air; reads
+//     pick the newest version no newer than the transaction's start cycle.
+//     Never aborts while the span stays within S.
+//   - KindMVCache (§4.2): invalidation reports plus older versions
+//     retained in a two-partition client cache.
+//   - KindSGT (§3.3): a local copy of the serialization graph, updated
+//     from broadcast deltas; a read is accepted only if it closes no
+//     cycle.
+//
+// Every scheme implements Scheme; construct one with New.
+package core
+
+import (
+	"errors"
+	"fmt"
+
+	"bpush/internal/broadcast"
+	"bpush/internal/model"
+)
+
+// ErrAborted is returned (possibly wrapped in an *AbortError carrying the
+// reason) once the active read-only transaction has been aborted.
+var ErrAborted = errors.New("read-only transaction aborted")
+
+// ErrNoTxn is returned by operations that need an active transaction.
+var ErrNoTxn = errors.New("no active read-only transaction")
+
+// ErrNextCycle is returned by ServeChannel when the slot carrying the
+// needed value has already gone by at the caller's position: access to the
+// broadcast is strictly sequential (§2), so the client must wait for the
+// next cycle, deliver it via NewCycle, and retry the read there.
+var ErrNextCycle = errors.New("value already passed; retry next cycle")
+
+// ErrTxnActive is returned by Begin when a transaction is already active.
+var ErrTxnActive = errors.New("read-only transaction already active")
+
+// AbortError carries the reason a transaction aborted. It matches
+// ErrAborted under errors.Is.
+type AbortError struct {
+	Reason string
+}
+
+// Error implements error.
+func (e *AbortError) Error() string {
+	return fmt.Sprintf("read-only transaction aborted: %s", e.Reason)
+}
+
+// Is reports that an AbortError is an ErrAborted.
+func (e *AbortError) Is(target error) bool { return target == ErrAborted }
+
+func abortErr(format string, args ...any) error {
+	return &AbortError{Reason: fmt.Sprintf(format, args...)}
+}
+
+// ReadSource says where a read was (or must be) served from, which is what
+// the client runtime needs to account latency: cache reads are free,
+// broadcast reads wait for the item's slot, overflow reads wait for the
+// overflow region trailing the data segment.
+type ReadSource int
+
+// Read sources.
+const (
+	SourceCache ReadSource = iota + 1
+	SourceBroadcast
+	SourceOverflow
+)
+
+// String implements fmt.Stringer.
+func (s ReadSource) String() string {
+	switch s {
+	case SourceCache:
+		return "cache"
+	case SourceBroadcast:
+		return "broadcast"
+	case SourceOverflow:
+		return "overflow"
+	default:
+		return fmt.Sprintf("source(%d)", int(s))
+	}
+}
+
+// Read is one served read operation.
+type Read struct {
+	Obs    model.ReadObservation
+	Source ReadSource
+}
+
+// CommitInfo describes a committed read-only transaction.
+type CommitInfo struct {
+	// Reads is the transaction's full observation list, in read order.
+	Reads []model.ReadObservation
+	// StartCycle is the cycle of the first read.
+	StartCycle model.Cycle
+	// CommitCycle is the cycle during which the transaction committed.
+	CommitCycle model.Cycle
+	// SerializationCycle is the becast cycle whose database state the
+	// readset corresponds to, per the scheme's correctness theorem. It
+	// is 0 for SGT, whose serialization point need not be a broadcast
+	// state (§3.3); SGT commits are checked with the graph oracle
+	// instead.
+	SerializationCycle model.Cycle
+}
+
+// Scheme is a client-side read-only transaction processor. Implementations
+// are single-client state machines and are not safe for concurrent use.
+//
+// The client runtime drives a scheme as follows: NewCycle once per becast,
+// in cycle order; Begin to open a transaction; then per read operation,
+// ServeLocal first (a cache hit costs no channel time) and, if the read
+// is not servable locally, ServeChannel, which also reports the
+// data-segment slot the client must wait for. When a becast has gone by
+// without the client listening, MissCycle tells the scheme so (§5.2.2
+// disconnection semantics).
+type Scheme interface {
+	// Name returns a short stable identifier, e.g. "sgt+cache".
+	Name() string
+	// Kind returns the scheme kind.
+	Kind() Kind
+	// NewCycle delivers the next becast. Cycles must arrive in order.
+	// The scheme updates its cache/graph state and may internally mark
+	// the active transaction aborted; the abort surfaces on the next
+	// Serve/Commit call.
+	NewCycle(b *broadcast.Bcast) error
+	// MissCycle tells the scheme the client did not listen to the becast
+	// of the given cycle.
+	MissCycle(c model.Cycle) error
+	// Begin opens a read-only transaction. At most one may be active.
+	Begin() error
+	// ServeLocal attempts to serve the read from client-local state
+	// (the cache). ok is false when the read needs the channel; an
+	// ErrAborted error means the transaction cannot continue.
+	ServeLocal(item model.ItemID) (r Read, ok bool, err error)
+	// ServeChannel serves the read from the current becast, given the
+	// client's position (slot index) on the channel. When the value's
+	// slot is still ahead (slot >= pos) the read is performed and the
+	// slot returned; when it has already gone by, ErrNextCycle is
+	// returned without recording anything, and the client retries after
+	// the next NewCycle. Old versions live in overflow slots trailing
+	// the data segment.
+	ServeChannel(item model.ItemID, pos int) (r Read, slot int, err error)
+	// Commit closes the active transaction.
+	Commit() (CommitInfo, error)
+	// Abort discards the active transaction, if any.
+	Abort()
+	// Active reports whether a transaction is open (even if already
+	// doomed).
+	Active() bool
+}
+
+// Kind selects a scheme.
+type Kind int
+
+// Scheme kinds.
+const (
+	KindInvOnly Kind = iota + 1
+	KindVCache
+	KindMVBroadcast
+	KindMVCache
+	KindSGT
+)
+
+// String implements fmt.Stringer.
+func (k Kind) String() string {
+	switch k {
+	case KindInvOnly:
+		return "inv-only"
+	case KindVCache:
+		return "inv-only+vcache"
+	case KindMVBroadcast:
+		return "multiversion"
+	case KindMVCache:
+		return "mv-cache"
+	case KindSGT:
+		return "sgt"
+	default:
+		return fmt.Sprintf("kind(%d)", int(k))
+	}
+}
+
+// Options configures a scheme.
+type Options struct {
+	// Kind selects the method.
+	Kind Kind
+	// CacheSize is the client cache capacity in pages; 0 disables
+	// caching. KindVCache and KindMVCache require a cache.
+	CacheSize int
+	// OldFraction is the fraction of the cache devoted to old versions
+	// in the multiversion cache (§4.2). Defaults to 0.5. Only KindMVCache
+	// uses it.
+	OldFraction float64
+	// BucketGranularity, when > 1, processes invalidation reports at
+	// bucket granularity (§7): an updated bucket of that many
+	// consecutive items invalidates all its items — conservative but
+	// cheaper. Supported by the invalidation-based methods (KindInvOnly,
+	// KindVCache, KindMVCache).
+	BucketGranularity int
+	// AllowChannelOldReads is an extension beyond the paper: a marked
+	// VCache/MVCache transaction may also read the *broadcast's* current
+	// version when its version cycle is old enough, not only cache
+	// entries. Sound by the same argument as Theorem 4; off by default
+	// to match the paper.
+	AllowChannelOldReads bool
+	// TolerateDisconnects enables the §5.2.2 enhancements: MVBroadcast
+	// continues through missed cycles (version availability already
+	// guards correctness) and SGT accepts reads whose version predates
+	// the last becast heard before the gap. Without it, any missed
+	// cycle aborts the active transaction for every scheme but
+	// MVBroadcast-without-cache.
+	TolerateDisconnects bool
+	// ResyncOnReconnect enables the §5.2.2 resynchronization idea for
+	// the invalidation-only family (KindInvOnly, KindVCache): after a
+	// gap, instead of flushing the cache and aborting, the client scans
+	// the on-air version numbers — every entry carries the cycle its
+	// value became current — refreshes its cache from the becast, and
+	// keeps the active transaction alive unless one of its read items
+	// was updated during the gap (its on-air version postdates the last
+	// becast heard). This subsumes the paper's w-window invalidation
+	// reports: the data segment itself is a full-window report.
+	ResyncOnReconnect bool
+}
+
+// New constructs the scheme selected by opts.
+func New(opts Options) (Scheme, error) {
+	if opts.CacheSize < 0 {
+		return nil, fmt.Errorf("core: negative cache size %d", opts.CacheSize)
+	}
+	if opts.BucketGranularity < 0 {
+		return nil, fmt.Errorf("core: negative bucket granularity %d", opts.BucketGranularity)
+	}
+	if opts.BucketGranularity > 1 {
+		switch opts.Kind {
+		case KindInvOnly, KindVCache, KindMVCache:
+		default:
+			return nil, fmt.Errorf("core: bucket-granularity reports unsupported for %v", opts.Kind)
+		}
+	}
+	switch opts.Kind {
+	case KindInvOnly:
+		return newInvOnly(opts, false)
+	case KindVCache:
+		return newInvOnly(opts, true)
+	case KindMVBroadcast:
+		return newMVBroadcast(opts)
+	case KindMVCache:
+		return newMVCache(opts)
+	case KindSGT:
+		return newSGT(opts)
+	default:
+		return nil, fmt.Errorf("core: unknown scheme kind %v", opts.Kind)
+	}
+}
+
+// txn is the per-transaction state shared by all schemes.
+type txn struct {
+	active  bool
+	doomed  error // non-nil once the transaction is aborted internally
+	start   model.Cycle
+	reads   []model.ReadObservation
+	readset map[model.ItemID]struct{}
+}
+
+func (t *txn) begin() error {
+	if t.active {
+		return ErrTxnActive
+	}
+	*t = txn{active: true, readset: make(map[model.ItemID]struct{})}
+	return nil
+}
+
+func (t *txn) record(obs model.ReadObservation, cycle model.Cycle) {
+	if t.start == 0 {
+		t.start = cycle
+	}
+	t.reads = append(t.reads, obs)
+	t.readset[obs.Item] = struct{}{}
+}
+
+func (t *txn) checkServable() error {
+	if !t.active {
+		return ErrNoTxn
+	}
+	return t.doomed
+}
+
+func (t *txn) has(item model.ItemID) bool {
+	_, ok := t.readset[item]
+	return ok
+}
+
+func (t *txn) reset() { *t = txn{} }
+
+// reportView answers "was this item invalidated this cycle?" under either
+// item or bucket granularity (§7). Bucket granularity assumes the flat
+// program, where item i occupies data slot i-1. Iteration (each) follows
+// the report's ascending item order so cache maintenance is deterministic.
+type reportView struct {
+	ordered     []model.ItemID // ascending, from the report
+	items       map[model.ItemID]model.TxID
+	buckets     map[int]struct{}
+	granularity int
+}
+
+func newReportView(b *broadcast.Bcast, granularity int) reportView {
+	v := reportView{items: b.UpdatedItems(), granularity: granularity}
+	v.ordered = make([]model.ItemID, 0, len(b.Report))
+	for _, e := range b.Report {
+		v.ordered = append(v.ordered, e.Item)
+	}
+	if granularity > 1 {
+		v.buckets = make(map[int]struct{})
+		for item := range v.items {
+			v.buckets[(int(item)-1)/granularity] = struct{}{}
+		}
+	}
+	return v
+}
+
+// invalidates reports whether the view invalidates item.
+func (v reportView) invalidates(item model.ItemID) bool {
+	if v.granularity > 1 {
+		_, ok := v.buckets[(int(item)-1)/v.granularity]
+		return ok
+	}
+	_, ok := v.items[item]
+	return ok
+}
+
+// each calls fn for every item the view invalidates, in ascending item
+// order. Under bucket granularity that is every item sharing a bucket
+// with an updated item; db bounds the expansion.
+func (v reportView) each(db int, fn func(model.ItemID)) {
+	if v.granularity <= 1 {
+		for _, item := range v.ordered {
+			fn(item)
+		}
+		return
+	}
+	done := make(map[int]struct{}, len(v.buckets))
+	for _, item := range v.ordered {
+		bk := (int(item) - 1) / v.granularity
+		if _, dup := done[bk]; dup {
+			continue
+		}
+		done[bk] = struct{}{}
+		lo := bk*v.granularity + 1
+		hi := lo + v.granularity - 1
+		if hi > db {
+			hi = db
+		}
+		for i := lo; i <= hi; i++ {
+			fn(model.ItemID(i))
+		}
+	}
+}
+
+// firstWriter returns the first transaction that wrote item this cycle
+// (meaningful at item granularity only).
+func (v reportView) firstWriter(item model.ItemID) (model.TxID, bool) {
+	t, ok := v.items[item]
+	return t, ok
+}

@@ -1,0 +1,200 @@
+package core
+
+import (
+	"errors"
+	"testing"
+
+	"bpush/internal/broadcast"
+	"bpush/internal/model"
+	"bpush/internal/server"
+)
+
+// harness wires a server, the broadcast assembler, and one scheme together
+// for protocol-level unit tests.
+type harness struct {
+	t      *testing.T
+	srv    *server.Server
+	scheme Scheme
+	cur    *broadcast.Bcast
+	prog   broadcast.Program
+	logs   map[model.Cycle]*server.CycleLog
+	states map[model.Cycle]model.DBState
+}
+
+func newHarness(t *testing.T, dbSize, maxVersions int, opts Options) *harness {
+	t.Helper()
+	srv, err := server.New(server.Config{DBSize: dbSize, MaxVersions: maxVersions})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sch, err := New(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	h := &harness{
+		t:      t,
+		srv:    srv,
+		scheme: sch,
+		prog:   broadcast.FlatProgram(dbSize),
+		logs:   make(map[model.Cycle]*server.CycleLog),
+		states: make(map[model.Cycle]model.DBState),
+	}
+	h.states[1] = srv.Snapshot()
+	b, err := broadcast.Assemble(srv, nil, h.prog)
+	if err != nil {
+		t.Fatal(err)
+	}
+	h.cur = b
+	if err := sch.NewCycle(b); err != nil {
+		t.Fatal(err)
+	}
+	return h
+}
+
+// cycleTxs commits the given transactions and delivers the next becast.
+func (h *harness) cycleTxs(txs ...model.ServerTx) {
+	h.t.Helper()
+	log, err := h.srv.CommitAndAdvance(txs)
+	if err != nil {
+		h.t.Fatal(err)
+	}
+	h.logs[log.Cycle] = log
+	h.states[log.Cycle] = h.srv.Snapshot()
+	b, err := broadcast.Assemble(h.srv, log, h.prog)
+	if err != nil {
+		h.t.Fatal(err)
+	}
+	h.cur = b
+	if err := h.scheme.NewCycle(b); err != nil {
+		h.t.Fatal(err)
+	}
+}
+
+// cycle commits one blind-update transaction per item and advances.
+func (h *harness) cycle(updates ...model.ItemID) {
+	h.t.Helper()
+	txs := make([]model.ServerTx, len(updates))
+	for i, item := range updates {
+		txs[i] = model.ServerTx{Ops: []model.Op{
+			{Kind: model.OpRead, Item: item},
+			{Kind: model.OpWrite, Item: item},
+		}}
+	}
+	h.cycleTxs(txs...)
+}
+
+// skipCycle advances the server one cycle but tells the scheme the becast
+// was missed (disconnection).
+func (h *harness) skipCycle(updates ...model.ItemID) {
+	h.t.Helper()
+	txs := make([]model.ServerTx, len(updates))
+	for i, item := range updates {
+		txs[i] = model.ServerTx{Ops: []model.Op{
+			{Kind: model.OpRead, Item: item},
+			{Kind: model.OpWrite, Item: item},
+		}}
+	}
+	log, err := h.srv.CommitAndAdvance(txs)
+	if err != nil {
+		h.t.Fatal(err)
+	}
+	h.logs[log.Cycle] = log
+	h.states[log.Cycle] = h.srv.Snapshot()
+	b, err := broadcast.Assemble(h.srv, log, h.prog)
+	if err != nil {
+		h.t.Fatal(err)
+	}
+	h.cur = b
+	if err := h.scheme.MissCycle(b.Cycle); err != nil {
+		h.t.Fatal(err)
+	}
+}
+
+// resume re-attaches the scheme to the current becast after skipped cycles.
+func (h *harness) resume() {
+	h.t.Helper()
+	if err := h.scheme.NewCycle(h.cur); err != nil {
+		h.t.Fatal(err)
+	}
+}
+
+// read serves one read op like the client runtime would: local first, then
+// channel.
+func (h *harness) read(item model.ItemID) (Read, error) {
+	h.t.Helper()
+	if r, ok, err := h.scheme.ServeLocal(item); err != nil || ok {
+		return r, err
+	}
+	r, _, err := h.scheme.ServeChannel(item, 0)
+	return r, err
+}
+
+// mustRead fails the test if the read does not succeed.
+func (h *harness) mustRead(item model.ItemID) Read {
+	h.t.Helper()
+	r, err := h.read(item)
+	if err != nil {
+		h.t.Fatalf("read(%v): %v", item, err)
+	}
+	return r
+}
+
+// mustBegin opens a transaction.
+func (h *harness) mustBegin() {
+	h.t.Helper()
+	if err := h.scheme.Begin(); err != nil {
+		h.t.Fatal(err)
+	}
+}
+
+// mustCommit commits and, when the scheme names a serialization cycle,
+// verifies the readset against that archived database state (the
+// correctness oracle of Theorems 1, 2, 4, 5).
+func (h *harness) mustCommit() CommitInfo {
+	h.t.Helper()
+	info, err := h.scheme.Commit()
+	if err != nil {
+		h.t.Fatalf("commit: %v", err)
+	}
+	h.checkConsistent(info)
+	return info
+}
+
+func (h *harness) checkConsistent(info CommitInfo) {
+	h.t.Helper()
+	if info.SerializationCycle == 0 {
+		return // SGT: checked by the graph oracle in its own tests
+	}
+	state, ok := h.states[info.SerializationCycle]
+	if !ok {
+		h.t.Fatalf("no archived state for %v", info.SerializationCycle)
+	}
+	for _, obs := range info.Reads {
+		want, err := state.Get(obs.Item)
+		if err != nil {
+			h.t.Fatal(err)
+		}
+		if obs.Value != want {
+			h.t.Errorf("readset inconsistent with %v: %v = %d, state holds %d",
+				info.SerializationCycle, obs.Item, obs.Value, want)
+		}
+	}
+}
+
+// wantAbort asserts that the next read of item aborts the transaction.
+func (h *harness) wantAbort(item model.ItemID) {
+	h.t.Helper()
+	if _, err := h.read(item); !errors.Is(err, ErrAborted) {
+		h.t.Fatalf("read(%v) err = %v, want ErrAborted", item, err)
+	}
+}
+
+// currentValue returns the value the current becast carries for item.
+func (h *harness) currentValue(item model.ItemID) model.Value {
+	h.t.Helper()
+	v, err := h.cur.ReadCurrent(item)
+	if err != nil {
+		h.t.Fatal(err)
+	}
+	return v.Value
+}

@@ -1,0 +1,227 @@
+package core
+
+import (
+	"errors"
+	"testing"
+
+	"bpush/internal/model"
+)
+
+func TestMVReadsStateAtFirstRead(t *testing.T) {
+	h := newHarness(t, 10, 4, Options{Kind: KindMVBroadcast})
+	h.mustBegin()
+	h.mustRead(3) // c0 = 1
+	old7 := h.currentValue(7)
+	h.cycle(7) // 7 updated; current version now cycle 2
+	r := h.mustRead(7)
+	if r.Source != SourceOverflow {
+		t.Errorf("read of updated item source = %v, want overflow", r.Source)
+	}
+	if r.Obs.Value != old7 {
+		t.Errorf("read %d, want the c0 value %d", r.Obs.Value, old7)
+	}
+	info := h.mustCommit()
+	if info.SerializationCycle != 1 {
+		t.Errorf("serialization cycle = %v, want c0 = 1", info.SerializationCycle)
+	}
+}
+
+func TestMVNeverAbortsWithinSpan(t *testing.T) {
+	h := newHarness(t, 10, 8, Options{Kind: KindMVBroadcast})
+	h.mustBegin()
+	h.mustRead(1)
+	for i := 0; i < 5; i++ {
+		h.cycle(2, 3, 4) // heavy update activity
+	}
+	for _, item := range []model.ItemID{2, 3, 4} {
+		if _, err := h.read(item); err != nil {
+			t.Fatalf("read(%v) aborted within span: %v", item, err)
+		}
+	}
+	h.mustCommit()
+}
+
+func TestMVAbortsWhenSpanExceedsRetention(t *testing.T) {
+	h := newHarness(t, 10, 2, Options{Kind: KindMVBroadcast}) // S = 2
+	h.mustBegin()
+	h.mustRead(1) // c0 = 1
+	h.cycle(5)
+	h.cycle(5)
+	h.cycle(5) // version from cycle <= 1 of item 5 now off the air
+	h.wantAbort(5)
+}
+
+func TestMVCurrentVersionServedWhenUnchanged(t *testing.T) {
+	h := newHarness(t, 10, 4, Options{Kind: KindMVBroadcast})
+	h.mustBegin()
+	h.mustRead(1)
+	h.cycle(9)
+	r := h.mustRead(5) // never updated: current version qualifies
+	if r.Source != SourceBroadcast {
+		t.Errorf("source = %v, want broadcast (no overflow detour)", r.Source)
+	}
+	h.mustCommit()
+}
+
+func TestMVFirstReadSetsStart(t *testing.T) {
+	h := newHarness(t, 10, 4, Options{Kind: KindMVBroadcast})
+	h.mustBegin()
+	h.cycle() // transaction began but has not read yet
+	h.mustRead(3)
+	info := h.mustCommit()
+	if info.StartCycle != 2 {
+		t.Errorf("StartCycle = %v, want 2 (cycle of first read, not of Begin)", info.StartCycle)
+	}
+}
+
+func TestMVToleratesMissedCycles(t *testing.T) {
+	h := newHarness(t, 10, 6, Options{Kind: KindMVBroadcast})
+	h.mustBegin()
+	h.mustRead(1) // c0 = 1
+	old5 := h.currentValue(5)
+	h.skipCycle(5)
+	h.skipCycle()
+	h.resume()
+	r := h.mustRead(5)
+	if r.Obs.Value != old5 {
+		t.Errorf("post-gap read = %d, want c0 value %d", r.Obs.Value, old5)
+	}
+	h.mustCommit()
+}
+
+func TestMVMissedCyclesBeyondRetentionAbort(t *testing.T) {
+	h := newHarness(t, 10, 2, Options{Kind: KindMVBroadcast})
+	h.mustBegin()
+	h.mustRead(1)
+	h.skipCycle(5)
+	h.skipCycle(5)
+	h.skipCycle(5)
+	h.resume()
+	h.wantAbort(5)
+}
+
+func TestMVWithCacheUsesQualifyingEntries(t *testing.T) {
+	h := newHarness(t, 10, 4, Options{Kind: KindMVBroadcast, CacheSize: 8})
+	// Warm the cache at cycle 1.
+	h.mustBegin()
+	h.mustRead(5)
+	h.mustCommit()
+	h.mustBegin()
+	h.mustRead(3) // c0 = 1
+	h.cycle()     // idle cycle
+	r := h.mustRead(5)
+	if r.Source != SourceCache {
+		t.Errorf("source = %v, want cache (entry predates c0)", r.Source)
+	}
+	h.mustCommit()
+}
+
+func TestMVWithCacheSkipsTooNewEntries(t *testing.T) {
+	h := newHarness(t, 10, 4, Options{Kind: KindMVBroadcast, CacheSize: 8})
+	h.mustBegin()
+	h.mustRead(3) // c0 = 1
+	h.cycle(5)
+	h.cycle() // autoprefetch: cache now holds 5's cycle-2 value
+	// Warm the cache for another client transaction wouldn't help; the
+	// cached entry is newer than c0, so the read must detour to overflow.
+	r := h.mustRead(5)
+	if r.Source != SourceOverflow {
+		t.Errorf("source = %v, want overflow (cached entry postdates c0)", r.Source)
+	}
+	info := h.mustCommit()
+	if info.SerializationCycle != 1 {
+		t.Errorf("serialization = %v, want 1", info.SerializationCycle)
+	}
+}
+
+func TestMVCacheDegradedReadFromDemotedVersion(t *testing.T) {
+	h := newHarness(t, 10, 1, Options{Kind: KindMVCache, CacheSize: 10})
+	// Warm: read 5 so its version is cached.
+	h.mustBegin()
+	h.mustRead(5)
+	h.mustCommit()
+	old5 := h.currentValue(5)
+
+	h.mustBegin()
+	h.mustRead(3) // readset = {3}
+	h.cycle(3, 5) // cu = 2; 5's old version demoted
+	r := h.mustRead(5)
+	if r.Source != SourceCache {
+		t.Fatalf("source = %v, want cache", r.Source)
+	}
+	if r.Obs.Value != old5 {
+		t.Errorf("degraded read = %d, want pre-update value %d", r.Obs.Value, old5)
+	}
+	info := h.mustCommit()
+	if info.SerializationCycle != 1 {
+		t.Errorf("serialization = %v, want cu-1 = 1", info.SerializationCycle)
+	}
+}
+
+func TestMVCacheAbortsOnMissingVersion(t *testing.T) {
+	h := newHarness(t, 10, 1, Options{Kind: KindMVCache, CacheSize: 10})
+	h.mustBegin()
+	h.mustRead(3)
+	h.cycle(3) // cu = 2
+	h.wantAbort(7)
+}
+
+func TestMVCacheDegradedRejectsChannel(t *testing.T) {
+	h := newHarness(t, 10, 1, Options{Kind: KindMVCache, CacheSize: 10})
+	h.mustBegin()
+	h.mustRead(3)
+	h.cycle(3)
+	// Degraded transactions must not read fresh values from the air.
+	if _, _, err := h.scheme.ServeChannel(7, 0); !errors.Is(err, ErrAborted) {
+		t.Errorf("degraded channel read = %v, want ErrAborted", err)
+	}
+}
+
+func TestMVCacheChannelOldReadsExtension(t *testing.T) {
+	h := newHarness(t, 10, 1, Options{
+		Kind: KindMVCache, CacheSize: 10, AllowChannelOldReads: true,
+	})
+	h.mustBegin()
+	h.mustRead(3)
+	h.cycle(3) // cu = 2
+	// Item 7 never updated; on-air version cycle 1 < cu qualifies.
+	r := h.mustRead(7)
+	if r.Source != SourceBroadcast {
+		t.Fatalf("source = %v, want broadcast", r.Source)
+	}
+	h.mustCommit()
+}
+
+func TestMVCacheFreshPathCachesReads(t *testing.T) {
+	h := newHarness(t, 10, 1, Options{Kind: KindMVCache, CacheSize: 10})
+	h.mustBegin()
+	h.mustRead(5)
+	r := h.mustRead(5) // immediate re-read hits the cache
+	if r.Source != SourceCache {
+		t.Errorf("re-read source = %v, want cache", r.Source)
+	}
+	h.mustCommit()
+}
+
+func TestMVCacheMissedCycleAborts(t *testing.T) {
+	h := newHarness(t, 10, 1, Options{Kind: KindMVCache, CacheSize: 10})
+	h.mustBegin()
+	h.mustRead(3)
+	h.skipCycle()
+	h.resume()
+	h.wantAbort(5)
+}
+
+func TestMVCacheRequiresCache(t *testing.T) {
+	if _, err := New(Options{Kind: KindMVCache}); err == nil {
+		t.Error("MVCache without cache accepted")
+	}
+}
+
+func TestMVCacheBucketGranularity(t *testing.T) {
+	h := newHarness(t, 10, 1, Options{Kind: KindMVCache, CacheSize: 10, BucketGranularity: 5})
+	h.mustBegin()
+	h.mustRead(4)
+	h.cycle(2) // same bucket as 4 -> cu set conservatively
+	h.wantAbort(9)
+}

@@ -1,0 +1,211 @@
+package core
+
+import (
+	"fmt"
+	"math"
+
+	"bpush/internal/broadcast"
+	"bpush/internal/cache"
+	"bpush/internal/model"
+)
+
+// mvCache implements the multiversion caching method (§4.2, Theorem 5):
+// invalidation-only reports combined with older versions retained in the
+// client cache. When an item read by the transaction is first updated at
+// cycle c_u, subsequent reads must observe the version that was current at
+// c_u - 1; if the cache holds it (in either partition) the transaction
+// continues, otherwise it aborts. Unlike multiversion broadcast, the
+// number of retained versions is a property of each client, not of the
+// server.
+type mvCache struct {
+	opts Options
+
+	cur   *broadcast.Bcast
+	prev  *broadcast.Bcast
+	multi *cache.MultiCache
+	t     txn
+	cu    model.Cycle // first cycle an item of the readset was invalidated
+}
+
+var _ Scheme = (*mvCache)(nil)
+
+func newMVCache(opts Options) (*mvCache, error) {
+	if opts.CacheSize == 0 {
+		return nil, fmt.Errorf("core: %v requires a cache", KindMVCache)
+	}
+	frac := opts.OldFraction
+	if frac == 0 {
+		frac = 0.5
+	}
+	if frac < 0 || frac >= 1 {
+		return nil, fmt.Errorf("core: old-version fraction %g outside [0, 1)", frac)
+	}
+	oldCap := int(math.Round(float64(opts.CacheSize) * frac))
+	multi, err := cache.NewMulti(opts.CacheSize-oldCap, oldCap)
+	if err != nil {
+		return nil, err
+	}
+	return &mvCache{opts: opts, multi: multi}, nil
+}
+
+// Name implements Scheme.
+func (s *mvCache) Name() string { return "mv-cache" }
+
+// Kind implements Scheme.
+func (s *mvCache) Kind() Kind { return KindMVCache }
+
+// Active implements Scheme.
+func (s *mvCache) Active() bool { return s.t.active }
+
+// Begin implements Scheme.
+func (s *mvCache) Begin() error {
+	if s.cur == nil {
+		return fmt.Errorf("core: Begin before first cycle")
+	}
+	if err := s.t.begin(); err != nil {
+		return err
+	}
+	s.cu = 0
+	return nil
+}
+
+// Abort implements Scheme.
+func (s *mvCache) Abort() { s.t.reset(); s.cu = 0 }
+
+// NewCycle implements Scheme.
+func (s *mvCache) NewCycle(b *broadcast.Bcast) error {
+	if s.cur != nil && b.Cycle != s.cur.Cycle+1 {
+		return fmt.Errorf("core: cycle %v after %v; use MissCycle for gaps", b.Cycle, s.cur.Cycle)
+	}
+	s.prev, s.cur = s.cur, b
+	// Autoprefetch invalidated current pages with the values from the
+	// previous cycle, then apply this cycle's report (demoting displaced
+	// versions into the old partition).
+	if s.prev != nil {
+		for _, item := range s.multi.Current().InvalidItems() {
+			if v, err := s.prev.ReadCurrent(item); err == nil {
+				s.multi.Put(item, v)
+			} else {
+				s.multi.Current().Remove(item)
+			}
+		}
+	}
+	view := newReportView(b, s.opts.BucketGranularity)
+	view.each(len(b.Entries), func(item model.ItemID) {
+		s.multi.Invalidate(item, b.Cycle)
+	})
+	if s.t.active && s.t.doomed == nil && s.cu == 0 {
+		for item := range s.t.readset {
+			if view.invalidates(item) {
+				s.cu = b.Cycle
+				break
+			}
+		}
+	}
+	return nil
+}
+
+// MissCycle implements Scheme. A missed invalidation report aborts the
+// active transaction and empties the current partition; old versions keep
+// their validity intervals (which remain true regardless of the gap) per
+// the §5.2.2 observation that version caching improves disconnection
+// tolerance.
+func (s *mvCache) MissCycle(c model.Cycle) error {
+	if s.t.active && s.t.doomed == nil {
+		s.t.doomed = abortErr("missed cycle %v (invalidation report lost)", c)
+	}
+	s.multi.FlushCurrent()
+	s.cur = nil
+	return nil
+}
+
+// ServeLocal implements Scheme.
+func (s *mvCache) ServeLocal(item model.ItemID) (Read, bool, error) {
+	if err := s.t.checkServable(); err != nil {
+		return Read{}, false, err
+	}
+	if s.cu == 0 {
+		if v, ok := s.multi.GetCurrent(item); ok {
+			return s.deliver(item, v, SourceCache), true, nil
+		}
+		return Read{}, false, nil
+	}
+	// Degraded: §4.2 read rule — the version current at cu-1, from cache
+	// only ("if such a version is found in cache, then it is read from
+	// the cache, otherwise the transaction is aborted").
+	if v, ok := s.multi.GetAtOrBefore(item, s.cu-1); ok {
+		return s.deliver(item, v, SourceCache), true, nil
+	}
+	if s.opts.AllowChannelOldReads {
+		if v, err := s.cur.ReadCurrent(item); err == nil && v.Cycle < s.cu {
+			return Read{}, false, nil // channel path will serve it
+		}
+	}
+	s.t.doomed = abortErr("%v has no cached version current at %v (multiversion cache miss)", item, s.cu-1)
+	return Read{}, false, s.t.doomed
+}
+
+// ServeChannel implements Scheme.
+func (s *mvCache) ServeChannel(item model.ItemID, pos int) (Read, int, error) {
+	if err := s.t.checkServable(); err != nil {
+		return Read{}, 0, err
+	}
+	if s.cur.Position(item) < 0 {
+		if s.cur.InDatabase(item) {
+			// Not in this interval's chunk (§7 h-interval organization);
+			// the item comes around in a later becast.
+			return Read{}, 0, ErrNextCycle
+		}
+		return Read{}, 0, fmt.Errorf("core: %v not in the database", item)
+	}
+	slot := s.cur.NextPosition(item, pos)
+	if slot < 0 {
+		return Read{}, 0, ErrNextCycle
+	}
+	v, err := s.cur.ReadCurrent(item)
+	if err != nil {
+		return Read{}, 0, err
+	}
+	if s.cu != 0 {
+		if !s.opts.AllowChannelOldReads || v.Cycle >= s.cu {
+			s.t.doomed = abortErr("%v must come from cache for a degraded transaction (cu=%v)", item, s.cu)
+			return Read{}, 0, s.t.doomed
+		}
+		return s.deliver(item, v, SourceBroadcast), slot, nil
+	}
+	s.multi.Put(item, v)
+	return s.deliver(item, v, SourceBroadcast), slot, nil
+}
+
+func (s *mvCache) deliver(item model.ItemID, v model.Version, src ReadSource) Read {
+	obs := model.ReadObservation{Item: item, Value: v.Value, Version: v.Cycle, Writer: v.Writer}
+	s.t.record(obs, s.cur.Cycle)
+	return Read{Obs: obs, Source: src}
+}
+
+// Commit implements Scheme. Theorem 5: a degraded transaction's readset
+// corresponds to the state broadcast at cu-1; an undisturbed one reads the
+// current state.
+func (s *mvCache) Commit() (CommitInfo, error) {
+	if err := s.t.checkServable(); err != nil {
+		s.t.reset()
+		return CommitInfo{}, err
+	}
+	ser := s.cur.Cycle
+	if s.cu != 0 {
+		ser = s.cu - 1
+	}
+	start := s.t.start
+	if start == 0 {
+		start = s.cur.Cycle
+	}
+	info := CommitInfo{
+		Reads:              s.t.reads,
+		StartCycle:         start,
+		CommitCycle:        s.cur.Cycle,
+		SerializationCycle: ser,
+	}
+	s.t.reset()
+	s.cu = 0
+	return info, nil
+}

@@ -1,0 +1,125 @@
+package core
+
+import (
+	"testing"
+
+	"bpush/internal/model"
+)
+
+func TestResyncKeepsTxnWhenReadsetUntouched(t *testing.T) {
+	h := newHarness(t, 10, 1, Options{Kind: KindInvOnly, ResyncOnReconnect: true})
+	h.mustBegin()
+	h.mustRead(3)
+	h.skipCycle(7) // gap updates an unrelated item
+	h.skipCycle()
+	h.resume()
+	h.mustRead(5)
+	h.mustCommit()
+}
+
+func TestResyncAbortsWhenReadsetUpdatedDuringGap(t *testing.T) {
+	h := newHarness(t, 10, 1, Options{Kind: KindInvOnly, ResyncOnReconnect: true})
+	h.mustBegin()
+	h.mustRead(3)
+	h.skipCycle(3) // the read item changes while disconnected
+	h.resume()
+	h.wantAbort(5)
+}
+
+func TestResyncRefreshesCacheFromAir(t *testing.T) {
+	h := newHarness(t, 10, 1, Options{Kind: KindInvOnly, CacheSize: 10, ResyncOnReconnect: true})
+	h.mustBegin()
+	h.mustRead(3)
+	h.mustCommit()
+	h.skipCycle(3) // cached page goes stale during the gap
+	h.resume()
+	h.mustBegin()
+	r := h.mustRead(3)
+	if r.Obs.Value != h.currentValue(3) {
+		t.Errorf("post-resync read = %d, want refreshed value %d", r.Obs.Value, h.currentValue(3))
+	}
+	h.mustCommit()
+}
+
+func TestResyncVersionedMarksConservatively(t *testing.T) {
+	h := newHarness(t, 10, 1, Options{Kind: KindVCache, CacheSize: 10, ResyncOnReconnect: true})
+	// Seed cache with item 5 at cycle 1.
+	h.mustBegin()
+	h.mustRead(5)
+	h.mustCommit()
+
+	h.mustBegin()
+	h.mustRead(3)
+	h.skipCycle(3) // readset item updated during the gap -> marked
+	h.resume()
+	// Item 5's on-air version is still cycle 1 < marked: readable.
+	r := h.mustRead(5)
+	if r.Obs.Version > 1 {
+		t.Errorf("marked read version %v, want the cycle-1 value", r.Obs.Version)
+	}
+	info := h.mustCommit()
+	// lastHeard = 1, so marked = 2 and the serialization state is 1.
+	if info.SerializationCycle != 1 {
+		t.Errorf("serialization = %v, want 1", info.SerializationCycle)
+	}
+}
+
+func TestResyncVersionedRejectsGapUpdatedItems(t *testing.T) {
+	h := newHarness(t, 10, 1, Options{Kind: KindVCache, CacheSize: 10, ResyncOnReconnect: true})
+	h.mustBegin()
+	h.mustRead(3)
+	h.skipCycle(3, 7) // both the readset and item 7 updated during the gap
+	h.resume()
+	// Item 7's new version postdates the conservative mark: no cached
+	// old version exists, so the transaction dies.
+	h.wantAbort(7)
+}
+
+func TestResyncMultipleGaps(t *testing.T) {
+	h := newHarness(t, 10, 1, Options{Kind: KindInvOnly, ResyncOnReconnect: true})
+	h.mustBegin()
+	h.mustRead(3)
+	h.skipCycle()
+	h.skipCycle(8)
+	h.resume()
+	h.mustRead(5)
+	h.skipCycle()
+	h.resume()
+	h.mustRead(6)
+	h.mustCommit()
+}
+
+func TestResyncOracleUnderChurn(t *testing.T) {
+	// Interleave gaps and commits under steady updates; the harness
+	// oracle validates every committed readset against the archived
+	// serialization state.
+	h := newHarness(t, 20, 1, Options{Kind: KindVCache, CacheSize: 20, ResyncOnReconnect: true})
+	for q := 0; q < 30; q++ {
+		h.mustBegin()
+		items := []int{q%20 + 1, (q*7)%20 + 1, (q*3)%20 + 1}
+		aborted := false
+		for i, it := range items {
+			if i > 0 && it == items[0] || i == 2 && it == items[1] {
+				continue // distinct items only
+			}
+			if _, err := h.read(itemID(it)); err != nil {
+				aborted = true
+				break
+			}
+			switch q % 3 {
+			case 0:
+				h.cycle(itemID((q*5)%20 + 1))
+			case 1:
+				h.skipCycle(itemID((q*11)%20 + 1))
+				h.resume()
+			}
+		}
+		if aborted {
+			h.scheme.Abort()
+			continue
+		}
+		h.mustCommit()
+	}
+}
+
+func itemID(i int) model.ItemID { return model.ItemID(i) }

@@ -1,0 +1,216 @@
+package core
+
+import (
+	"errors"
+	"testing"
+
+	"bpush/internal/model"
+)
+
+// rwTx builds a server transaction that reads then writes each of writes,
+// after reading each of reads.
+func rwTx(reads []model.ItemID, writes []model.ItemID) model.ServerTx {
+	var ops []model.Op
+	for _, r := range reads {
+		ops = append(ops, model.Op{Kind: model.OpRead, Item: r})
+	}
+	for _, w := range writes {
+		ops = append(ops, model.Op{Kind: model.OpRead, Item: w}, model.Op{Kind: model.OpWrite, Item: w})
+	}
+	return model.ServerTx{Ops: ops}
+}
+
+func TestSGTAcceptsUnrelatedUpdates(t *testing.T) {
+	h := newHarness(t, 10, 1, Options{Kind: KindSGT})
+	h.mustBegin()
+	h.mustRead(3)
+	h.cycle(8) // unrelated write, no conflict with the readset
+	h.mustRead(8)
+	h.mustCommit()
+}
+
+func TestSGTAcceptsInvalidatedReadsetWithoutCycle(t *testing.T) {
+	// The invalidation-only method would abort here; SGT keeps the
+	// transaction because reading the OLD value of 3 and the NEW value
+	// of 8 is serializable (R before the writer of 3, after the writer
+	// of 8, and the two writers do not conflict).
+	h := newHarness(t, 10, 1, Options{Kind: KindSGT})
+	h.mustBegin()
+	h.mustRead(3)
+	h.cycleTxs(rwTx(nil, []model.ItemID{3})) // overwrites the read item
+	h.cycleTxs(rwTx(nil, []model.ItemID{8}))
+	h.mustRead(8)
+	h.mustCommit()
+}
+
+func TestSGTRejectsDirectCycle(t *testing.T) {
+	// One server transaction overwrites item 3 (read by R) and also
+	// writes item 8. Reading 8 would place R both before it (precedence
+	// on 3) and after it (dependency on 8) — a cycle.
+	h := newHarness(t, 10, 1, Options{Kind: KindSGT})
+	h.mustBegin()
+	h.mustRead(3)
+	h.cycleTxs(rwTx(nil, []model.ItemID{3, 8}))
+	h.wantAbort(8)
+}
+
+func TestSGTRejectsTransitiveCycle(t *testing.T) {
+	// T_a overwrites R's item 3. Next cycle T_c reads 3 (edge T_a->T_c)
+	// and writes 8. Reading 8 from T_c closes R -> T_a -> T_c -> R.
+	h := newHarness(t, 10, 1, Options{Kind: KindSGT})
+	h.mustBegin()
+	h.mustRead(3)
+	h.cycleTxs(rwTx(nil, []model.ItemID{3}))
+	h.cycleTxs(rwTx([]model.ItemID{3}, []model.ItemID{8}))
+	h.wantAbort(8)
+}
+
+func TestSGTAcceptsParallelWriters(t *testing.T) {
+	// T_a overwrites 3; an unrelated T_b (no path from T_a) writes 8.
+	// Reading 8 from T_b is safe.
+	h := newHarness(t, 10, 1, Options{Kind: KindSGT})
+	h.mustBegin()
+	h.mustRead(3)
+	h.cycleTxs(rwTx(nil, []model.ItemID{3}), rwTx(nil, []model.ItemID{8}))
+	h.mustRead(8)
+	h.mustCommit()
+}
+
+func TestSGTRereadOfOverwrittenItemRejected(t *testing.T) {
+	// Re-reading item 3 after it was overwritten: the new value's writer
+	// is exactly the precedence target — an immediate cycle.
+	h := newHarness(t, 10, 1, Options{Kind: KindSGT})
+	h.mustBegin()
+	h.mustRead(3)
+	h.cycleTxs(rwTx(nil, []model.ItemID{3}))
+	h.wantAbort(3)
+}
+
+func TestSGTInitialLoadValuesAlwaysAccepted(t *testing.T) {
+	h := newHarness(t, 10, 1, Options{Kind: KindSGT})
+	h.mustBegin()
+	h.mustRead(3)
+	h.cycleTxs(rwTx(nil, []model.ItemID{3}))
+	// Item 9 still carries the initial load (writer tx 0.0): no node, no
+	// cycle possible.
+	h.mustRead(9)
+	h.mustCommit()
+}
+
+func TestSGTMissedCycleAborts(t *testing.T) {
+	h := newHarness(t, 10, 1, Options{Kind: KindSGT})
+	h.mustBegin()
+	h.mustRead(3)
+	h.skipCycle()
+	h.resume()
+	h.wantAbort(5)
+}
+
+func TestSGTTolerateDisconnectsAcceptsOldValues(t *testing.T) {
+	h := newHarness(t, 10, 1, Options{Kind: KindSGT, TolerateDisconnects: true})
+	h.mustBegin()
+	h.mustRead(3) // heard through cycle 1
+	h.skipCycle(5)
+	h.resume()
+	// Item 9's version predates the gap: acceptable under the §5.2.2
+	// version-number enhancement.
+	h.mustRead(9)
+	// Item 5 was updated during the missed cycle: its version postdates
+	// the ceiling and must be rejected.
+	h.wantAbort(5)
+}
+
+func TestSGTGraphPruning(t *testing.T) {
+	h := newHarness(t, 10, 1, Options{Kind: KindSGT})
+	for i := 0; i < 10; i++ {
+		h.cycleTxs(rwTx(nil, []model.ItemID{model.ItemID(i%10 + 1)}))
+	}
+	s, ok := h.scheme.(*sgt)
+	if !ok {
+		t.Fatal("scheme is not *sgt")
+	}
+	nodes, _ := s.GraphStats()
+	// With no active invalidated transaction, only the current cycle's
+	// subgraph may be retained (Lemma 1 space bound).
+	if nodes > 1 {
+		t.Errorf("retained %d nodes with no active transaction, want <= 1", nodes)
+	}
+}
+
+func TestSGTGraphRetainedWhileTransactionNeedsIt(t *testing.T) {
+	h := newHarness(t, 10, 1, Options{Kind: KindSGT})
+	h.mustBegin()
+	h.mustRead(3)
+	h.cycleTxs(rwTx(nil, []model.ItemID{3})) // c_o: subgraphs must be kept
+	for i := 0; i < 5; i++ {
+		h.cycleTxs(rwTx(nil, []model.ItemID{8}))
+	}
+	s := h.scheme.(*sgt)
+	nodes, _ := s.GraphStats()
+	if nodes < 6 {
+		t.Errorf("retained %d nodes, want the full window since c_o (6)", nodes)
+	}
+	// After the transaction ends, the next cycle prunes again.
+	h.scheme.Abort()
+	h.cycle()
+	nodes, _ = s.GraphStats()
+	if nodes > 1 {
+		t.Errorf("retained %d nodes after abort, want <= 1", nodes)
+	}
+}
+
+func TestSGTWithCacheRunsCycleTestOnCachedReads(t *testing.T) {
+	h := newHarness(t, 10, 1, Options{Kind: KindSGT, CacheSize: 10})
+	// Warm the cache with item 8's future-conflicting value.
+	h.mustBegin()
+	h.mustRead(3)
+	// One transaction overwrites 3 and 8 -> reading 8 (even from cache,
+	// after it is refreshed) must still be rejected.
+	h.cycleTxs(rwTx(nil, []model.ItemID{3, 8}))
+	h.cycle() // autoprefetch refreshes nothing (8 not cached), idle
+	h.wantAbort(8)
+}
+
+func TestSGTWithCacheServesSafeCachedReads(t *testing.T) {
+	h := newHarness(t, 10, 1, Options{Kind: KindSGT, CacheSize: 10})
+	h.mustBegin()
+	h.mustRead(8)
+	h.mustCommit()
+	h.mustBegin()
+	r := h.mustRead(8)
+	if r.Source != SourceCache {
+		t.Errorf("source = %v, want cache", r.Source)
+	}
+	h.mustCommit()
+}
+
+func TestSGTCommitInfoHasNoSerializationCycle(t *testing.T) {
+	h := newHarness(t, 10, 1, Options{Kind: KindSGT})
+	h.mustBegin()
+	h.mustRead(3)
+	info, err := h.scheme.Commit()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if info.SerializationCycle != 0 {
+		t.Errorf("SerializationCycle = %v, want 0 (graph-certified)", info.SerializationCycle)
+	}
+	if info.StartCycle != 1 || info.CommitCycle != 1 {
+		t.Errorf("start/commit = %v/%v, want 1/1", info.StartCycle, info.CommitCycle)
+	}
+}
+
+func TestSGTAbortReasonMentionsCycle(t *testing.T) {
+	h := newHarness(t, 10, 1, Options{Kind: KindSGT})
+	h.mustBegin()
+	h.mustRead(3)
+	h.cycleTxs(rwTx(nil, []model.ItemID{3, 8}))
+	_, err := h.read(8)
+	var ae *AbortError
+	if !errors.As(err, &ae) {
+		t.Fatalf("err = %v, want *AbortError", err)
+	}
+	if ae.Reason == "" {
+		t.Error("empty abort reason")
+	}
+}

@@ -1,0 +1,519 @@
+// Package experiments regenerates every table and figure of the evaluation
+// section (§5) of Pitoura & Chrysanthis, ICDCS 1999:
+//
+//   - Figure 5 (left): abort rate vs. number of operations per query.
+//   - Figure 5 (right): abort rate vs. offset between the client-read and
+//     server-update patterns.
+//   - Figure 6: abort rate vs. number of updates per cycle.
+//   - Figure 7: broadcast size increase vs. span and vs. updates
+//     (analytic, from the §3 formulas).
+//   - Figure 8 (left): latency vs. operations per query; (right):
+//     multiversion latency vs. offset.
+//   - Table 1: the qualitative comparison, with the measured/analytic
+//     quantities filled in at the paper's operating point.
+//
+// Absolute numbers depend on interpretation details of the paper's
+// simulator (documented in DESIGN.md); the generators are built so the
+// comparative *shapes* — who wins, by roughly what factor, where the
+// crossovers fall — can be checked against the paper.
+package experiments
+
+import (
+	"fmt"
+
+	"bpush/internal/broadcast"
+	"bpush/internal/core"
+	"bpush/internal/sim"
+	"bpush/internal/stats"
+)
+
+// Options controls simulation effort per data point.
+type Options struct {
+	// Queries per data point (default 600).
+	Queries int
+	// Warmup queries per data point (default 100).
+	Warmup int
+	// Seed is the master seed (default 1).
+	Seed int64
+	// Check enables the consistency oracle during experiment runs.
+	Check bool
+	// CacheSize is the client cache in pages for the cached schemes
+	// (default 100).
+	CacheSize int
+}
+
+func (o Options) withDefaults() Options {
+	if o.Queries == 0 {
+		o.Queries = 600
+	}
+	if o.Warmup == 0 {
+		o.Warmup = 100
+	}
+	if o.Seed == 0 {
+		o.Seed = 1
+	}
+	if o.CacheSize == 0 {
+		o.CacheSize = 100
+	}
+	return o
+}
+
+// Series is one labeled curve of a figure.
+type Series struct {
+	Name string
+	X    []float64
+	Y    []float64
+}
+
+// Figure is a regenerated exhibit.
+type Figure struct {
+	ID     string
+	Title  string
+	XLabel string
+	YLabel string
+	Series []Series
+}
+
+// Table renders the figure as rows (one per x value, one column per
+// series), the form the harness prints.
+func (f *Figure) Table() *stats.Table {
+	headers := make([]string, 0, len(f.Series)+1)
+	headers = append(headers, f.XLabel)
+	for _, s := range f.Series {
+		headers = append(headers, s.Name)
+	}
+	t := stats.NewTable(headers...)
+	if len(f.Series) == 0 {
+		return t
+	}
+	for i := range f.Series[0].X {
+		row := make([]any, 0, len(headers))
+		row = append(row, f.Series[0].X[i])
+		for _, s := range f.Series {
+			if i < len(s.Y) {
+				row = append(row, s.Y[i])
+			} else {
+				row = append(row, "")
+			}
+		}
+		t.AddRow(row...)
+	}
+	return t
+}
+
+// variant names one scheme configuration compared in the figures.
+type variant struct {
+	name string
+	opts core.Options
+	// serverVersions overrides S for this variant (multiversion
+	// broadcast needs the server to retain versions).
+	serverVersions int
+}
+
+// abortRateVariants are the schemes compared in Figures 5 and 6. The
+// multiversion-broadcast server retains enough versions to cover any query
+// span, so it accepts everything (the paper's baseline remark in §5.2.1).
+func abortRateVariants(cacheSize, maxSpan int) []variant {
+	return []variant{
+		{name: "inv-only", opts: core.Options{Kind: core.KindInvOnly}},
+		{name: "inv-only+cache", opts: core.Options{Kind: core.KindInvOnly, CacheSize: cacheSize}},
+		{name: "inv-only+vcache", opts: core.Options{Kind: core.KindVCache, CacheSize: cacheSize}},
+		{name: "mv-cache", opts: core.Options{Kind: core.KindMVCache, CacheSize: cacheSize}},
+		{name: "sgt", opts: core.Options{Kind: core.KindSGT}},
+		{name: "sgt+cache", opts: core.Options{Kind: core.KindSGT, CacheSize: cacheSize}},
+		{name: "multiversion", opts: core.Options{Kind: core.KindMVBroadcast}, serverVersions: maxSpan},
+	}
+}
+
+func (o Options) baseConfig() sim.Config {
+	cfg := sim.DefaultConfig()
+	cfg.Queries = o.Queries
+	cfg.Warmup = o.Warmup
+	cfg.Seed = o.Seed
+	cfg.Check = o.Check
+	return cfg
+}
+
+func runPoint(cfg sim.Config, v variant) (*sim.Metrics, error) {
+	cfg.Scheme = v.opts
+	if v.serverVersions > 0 {
+		cfg.ServerVersions = v.serverVersions
+	}
+	m, err := sim.Run(cfg)
+	if err != nil {
+		return nil, fmt.Errorf("%s: %w", v.name, err)
+	}
+	return m, nil
+}
+
+// Fig5Left regenerates Figure 5 (left): abort rate as a function of the
+// number of read operations per query.
+func Fig5Left(o Options) (*Figure, error) {
+	o = o.withDefaults()
+	xs := []int{2, 5, 10, 15, 20, 30, 40, 50}
+	fig := &Figure{
+		ID:     "fig5-left",
+		Title:  "Abort rate vs. operations per query",
+		XLabel: "ops/query",
+		YLabel: "abort rate",
+	}
+	variants := abortRateVariants(o.CacheSize, 80)
+	series := make([]Series, len(variants))
+	for vi, v := range variants {
+		series[vi].Name = v.name
+		for _, ops := range xs {
+			cfg := o.baseConfig()
+			cfg.OpsPerQuery = ops
+			m, err := runPoint(cfg, v)
+			if err != nil {
+				return nil, err
+			}
+			series[vi].X = append(series[vi].X, float64(ops))
+			series[vi].Y = append(series[vi].Y, m.AbortRate)
+		}
+	}
+	fig.Series = series
+	return fig, nil
+}
+
+// Fig5Right regenerates Figure 5 (right): abort rate as a function of the
+// offset between the client-read and the server-update patterns.
+func Fig5Right(o Options) (*Figure, error) {
+	o = o.withDefaults()
+	xs := []int{0, 50, 100, 150, 200, 250}
+	fig := &Figure{
+		ID:     "fig5-right",
+		Title:  "Abort rate vs. read/update pattern offset",
+		XLabel: "offset",
+		YLabel: "abort rate",
+	}
+	variants := abortRateVariants(o.CacheSize, 40)
+	series := make([]Series, len(variants))
+	for vi, v := range variants {
+		series[vi].Name = v.name
+		for _, off := range xs {
+			cfg := o.baseConfig()
+			cfg.Offset = off
+			m, err := runPoint(cfg, v)
+			if err != nil {
+				return nil, err
+			}
+			series[vi].X = append(series[vi].X, float64(off))
+			series[vi].Y = append(series[vi].Y, m.AbortRate)
+		}
+	}
+	fig.Series = series
+	return fig, nil
+}
+
+// Fig6 regenerates Figure 6: abort rate as a function of the number of
+// updates per broadcast cycle (50–500; the paper notes SGT's advantage
+// shrinks as server activity grows).
+func Fig6(o Options) (*Figure, error) {
+	o = o.withDefaults()
+	xs := []int{50, 100, 150, 200, 250, 300, 350, 400, 450, 500}
+	fig := &Figure{
+		ID:     "fig6",
+		Title:  "Abort rate vs. updates per cycle",
+		XLabel: "updates",
+		YLabel: "abort rate",
+	}
+	variants := abortRateVariants(o.CacheSize, 40)
+	series := make([]Series, len(variants))
+	for vi, v := range variants {
+		series[vi].Name = v.name
+		for _, u := range xs {
+			cfg := o.baseConfig()
+			cfg.Updates = u
+			m, err := runPoint(cfg, v)
+			if err != nil {
+				return nil, err
+			}
+			series[vi].X = append(series[vi].X, float64(u))
+			series[vi].Y = append(series[vi].Y, m.AbortRate)
+		}
+	}
+	fig.Series = series
+	return fig, nil
+}
+
+// Fig7Span regenerates the span panel of Figure 7: analytic broadcast-size
+// increase as a function of the maximum transaction span (U=50).
+func Fig7Span() (*Figure, error) {
+	fig := &Figure{
+		ID:     "fig7-span",
+		Title:  "Broadcast size increase vs. span (analytic, U=50)",
+		XLabel: "span",
+		YLabel: "% increase",
+	}
+	methods := []broadcast.Method{
+		broadcast.MethodInvOnly,
+		broadcast.MethodMVOverflow,
+		broadcast.MethodSGT,
+		broadcast.MethodMVCache,
+	}
+	series := make([]Series, len(methods))
+	for mi, m := range methods {
+		series[mi].Name = m.String()
+		for span := 1; span <= 8; span++ {
+			p := broadcast.DefaultSizeParams()
+			p.S = span
+			pct, err := p.PercentIncrease(m)
+			if err != nil {
+				return nil, err
+			}
+			series[mi].X = append(series[mi].X, float64(span))
+			series[mi].Y = append(series[mi].Y, pct)
+		}
+	}
+	fig.Series = series
+	return fig, nil
+}
+
+// Fig7Updates regenerates the updates panel of Figure 7: analytic
+// broadcast-size increase as a function of the number of updates (span 3).
+func Fig7Updates() (*Figure, error) {
+	fig := &Figure{
+		ID:     "fig7-updates",
+		Title:  "Broadcast size increase vs. updates (analytic, span=3)",
+		XLabel: "updates",
+		YLabel: "% increase",
+	}
+	methods := []broadcast.Method{
+		broadcast.MethodInvOnly,
+		broadcast.MethodMVOverflow,
+		broadcast.MethodSGT,
+		broadcast.MethodMVCache,
+	}
+	series := make([]Series, len(methods))
+	for mi, m := range methods {
+		series[mi].Name = m.String()
+		for u := 50; u <= 500; u += 50 {
+			p := broadcast.DefaultSizeParams()
+			p.U = u
+			p.C = 5 * u / p.N
+			pct, err := p.PercentIncrease(m)
+			if err != nil {
+				return nil, err
+			}
+			series[mi].X = append(series[mi].X, float64(u))
+			series[mi].Y = append(series[mi].Y, pct)
+		}
+	}
+	fig.Series = series
+	return fig, nil
+}
+
+// Fig8Left regenerates Figure 8 (left): mean latency (in cycles, over
+// accepted queries) as a function of the number of operations per query.
+func Fig8Left(o Options) (*Figure, error) {
+	o = o.withDefaults()
+	xs := []int{2, 5, 10, 15, 20, 30, 40, 50}
+	fig := &Figure{
+		ID:     "fig8-left",
+		Title:  "Latency vs. operations per query",
+		XLabel: "ops/query",
+		YLabel: "latency (cycles)",
+	}
+	variants := []variant{
+		{name: "inv-only", opts: core.Options{Kind: core.KindInvOnly}},
+		{name: "inv-only+cache", opts: core.Options{Kind: core.KindInvOnly, CacheSize: o.CacheSize}},
+		{name: "sgt", opts: core.Options{Kind: core.KindSGT}},
+		{name: "multiversion", opts: core.Options{Kind: core.KindMVBroadcast}, serverVersions: 80},
+	}
+	series := make([]Series, len(variants))
+	for vi, v := range variants {
+		series[vi].Name = v.name
+		for _, ops := range xs {
+			cfg := o.baseConfig()
+			cfg.OpsPerQuery = ops
+			m, err := runPoint(cfg, v)
+			if err != nil {
+				return nil, err
+			}
+			series[vi].X = append(series[vi].X, float64(ops))
+			series[vi].Y = append(series[vi].Y, m.MeanLatency)
+		}
+	}
+	fig.Series = series
+	return fig, nil
+}
+
+// Fig8Right regenerates Figure 8 (right): multiversion-broadcast latency
+// as a function of the offset. The smaller the read/update overlap, the
+// fewer overflow detours and the smaller the latency penalty.
+func Fig8Right(o Options) (*Figure, error) {
+	o = o.withDefaults()
+	xs := []int{0, 50, 100, 150, 200, 250}
+	fig := &Figure{
+		ID:     "fig8-right",
+		Title:  "Multiversion latency vs. offset",
+		XLabel: "offset",
+		YLabel: "latency (cycles)",
+	}
+	v := variant{name: "multiversion", opts: core.Options{Kind: core.KindMVBroadcast}, serverVersions: 40}
+	s := Series{Name: v.name}
+	for _, off := range xs {
+		cfg := o.baseConfig()
+		cfg.Offset = off
+		m, err := runPoint(cfg, v)
+		if err != nil {
+			return nil, err
+		}
+		s.X = append(s.X, float64(off))
+		s.Y = append(s.Y, m.MeanLatency)
+	}
+	fig.Series = []Series{s}
+	return fig, nil
+}
+
+// Table1 regenerates Table 1: the comparison of the four approaches, with
+// concurrency measured at the default operating point and the size
+// increases computed from the §3 formulas (U=50, span 3, N=10).
+func Table1(o Options) (*stats.Table, error) {
+	o = o.withDefaults()
+	t := stats.NewTable("criterion", "inv-only", "multiversion", "sgt", "mv-cache")
+
+	accept := func(v variant) (float64, error) {
+		cfg := o.baseConfig()
+		m, err := runPoint(cfg, v)
+		if err != nil {
+			return 0, err
+		}
+		return m.AcceptRate, nil
+	}
+	aInv, err := accept(variant{name: "inv-only", opts: core.Options{Kind: core.KindInvOnly}})
+	if err != nil {
+		return nil, err
+	}
+	aMV, err := accept(variant{name: "multiversion", opts: core.Options{Kind: core.KindMVBroadcast}, serverVersions: 40})
+	if err != nil {
+		return nil, err
+	}
+	aSGT, err := accept(variant{name: "sgt", opts: core.Options{Kind: core.KindSGT}})
+	if err != nil {
+		return nil, err
+	}
+	aMC, err := accept(variant{name: "mv-cache", opts: core.Options{Kind: core.KindMVCache, CacheSize: o.CacheSize}})
+	if err != nil {
+		return nil, err
+	}
+	t.AddRow("concurrency (accept rate)",
+		fmt.Sprintf("%.2f", aInv), fmt.Sprintf("%.2f", aMV),
+		fmt.Sprintf("%.2f", aSGT), fmt.Sprintf("%.2f", aMC))
+
+	p := broadcast.DefaultSizeParams()
+	pct := func(m broadcast.Method) string {
+		v, err := p.PercentIncrease(m)
+		if err != nil {
+			return "err"
+		}
+		return fmt.Sprintf("%.1f%%", v)
+	}
+	t.AddRow("size increase (U=50, span 3)",
+		pct(broadcast.MethodInvOnly), pct(broadcast.MethodMVOverflow),
+		pct(broadcast.MethodSGT), pct(broadcast.MethodMVCache))
+
+	t.AddRow("latency", "not affected", "increases for long txns", "not affected", "not affected")
+	t.AddRow("currency (state seen)", "at last read", "at first read", "between first and last", "at first overwrite")
+	t.AddRow("tolerance to disconnections", "none", "some (span/update dependent)", "none (unless versions on air)", "some (cache dependent)")
+	return t, nil
+}
+
+// ExtDisconnect is an extension exhibit beyond the paper's figures: accept
+// rate as a function of the per-cycle disconnection probability,
+// quantifying the Table 1 "tolerance to disconnections" row for every
+// recovery strategy.
+func ExtDisconnect(o Options) (*Figure, error) {
+	o = o.withDefaults()
+	xs := []float64{0, 0.05, 0.1, 0.2, 0.3}
+	fig := &Figure{
+		ID:     "ext-disconnect",
+		Title:  "Accept rate vs. disconnection probability",
+		XLabel: "P(miss cycle)",
+		YLabel: "accept rate",
+	}
+	variants := []variant{
+		{name: "inv-only", opts: core.Options{Kind: core.KindInvOnly}},
+		{name: "inv-only+resync", opts: core.Options{Kind: core.KindInvOnly, ResyncOnReconnect: true}},
+		{name: "sgt", opts: core.Options{Kind: core.KindSGT}},
+		{name: "sgt+versions", opts: core.Options{Kind: core.KindSGT, TolerateDisconnects: true}},
+		{name: "multiversion", opts: core.Options{Kind: core.KindMVBroadcast}, serverVersions: 30},
+	}
+	series := make([]Series, len(variants))
+	for vi, v := range variants {
+		series[vi].Name = v.name
+		for _, p := range xs {
+			cfg := o.baseConfig()
+			cfg.DisconnectProb = p
+			m, err := runPoint(cfg, v)
+			if err != nil {
+				return nil, err
+			}
+			series[vi].X = append(series[vi].X, p)
+			series[vi].Y = append(series[vi].Y, m.AcceptRate)
+		}
+	}
+	fig.Series = series
+	return fig, nil
+}
+
+// ExtScalability is the headline-property exhibit: per-client abort rate
+// across growing client fleets sharing one broadcast stream. The curve is
+// flat — transaction processing is client-local, so the population size
+// does not matter.
+func ExtScalability(o Options) (*Figure, error) {
+	o = o.withDefaults()
+	fig := &Figure{
+		ID:     "ext-scalability",
+		Title:  "Per-client abort rate vs. fleet size",
+		XLabel: "clients",
+		YLabel: "abort rate (fleet mean)",
+	}
+	v := variant{name: "sgt+cache", opts: core.Options{Kind: core.KindSGT, CacheSize: o.CacheSize}}
+	s := Series{Name: v.name}
+	for _, k := range []int{1, 2, 4, 8, 16} {
+		cfg := o.baseConfig()
+		// Budget the same total work per point.
+		cfg.Queries = o.Queries / k
+		if cfg.Queries < 40 {
+			cfg.Queries = 40
+		}
+		cfg.Scheme = v.opts
+		fm, err := sim.RunFleet(cfg, k)
+		if err != nil {
+			return nil, err
+		}
+		s.X = append(s.X, float64(k))
+		s.Y = append(s.Y, fm.MeanAbortRate)
+	}
+	fig.Series = []Series{s}
+	return fig, nil
+}
+
+// AllFigures regenerates every simulated figure (not Table 1) and returns
+// them keyed by ID.
+func AllFigures(o Options) (map[string]*Figure, error) {
+	out := make(map[string]*Figure)
+	type gen struct {
+		id string
+		fn func() (*Figure, error)
+	}
+	gens := []gen{
+		{"fig5-left", func() (*Figure, error) { return Fig5Left(o) }},
+		{"fig5-right", func() (*Figure, error) { return Fig5Right(o) }},
+		{"fig6", func() (*Figure, error) { return Fig6(o) }},
+		{"fig7-span", Fig7Span},
+		{"fig7-updates", Fig7Updates},
+		{"fig8-left", func() (*Figure, error) { return Fig8Left(o) }},
+		{"fig8-right", func() (*Figure, error) { return Fig8Right(o) }},
+	}
+	for _, g := range gens {
+		f, err := g.fn()
+		if err != nil {
+			return nil, fmt.Errorf("%s: %w", g.id, err)
+		}
+		out[g.id] = f
+	}
+	return out, nil
+}

@@ -1,0 +1,206 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+)
+
+// tiny keeps experiment tests fast: few queries per point.
+func tiny() Options {
+	return Options{Queries: 60, Warmup: 10, Seed: 1, CacheSize: 50}
+}
+
+func TestFig5LeftShape(t *testing.T) {
+	if testing.Short() {
+		t.Skip("simulation sweep")
+	}
+	fig, err := Fig5Left(tiny())
+	if err != nil {
+		t.Fatal(err)
+	}
+	byName := seriesByName(t, fig)
+	// Multiversion broadcast accepts everything.
+	for _, y := range byName["multiversion"].Y {
+		if y != 0 {
+			t.Errorf("multiversion abort rate %g, want 0 at every point", y)
+		}
+	}
+	// Abort rates grow with query length for the invalidation-based
+	// schemes: compare the endpoints.
+	inv := byName["inv-only"]
+	if inv.Y[len(inv.Y)-1] <= inv.Y[0] {
+		t.Errorf("inv-only abort rate did not grow with ops/query: %v", inv.Y)
+	}
+	// SGT+cache dominates plain inv-only everywhere.
+	sgtc := byName["sgt+cache"]
+	for i := range inv.Y {
+		if sgtc.Y[i] > inv.Y[i]+0.05 {
+			t.Errorf("at %g ops, sgt+cache %.3f worse than inv-only %.3f", inv.X[i], sgtc.Y[i], inv.Y[i])
+		}
+	}
+}
+
+func TestFig5RightShape(t *testing.T) {
+	if testing.Short() {
+		t.Skip("simulation sweep")
+	}
+	fig, err := Fig5Right(tiny())
+	if err != nil {
+		t.Fatal(err)
+	}
+	byName := seriesByName(t, fig)
+	// Highest abort rates at offset 0 (maximal overlap) for inv-only.
+	inv := byName["inv-only"]
+	if inv.Y[0] < inv.Y[len(inv.Y)-1] {
+		t.Errorf("inv-only abort rate at offset 0 (%.3f) below offset 250 (%.3f); overlap must hurt",
+			inv.Y[0], inv.Y[len(inv.Y)-1])
+	}
+}
+
+func TestFig7Shapes(t *testing.T) {
+	span, err := Fig7Span()
+	if err != nil {
+		t.Fatal(err)
+	}
+	byName := seriesByName(t, span)
+	mv := byName["multiversion-overflow"]
+	for i := 1; i < len(mv.Y); i++ {
+		if mv.Y[i] < mv.Y[i-1] {
+			t.Errorf("MV size not monotone in span: %v", mv.Y)
+		}
+	}
+	inv := byName["invalidation-only"]
+	if inv.Y[0] != inv.Y[len(inv.Y)-1] {
+		t.Errorf("inv-only size varies with span: %v", inv.Y)
+	}
+
+	ups, err := Fig7Updates()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, s := range ups.Series {
+		for i := 1; i < len(s.Y); i++ {
+			if s.Y[i] < s.Y[i-1] {
+				t.Errorf("%s size not monotone in updates: %v", s.Name, s.Y)
+			}
+		}
+	}
+}
+
+func TestFig8RightShape(t *testing.T) {
+	if testing.Short() {
+		t.Skip("simulation sweep")
+	}
+	fig, err := Fig8Right(tiny())
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := fig.Series[0]
+	// Latency at zero offset (max overlap, most overflow detours) should
+	// not be lower than at max offset.
+	if s.Y[0] < s.Y[len(s.Y)-1]-0.3 {
+		t.Errorf("MV latency at offset 0 (%.2f) well below offset 250 (%.2f)", s.Y[0], s.Y[len(s.Y)-1])
+	}
+}
+
+func TestTable1Renders(t *testing.T) {
+	if testing.Short() {
+		t.Skip("simulation sweep")
+	}
+	tbl, err := Table1(tiny())
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := tbl.String()
+	for _, want := range []string{"concurrency", "size increase", "latency", "currency", "disconnections"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("Table 1 output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestFigureTableRendering(t *testing.T) {
+	fig := &Figure{
+		ID: "x", XLabel: "n",
+		Series: []Series{
+			{Name: "a", X: []float64{1, 2}, Y: []float64{0.5, 0.6}},
+			{Name: "b", X: []float64{1, 2}, Y: []float64{0.1, 0.2}},
+		},
+	}
+	out := fig.Table().String()
+	if !strings.Contains(out, "a") || !strings.Contains(out, "0.600") {
+		t.Errorf("unexpected table rendering:\n%s", out)
+	}
+	csv := fig.Table().CSV()
+	if !strings.HasPrefix(csv, "n,a,b\n") {
+		t.Errorf("unexpected CSV header: %q", csv)
+	}
+}
+
+func seriesByName(t *testing.T, f *Figure) map[string]Series {
+	t.Helper()
+	out := make(map[string]Series, len(f.Series))
+	for _, s := range f.Series {
+		out[s.Name] = s
+	}
+	return out
+}
+
+func TestExtDisconnectShape(t *testing.T) {
+	if testing.Short() {
+		t.Skip("simulation sweep")
+	}
+	o := tiny()
+	o.Queries = 50
+	fig, err := ExtDisconnect(o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	byName := seriesByName(t, fig)
+	inv := byName["inv-only"]
+	// Accept rate must fall (or stay, up to noise) as disconnections grow.
+	if inv.Y[len(inv.Y)-1] > inv.Y[0]+0.05 {
+		t.Errorf("inv-only accept rate rose under disconnections: %v", inv.Y)
+	}
+	mv := byName["multiversion"]
+	for i, y := range mv.Y {
+		if y < 0.95 {
+			t.Errorf("multiversion accept at point %d = %.3f, want near 1 (inherent tolerance)", i, y)
+		}
+	}
+	// Recovery strategies dominate their strict counterparts at the
+	// highest disconnection rate.
+	last := len(inv.Y) - 1
+	if byName["inv-only+resync"].Y[last] < inv.Y[last] {
+		t.Error("resync did not help inv-only")
+	}
+	if byName["sgt+versions"].Y[last] < byName["sgt"].Y[last] {
+		t.Error("version numbers did not help SGT")
+	}
+}
+
+func TestExtScalabilityFlat(t *testing.T) {
+	if testing.Short() {
+		t.Skip("simulation sweep")
+	}
+	o := tiny()
+	o.Queries = 320
+	fig, err := ExtScalability(o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := fig.Series[0]
+	// The curve is flat up to sampling noise: max-min within 0.15.
+	lo, hi := s.Y[0], s.Y[0]
+	for _, y := range s.Y {
+		if y < lo {
+			lo = y
+		}
+		if y > hi {
+			hi = y
+		}
+	}
+	if hi-lo > 0.15 {
+		t.Errorf("per-client abort rate varies %.3f..%.3f across fleet sizes; want flat", lo, hi)
+	}
+}

@@ -1,0 +1,364 @@
+// Package lockmgr implements a strict two-phase-locking lock manager for
+// the broadcast server. The paper makes no assumption about server-side
+// concurrency control beyond serializability, noting that "a more
+// practical method, e.g., most probably two-phase locking, may be
+// employed" (§3.3); this package provides exactly that substrate, so the
+// server can execute update transactions concurrently while still
+// producing the serializable histories the broadcast protocols assume.
+//
+// Locks are item-granularity, shared (read) or exclusive (write), granted
+// FIFO with no barging. Deadlocks are detected by cycle search on the
+// waits-for graph at block time; the requester that would close the cycle
+// is chosen as the victim and its request fails with ErrDeadlock, after
+// which the caller is expected to release everything and retry.
+package lockmgr
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"time"
+
+	"bpush/internal/model"
+)
+
+// ErrDeadlock is returned to a requester chosen as a deadlock victim
+// (either by the waits-for cycle check at block time or by the wait
+// timeout, which backstops edge staleness).
+var ErrDeadlock = errors.New("lockmgr: deadlock victim")
+
+// DefaultWaitTimeout bounds how long a request may stay blocked before it
+// is victimized. The waits-for check catches most cycles eagerly; the
+// timeout guarantees liveness for the rest.
+const DefaultWaitTimeout = 2 * time.Second
+
+// Mode is a lock mode.
+type Mode int
+
+// Lock modes.
+const (
+	Shared Mode = iota + 1
+	Exclusive
+)
+
+// String implements fmt.Stringer.
+func (m Mode) String() string {
+	switch m {
+	case Shared:
+		return "S"
+	case Exclusive:
+		return "X"
+	default:
+		return fmt.Sprintf("mode(%d)", int(m))
+	}
+}
+
+// TxHandle identifies a transaction to the lock manager.
+type TxHandle int64
+
+// Manager is the lock manager. All state is guarded by one mutex; waiting
+// is done on per-request condition channels so the manager scales to the
+// moderate transaction counts of a broadcast server cycle.
+type Manager struct {
+	mu    sync.Mutex
+	items map[model.ItemID]*lockState
+	held  map[TxHandle]map[model.ItemID]Mode
+	// waitsFor[a] = set of transactions a is currently waiting on.
+	waitsFor map[TxHandle]map[TxHandle]struct{}
+	timeout  time.Duration
+}
+
+type lockState struct {
+	holders map[TxHandle]Mode
+	queue   []*request
+}
+
+type request struct {
+	tx    TxHandle
+	mode  Mode
+	grant chan error // buffered(1): receives nil on grant, ErrDeadlock on victimization
+}
+
+// New creates a lock manager with the default wait timeout.
+func New() *Manager { return NewWithTimeout(DefaultWaitTimeout) }
+
+// NewWithTimeout creates a lock manager whose blocked requests are
+// victimized after the given timeout; zero disables the backstop.
+func NewWithTimeout(timeout time.Duration) *Manager {
+	return &Manager{
+		items:    make(map[model.ItemID]*lockState),
+		held:     make(map[TxHandle]map[model.ItemID]Mode),
+		waitsFor: make(map[TxHandle]map[TxHandle]struct{}),
+		timeout:  timeout,
+	}
+}
+
+// Lock acquires item in the given mode for tx, blocking until granted. A
+// Shared request by a holder is a no-op; an Exclusive request by a Shared
+// holder is an upgrade (granted when tx is the only holder). Returns
+// ErrDeadlock if granting would require waiting on a cycle; the caller
+// must then Release(tx) and retry the whole transaction.
+func (m *Manager) Lock(tx TxHandle, item model.ItemID, mode Mode) error {
+	if mode != Shared && mode != Exclusive {
+		return fmt.Errorf("lockmgr: invalid mode %v", mode)
+	}
+	m.mu.Lock()
+	st := m.items[item]
+	if st == nil {
+		st = &lockState{holders: make(map[TxHandle]Mode)}
+		m.items[item] = st
+	}
+	if cur, ok := st.holders[tx]; ok {
+		if cur == Exclusive || mode == Shared {
+			m.mu.Unlock()
+			return nil // already strong enough
+		}
+		// Upgrade S -> X.
+	}
+	if m.grantable(st, tx, mode) {
+		m.grant(st, tx, item, mode)
+		m.mu.Unlock()
+		return nil
+	}
+	// Must wait: deadlock check first. tx would wait on every
+	// conflicting holder and every queued conflicting requester.
+	blockers := m.blockersLocked(st, tx, mode)
+	if m.wouldDeadlock(tx, blockers) {
+		m.mu.Unlock()
+		return ErrDeadlock
+	}
+	req := &request{tx: tx, mode: mode, grant: make(chan error, 1)}
+	st.queue = append(st.queue, req)
+	m.setWaits(tx, blockers)
+	m.mu.Unlock()
+
+	if m.timeout <= 0 {
+		return <-req.grant
+	}
+	timer := time.NewTimer(m.timeout)
+	defer timer.Stop()
+	select {
+	case err := <-req.grant:
+		return err
+	case <-timer.C:
+		// Victimize, unless a grant raced ahead of the timer.
+		m.mu.Lock()
+		if m.dequeueLocked(item, req) {
+			delete(m.waitsFor, tx)
+			m.mu.Unlock()
+			return ErrDeadlock
+		}
+		m.mu.Unlock()
+		return <-req.grant // grant/victimization already decided
+	}
+}
+
+// dequeueLocked removes req from item's queue, reporting whether it was
+// still queued.
+func (m *Manager) dequeueLocked(item model.ItemID, req *request) bool {
+	st := m.items[item]
+	if st == nil {
+		return false
+	}
+	for i, q := range st.queue {
+		if q == req {
+			st.queue = append(st.queue[:i], st.queue[i+1:]...)
+			m.wakeLocked(item, st)
+			return true
+		}
+	}
+	return false
+}
+
+// grantable reports whether tx can take item in mode right now. FIFO: a
+// new request is only grantable if no queued request conflicts ahead of
+// it (prevents writer starvation), except lock upgrades, which jump the
+// queue when the holder is alone.
+func (m *Manager) grantable(st *lockState, tx TxHandle, mode Mode) bool {
+	if cur, ok := st.holders[tx]; ok && cur == Shared && mode == Exclusive {
+		return len(st.holders) == 1 // upgrade when sole holder
+	}
+	if mode == Shared {
+		for h, hm := range st.holders {
+			if h != tx && hm == Exclusive {
+				return false
+			}
+		}
+		// No barging past queued writers.
+		for _, q := range st.queue {
+			if q.mode == Exclusive {
+				return false
+			}
+		}
+		return true
+	}
+	// Exclusive: no other holder, nothing queued.
+	for h := range st.holders {
+		if h != tx {
+			return false
+		}
+	}
+	return len(st.queue) == 0
+}
+
+func (m *Manager) grant(st *lockState, tx TxHandle, item model.ItemID, mode Mode) {
+	st.holders[tx] = mode
+	if m.held[tx] == nil {
+		m.held[tx] = make(map[model.ItemID]Mode)
+	}
+	m.held[tx][item] = mode
+}
+
+// blockersLocked lists the transactions tx would wait on for item/mode.
+func (m *Manager) blockersLocked(st *lockState, tx TxHandle, mode Mode) []TxHandle {
+	var out []TxHandle
+	for h, hm := range st.holders {
+		if h == tx {
+			continue
+		}
+		if mode == Exclusive || hm == Exclusive {
+			out = append(out, h)
+		}
+	}
+	for _, q := range st.queue {
+		if q.tx != tx && (mode == Exclusive || q.mode == Exclusive) {
+			out = append(out, q.tx)
+		}
+	}
+	return out
+}
+
+// wouldDeadlock reports whether making tx wait on blockers closes a cycle
+// in the waits-for graph.
+func (m *Manager) wouldDeadlock(tx TxHandle, blockers []TxHandle) bool {
+	// DFS from each blocker through waitsFor; reaching tx = cycle.
+	seen := make(map[TxHandle]struct{})
+	var stack []TxHandle
+	stack = append(stack, blockers...)
+	for len(stack) > 0 {
+		n := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		if n == tx {
+			return true
+		}
+		if _, ok := seen[n]; ok {
+			continue
+		}
+		seen[n] = struct{}{}
+		for next := range m.waitsFor[n] {
+			stack = append(stack, next)
+		}
+	}
+	return false
+}
+
+func (m *Manager) setWaits(tx TxHandle, blockers []TxHandle) {
+	set := make(map[TxHandle]struct{}, len(blockers))
+	for _, b := range blockers {
+		set[b] = struct{}{}
+	}
+	m.waitsFor[tx] = set
+}
+
+// Release drops every lock tx holds and removes its queued requests,
+// waking whoever becomes grantable.
+func (m *Manager) Release(tx TxHandle) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	delete(m.waitsFor, tx)
+	for item := range m.held[tx] {
+		st := m.items[item]
+		delete(st.holders, tx)
+		m.wakeLocked(item, st)
+	}
+	delete(m.held, tx)
+	// Drop queued requests from tx (a victim releasing while queued
+	// elsewhere) and tell them to stop waiting.
+	for item, st := range m.items {
+		changed := false
+		keep := st.queue[:0]
+		for _, q := range st.queue {
+			if q.tx == tx {
+				q.grant <- ErrDeadlock
+				changed = true
+				continue
+			}
+			keep = append(keep, q)
+		}
+		st.queue = keep
+		if changed {
+			m.wakeLocked(item, st)
+		}
+	}
+}
+
+// wakeLocked grants queued requests that became grantable — lock upgrades
+// first (they jump the queue once their holder is alone, which is what
+// unblocks them at all), then the FIFO head — and refreshes the waits-for
+// edges of whoever is still queued, so the deadlock check never works
+// from stale blocker sets.
+func (m *Manager) wakeLocked(item model.ItemID, st *lockState) {
+	progress := true
+	for progress {
+		progress = false
+		// Upgrades: a queued X request whose tx is the sole (shared)
+		// holder.
+		for i, q := range st.queue {
+			if cur, ok := st.holders[q.tx]; ok && cur == Shared && q.mode == Exclusive && len(st.holders) == 1 {
+				st.queue = append(st.queue[:i], st.queue[i+1:]...)
+				m.grant(st, q.tx, item, q.mode)
+				delete(m.waitsFor, q.tx)
+				q.grant <- nil
+				progress = true
+				break
+			}
+		}
+		if progress {
+			continue
+		}
+		if len(st.queue) == 0 {
+			break
+		}
+		q := st.queue[0]
+		if !m.headGrantable(st, q) {
+			break
+		}
+		st.queue = st.queue[1:]
+		m.grant(st, q.tx, item, q.mode)
+		delete(m.waitsFor, q.tx)
+		q.grant <- nil
+		progress = true
+	}
+	for _, q := range st.queue {
+		m.setWaits(q.tx, m.blockersLocked(st, q.tx, q.mode))
+	}
+	if len(st.holders) == 0 && len(st.queue) == 0 {
+		delete(m.items, item)
+	}
+}
+
+// headGrantable reports whether the FIFO head request can take the lock
+// given only the current holders.
+func (m *Manager) headGrantable(st *lockState, q *request) bool {
+	if q.mode == Shared {
+		for h, hm := range st.holders {
+			if h != q.tx && hm == Exclusive {
+				return false
+			}
+		}
+		return true
+	}
+	for h := range st.holders {
+		if h != q.tx {
+			return false
+		}
+	}
+	return true
+}
+
+// Held returns the number of locks tx currently holds (for tests).
+func (m *Manager) Held(tx TxHandle) int {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return len(m.held[tx])
+}

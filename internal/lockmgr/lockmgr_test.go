@@ -1,0 +1,234 @@
+package lockmgr
+
+import (
+	"errors"
+	"math/rand"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"bpush/internal/model"
+)
+
+func TestSharedLocksCoexist(t *testing.T) {
+	m := New()
+	if err := m.Lock(1, 7, Shared); err != nil {
+		t.Fatal(err)
+	}
+	done := make(chan error, 1)
+	go func() { done <- m.Lock(2, 7, Shared) }()
+	select {
+	case err := <-done:
+		if err != nil {
+			t.Fatal(err)
+		}
+	case <-time.After(time.Second):
+		t.Fatal("second shared lock blocked")
+	}
+}
+
+func TestExclusiveBlocksShared(t *testing.T) {
+	m := New()
+	if err := m.Lock(1, 7, Exclusive); err != nil {
+		t.Fatal(err)
+	}
+	got := make(chan error, 1)
+	go func() { got <- m.Lock(2, 7, Shared) }()
+	select {
+	case <-got:
+		t.Fatal("shared lock granted while exclusive held")
+	case <-time.After(50 * time.Millisecond):
+	}
+	m.Release(1)
+	select {
+	case err := <-got:
+		if err != nil {
+			t.Fatal(err)
+		}
+	case <-time.After(time.Second):
+		t.Fatal("shared lock never granted after release")
+	}
+}
+
+func TestReentrantAndUpgrade(t *testing.T) {
+	m := New()
+	if err := m.Lock(1, 3, Shared); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Lock(1, 3, Shared); err != nil {
+		t.Fatal(err)
+	}
+	// Sole holder upgrades immediately.
+	if err := m.Lock(1, 3, Exclusive); err != nil {
+		t.Fatal(err)
+	}
+	// X then S is a no-op.
+	if err := m.Lock(1, 3, Shared); err != nil {
+		t.Fatal(err)
+	}
+	if got := m.Held(1); got != 1 {
+		t.Errorf("Held = %d, want 1 (one item)", got)
+	}
+}
+
+func TestFIFONoWriterStarvation(t *testing.T) {
+	m := New()
+	if err := m.Lock(1, 5, Shared); err != nil {
+		t.Fatal(err)
+	}
+	writerDone := make(chan error, 1)
+	go func() { writerDone <- m.Lock(2, 5, Exclusive) }()
+	time.Sleep(20 * time.Millisecond) // writer is now queued
+	readerDone := make(chan error, 1)
+	go func() { readerDone <- m.Lock(3, 5, Shared) }()
+	select {
+	case <-readerDone:
+		t.Fatal("late reader barged past a queued writer")
+	case <-time.After(50 * time.Millisecond):
+	}
+	m.Release(1)
+	if err := <-writerDone; err != nil {
+		t.Fatal(err)
+	}
+	m.Release(2)
+	if err := <-readerDone; err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDeadlockDetected(t *testing.T) {
+	m := New()
+	if err := m.Lock(1, 10, Exclusive); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Lock(2, 20, Exclusive); err != nil {
+		t.Fatal(err)
+	}
+	// T1 waits for 20 (held by T2).
+	t1done := make(chan error, 1)
+	go func() { t1done <- m.Lock(1, 20, Exclusive) }()
+	time.Sleep(20 * time.Millisecond)
+	// T2 requesting 10 closes the cycle and must be refused immediately.
+	err := m.Lock(2, 10, Exclusive)
+	if !errors.Is(err, ErrDeadlock) {
+		t.Fatalf("deadlock not detected: %v", err)
+	}
+	m.Release(2) // victim releases; T1 proceeds
+	if err := <-t1done; err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestUpgradeDeadlockDetected(t *testing.T) {
+	m := New()
+	if err := m.Lock(1, 4, Shared); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Lock(2, 4, Shared); err != nil {
+		t.Fatal(err)
+	}
+	// Both try to upgrade: the second must be victimized.
+	t1done := make(chan error, 1)
+	go func() { t1done <- m.Lock(1, 4, Exclusive) }()
+	time.Sleep(20 * time.Millisecond)
+	err := m.Lock(2, 4, Exclusive)
+	if !errors.Is(err, ErrDeadlock) {
+		t.Fatalf("upgrade deadlock not detected: %v", err)
+	}
+	m.Release(2)
+	if err := <-t1done; err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestReleaseWakesQueue(t *testing.T) {
+	m := New()
+	if err := m.Lock(1, 9, Exclusive); err != nil {
+		t.Fatal(err)
+	}
+	const waiters = 5
+	var wg sync.WaitGroup
+	var granted atomic.Int64
+	for i := 0; i < waiters; i++ {
+		wg.Add(1)
+		go func(tx TxHandle) {
+			defer wg.Done()
+			if err := m.Lock(tx, 9, Shared); err == nil {
+				granted.Add(1)
+			}
+		}(TxHandle(10 + i))
+	}
+	time.Sleep(30 * time.Millisecond)
+	m.Release(1)
+	wg.Wait()
+	if granted.Load() != waiters {
+		t.Errorf("granted %d of %d queued readers", granted.Load(), waiters)
+	}
+}
+
+func TestInvalidMode(t *testing.T) {
+	m := New()
+	if err := m.Lock(1, 1, Mode(9)); err == nil {
+		t.Error("invalid mode accepted")
+	}
+}
+
+// TestRandomizedNoLostWakeups hammers the manager with short random
+// transactions; every one must eventually finish (no lost wakeups, every
+// deadlock victim unblocked).
+func TestRandomizedNoLostWakeups(t *testing.T) {
+	m := New()
+	const (
+		txCount = 60
+		items   = 8
+	)
+	var wg sync.WaitGroup
+	var finished atomic.Int64
+	for i := 0; i < txCount; i++ {
+		wg.Add(1)
+		go func(id int) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(int64(id)))
+			tx := TxHandle(id + 1)
+			for attempt := 0; attempt < 100; attempt++ {
+				ok := true
+				for op := 0; op < 3; op++ {
+					item := model.ItemID(rng.Intn(items) + 1)
+					mode := Shared
+					if rng.Intn(2) == 0 {
+						mode = Exclusive
+					}
+					if err := m.Lock(tx, item, mode); err != nil {
+						ok = false
+						break
+					}
+				}
+				m.Release(tx)
+				if ok {
+					finished.Add(1)
+					return
+				}
+			}
+		}(i)
+	}
+	done := make(chan struct{})
+	go func() { wg.Wait(); close(done) }()
+	select {
+	case <-done:
+	case <-time.After(20 * time.Second):
+		t.Fatal("lock manager hung")
+	}
+	if finished.Load() != txCount {
+		t.Errorf("%d of %d transactions finished", finished.Load(), txCount)
+	}
+}
+
+func TestModeString(t *testing.T) {
+	if Shared.String() != "S" || Exclusive.String() != "X" {
+		t.Error("mode strings wrong")
+	}
+	if Mode(9).String() != "mode(9)" {
+		t.Error("unknown mode string wrong")
+	}
+}

@@ -1,0 +1,218 @@
+// Package netcast delivers becasts over a real network: a Broadcaster
+// fans each cycle's frame out to every connected TCP subscriber (push
+// delivery — clients never send requests upstream, which is what makes the
+// architecture scale with the client population), and a Tuner turns the
+// incoming stream back into becasts, implementing client.Feed so the core
+// schemes run unchanged over the network.
+package netcast
+
+import (
+	"bufio"
+	"fmt"
+	"net"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"bpush/internal/broadcast"
+	"bpush/internal/wire"
+)
+
+// Stats counts a broadcaster's traffic. BytesReceived exists to make the
+// push model's scalability property observable: clients never send
+// requests upstream, so it stays zero no matter how many transactions
+// they run.
+type Stats struct {
+	FramesSent    int64
+	BytesSent     int64
+	Drops         int64
+	BytesReceived int64
+}
+
+// Broadcaster accepts subscribers and pushes frames to all of them.
+type Broadcaster struct {
+	ln net.Listener
+
+	mu     sync.Mutex
+	conns  map[net.Conn]struct{}
+	last   []byte // most recent frame; sent to new subscribers immediately
+	closed bool
+
+	wg           sync.WaitGroup
+	writeTimeout time.Duration
+
+	framesSent    atomic.Int64
+	bytesSent     atomic.Int64
+	drops         atomic.Int64
+	bytesReceived atomic.Int64
+}
+
+// Listen starts a broadcaster on addr (e.g. "127.0.0.1:0").
+func Listen(addr string) (*Broadcaster, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("netcast: listen: %w", err)
+	}
+	b := &Broadcaster{
+		ln:           ln,
+		conns:        make(map[net.Conn]struct{}),
+		writeTimeout: 5 * time.Second,
+	}
+	b.wg.Add(1)
+	go b.acceptLoop()
+	return b, nil
+}
+
+// Addr returns the listening address.
+func (b *Broadcaster) Addr() string { return b.ln.Addr().String() }
+
+// Subscribers returns the current subscriber count.
+func (b *Broadcaster) Subscribers() int {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return len(b.conns)
+}
+
+func (b *Broadcaster) acceptLoop() {
+	defer b.wg.Done()
+	for {
+		conn, err := b.ln.Accept()
+		if err != nil {
+			return // listener closed
+		}
+		b.mu.Lock()
+		if b.closed {
+			b.mu.Unlock()
+			_ = conn.Close()
+			return
+		}
+		b.conns[conn] = struct{}{}
+		last := b.last
+		b.mu.Unlock()
+		// Clients have nothing to say in a push system; any inbound
+		// bytes are drained, counted, and ignored.
+		b.wg.Add(1)
+		go b.drainInbound(conn)
+		// Ship the most recent becast immediately so a new subscriber
+		// does not idle until the next cycle; mid-stream joins are part
+		// of the model (clients tune in whenever they like).
+		if last != nil {
+			b.writeTo(conn, last)
+		}
+	}
+}
+
+func (b *Broadcaster) drainInbound(conn net.Conn) {
+	defer b.wg.Done()
+	buf := make([]byte, 1024)
+	for {
+		n, err := conn.Read(buf)
+		b.bytesReceived.Add(int64(n))
+		if err != nil {
+			return
+		}
+	}
+}
+
+// Traffic returns the broadcaster's cumulative traffic counters.
+func (b *Broadcaster) Traffic() Stats {
+	return Stats{
+		FramesSent:    b.framesSent.Load(),
+		BytesSent:     b.bytesSent.Load(),
+		Drops:         b.drops.Load(),
+		BytesReceived: b.bytesReceived.Load(),
+	}
+}
+
+// Broadcast pushes one becast to every subscriber. Slow or dead
+// subscribers are dropped — broadcast delivery never blocks on a client,
+// which is the scalability property of push systems.
+func (b *Broadcaster) Broadcast(bc *broadcast.Bcast) error {
+	frame, err := wire.Encode(bc)
+	if err != nil {
+		return err
+	}
+	b.mu.Lock()
+	if b.closed {
+		b.mu.Unlock()
+		return fmt.Errorf("netcast: broadcaster closed")
+	}
+	b.last = frame
+	conns := make([]net.Conn, 0, len(b.conns))
+	for c := range b.conns {
+		conns = append(conns, c)
+	}
+	b.mu.Unlock()
+	for _, c := range conns {
+		b.writeTo(c, frame)
+	}
+	return nil
+}
+
+func (b *Broadcaster) writeTo(c net.Conn, frame []byte) {
+	_ = c.SetWriteDeadline(time.Now().Add(b.writeTimeout))
+	n, err := c.Write(frame)
+	b.bytesSent.Add(int64(n))
+	if err != nil {
+		b.drops.Add(1)
+		b.drop(c)
+		return
+	}
+	b.framesSent.Add(1)
+}
+
+func (b *Broadcaster) drop(c net.Conn) {
+	b.mu.Lock()
+	delete(b.conns, c)
+	b.mu.Unlock()
+	_ = c.Close()
+}
+
+// Close stops accepting, disconnects every subscriber, and waits for the
+// accept loop to exit.
+func (b *Broadcaster) Close() error {
+	b.mu.Lock()
+	if b.closed {
+		b.mu.Unlock()
+		return nil
+	}
+	b.closed = true
+	conns := make([]net.Conn, 0, len(b.conns))
+	for c := range b.conns {
+		conns = append(conns, c)
+	}
+	b.conns = map[net.Conn]struct{}{}
+	b.mu.Unlock()
+
+	err := b.ln.Close()
+	for _, c := range conns {
+		_ = c.Close()
+	}
+	b.wg.Wait()
+	return err
+}
+
+// Tuner subscribes to a broadcaster and yields becasts. It implements
+// client.Feed.
+type Tuner struct {
+	conn net.Conn
+	r    *bufio.Reader
+}
+
+// Dial connects a tuner to a broadcaster.
+func Dial(addr string) (*Tuner, error) {
+	conn, err := net.Dial("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("netcast: dial: %w", err)
+	}
+	return &Tuner{conn: conn, r: bufio.NewReaderSize(conn, 1<<16)}, nil
+}
+
+// Next blocks until the next becast arrives. It returns io.EOF after the
+// broadcaster shuts down.
+func (t *Tuner) Next() (*broadcast.Bcast, error) {
+	return wire.Decode(t.r)
+}
+
+// Close disconnects the tuner.
+func (t *Tuner) Close() error { return t.conn.Close() }

@@ -1,0 +1,154 @@
+package netcast
+
+import (
+	"fmt"
+	"math/rand"
+	"sync"
+	"time"
+
+	"bpush/internal/broadcast"
+	"bpush/internal/server"
+	"bpush/internal/workload"
+)
+
+// StationConfig configures a broadcast station: a server database, a
+// synthetic update workload, and a network broadcaster, ticking one becast
+// per interval.
+type StationConfig struct {
+	// Addr to listen on, e.g. "127.0.0.1:0".
+	Addr string
+	// DBSize is D; Versions is S (versions retained for multiversion
+	// broadcast, >= 1).
+	DBSize   int
+	Versions int
+	// Workload drives the per-cycle update transactions. Its DBSize must
+	// match DBSize.
+	Workload workload.ServerConfig
+	// Interval between becasts. Zero means the station only broadcasts
+	// when Tick is called (manual mode, used by tests and examples that
+	// want deterministic pacing).
+	Interval time.Duration
+	// Seed feeds the workload generator.
+	Seed int64
+	// Workers > 1 executes each cycle's update transactions concurrently
+	// under strict two-phase locking instead of serially.
+	Workers int
+}
+
+// Station periodically commits a cycle of updates and broadcasts the
+// becast to all subscribers.
+type Station struct {
+	cfg  StationConfig
+	srv  *server.Server
+	gen  *workload.ServerGen
+	prog broadcast.Program
+	bc   *Broadcaster
+
+	mu    sync.Mutex
+	first bool
+
+	stop chan struct{}
+	done chan struct{}
+}
+
+// NewStation builds and starts a station. With a non-zero interval a
+// background ticker drives the cycles; stop it with Close.
+func NewStation(cfg StationConfig) (*Station, error) {
+	if cfg.DBSize <= 0 || cfg.Versions < 1 {
+		return nil, fmt.Errorf("netcast: invalid station DBSize/Versions %d/%d", cfg.DBSize, cfg.Versions)
+	}
+	if cfg.Workload.DBSize != cfg.DBSize {
+		return nil, fmt.Errorf("netcast: workload DBSize %d != station DBSize %d", cfg.Workload.DBSize, cfg.DBSize)
+	}
+	srv, err := server.New(server.Config{DBSize: cfg.DBSize, MaxVersions: cfg.Versions})
+	if err != nil {
+		return nil, err
+	}
+	gen, err := workload.NewServerGen(cfg.Workload, rand.New(rand.NewSource(cfg.Seed)))
+	if err != nil {
+		return nil, err
+	}
+	bc, err := Listen(cfg.Addr)
+	if err != nil {
+		return nil, err
+	}
+	s := &Station{
+		cfg:   cfg,
+		srv:   srv,
+		gen:   gen,
+		prog:  broadcast.FlatProgram(cfg.DBSize),
+		bc:    bc,
+		first: true,
+		stop:  make(chan struct{}),
+		done:  make(chan struct{}),
+	}
+	go s.run()
+	return s, nil
+}
+
+// Addr returns the station's listening address.
+func (s *Station) Addr() string { return s.bc.Addr() }
+
+// Subscribers returns the current subscriber count.
+func (s *Station) Subscribers() int { return s.bc.Subscribers() }
+
+func (s *Station) run() {
+	defer close(s.done)
+	if s.cfg.Interval == 0 {
+		<-s.stop
+		return
+	}
+	ticker := time.NewTicker(s.cfg.Interval)
+	defer ticker.Stop()
+	for {
+		select {
+		case <-ticker.C:
+			if err := s.Tick(); err != nil {
+				return
+			}
+		case <-s.stop:
+			return
+		}
+	}
+}
+
+// Tick commits one cycle of synthetic updates and broadcasts the becast.
+// The first tick broadcasts the initial database load.
+func (s *Station) Tick() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	var (
+		b   *broadcast.Bcast
+		err error
+	)
+	if s.first {
+		s.first = false
+		b, err = broadcast.Assemble(s.srv, nil, s.prog)
+	} else {
+		var log *server.CycleLog
+		if s.cfg.Workers > 1 {
+			log, err = s.srv.CommitConcurrentAndAdvance(s.gen.Cycle(), s.cfg.Workers)
+		} else {
+			log, err = s.srv.CommitAndAdvance(s.gen.Cycle())
+		}
+		if err != nil {
+			return err
+		}
+		b, err = broadcast.Assemble(s.srv, log, s.prog)
+	}
+	if err != nil {
+		return err
+	}
+	return s.bc.Broadcast(b)
+}
+
+// Close stops the ticker and shuts the broadcaster down.
+func (s *Station) Close() error {
+	select {
+	case <-s.stop:
+	default:
+		close(s.stop)
+	}
+	<-s.done
+	return s.bc.Close()
+}

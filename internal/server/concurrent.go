@@ -1,0 +1,163 @@
+package server
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+	"sync"
+	"time"
+
+	"bpush/internal/lockmgr"
+	"bpush/internal/model"
+	"bpush/internal/sg"
+)
+
+// CommitConcurrentAndAdvance executes the cycle's update transactions
+// concurrently under strict two-phase locking — the server-side
+// concurrency control the paper suggests ("most probably two-phase
+// locking", §3.3) — and advances to the next cycle, producing the same
+// CycleLog a serial execution would.
+//
+// Each transaction takes shared locks for pure reads and exclusive locks
+// for items it will write (known up front, which avoids upgrade
+// deadlocks for the common read-then-write pattern), holds everything to
+// commit, and retries from scratch when chosen as a deadlock victim. The
+// strictness of the locking protocol makes the commit order a valid
+// serialization order, so each transaction's effects are folded into the
+// multiversion store at commit time, serially, exactly as in
+// CommitAndAdvance — conflict edges included. With workers == 1 the
+// result is identical to the serial path.
+func (s *Server) CommitConcurrentAndAdvance(txs []model.ServerTx, workers int) (*CycleLog, error) {
+	if workers < 1 {
+		return nil, fmt.Errorf("server: workers must be >= 1, got %d", workers)
+	}
+	next := s.cycle + 1
+	log := &CycleLog{
+		Cycle:       next,
+		FirstWriter: make(map[model.ItemID]model.TxID),
+		LastWriter:  make(map[model.ItemID]model.TxID),
+		AllWriters:  make(map[model.ItemID][]model.TxID),
+		Delta:       sg.Delta{Cycle: next},
+	}
+
+	// Validate up front so workers never observe malformed programs.
+	for i, tx := range txs {
+		readSoFar := make(map[model.ItemID]struct{})
+		for _, op := range tx.Ops {
+			if err := s.checkItem(op.Item); err != nil {
+				return nil, fmt.Errorf("tx %d: %w", i, err)
+			}
+			switch op.Kind {
+			case model.OpRead:
+				readSoFar[op.Item] = struct{}{}
+			case model.OpWrite:
+				if _, ok := readSoFar[op.Item]; !ok {
+					return nil, fmt.Errorf("tx %d writes %v without reading it first (strictness assumption)", i, op.Item)
+				}
+			default:
+				return nil, fmt.Errorf("tx %d: invalid op kind %v", i, op.Kind)
+			}
+		}
+	}
+
+	lm := lockmgr.New()
+	var (
+		commitMu sync.Mutex
+		nextSeq  uint32
+		firstErr error
+		errOnce  sync.Once
+	)
+	work := make(chan int)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(worker int) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(int64(worker + 1)))
+			for i := range work {
+				if err := s.runLocked(txs[i], lockmgr.TxHandle(i+1), lm, rng, &commitMu, &nextSeq, next, log); err != nil {
+					errOnce.Do(func() { firstErr = fmt.Errorf("tx %d: %w", i, err) })
+				}
+			}
+		}(w)
+	}
+	for i := range txs {
+		work <- i
+	}
+	close(work)
+	wg.Wait()
+	if firstErr != nil {
+		return nil, firstErr
+	}
+
+	sort.Slice(log.Delta.Nodes, func(i, j int) bool { return log.Delta.Nodes[i].Before(log.Delta.Nodes[j]) })
+	sort.Slice(log.Delta.Edges, func(i, j int) bool {
+		a, b := log.Delta.Edges[i], log.Delta.Edges[j]
+		if a.To != b.To {
+			return a.To.Before(b.To)
+		}
+		return a.From.Before(b.From)
+	})
+	for item := range log.FirstWriter {
+		log.Updated = append(log.Updated, item)
+	}
+	sort.Slice(log.Updated, func(i, j int) bool { return log.Updated[i] < log.Updated[j] })
+	log.NumCommitted = len(txs)
+	s.trimVersions(next)
+	s.cycle = next
+	return log, nil
+}
+
+// maxTxRetries bounds deadlock-victim retries per transaction.
+const maxTxRetries = 200
+
+// runLocked executes one transaction under strict 2PL: acquire all locks
+// (X for the writeset, S otherwise) in operation order, then commit its
+// effects serially.
+func (s *Server) runLocked(tx model.ServerTx, h lockmgr.TxHandle, lm *lockmgr.Manager,
+	rng *rand.Rand, commitMu *sync.Mutex, nextSeq *uint32, next model.Cycle, log *CycleLog) error {
+
+	writeset := tx.WriteSet()
+	for attempt := 0; attempt < maxTxRetries; attempt++ {
+		ok := true
+		for _, op := range tx.Ops {
+			mode := lockmgr.Shared
+			if _, w := writeset[op.Item]; w {
+				mode = lockmgr.Exclusive
+			}
+			if err := lm.Lock(h, op.Item, mode); err != nil {
+				ok = false
+				break
+			}
+		}
+		if !ok {
+			// Deadlock victim: release everything and retry after a
+			// short randomized backoff.
+			lm.Release(h)
+			time.Sleep(time.Duration(rng.Intn(2000)+100) * time.Microsecond)
+			continue
+		}
+		// All locks held: commit effects in commit order.
+		commitMu.Lock()
+		id := model.TxID{Cycle: next, Seq: *nextSeq}
+		*nextSeq++
+		edges := make(map[sg.Edge]struct{})
+		for _, op := range tx.Ops {
+			switch op.Kind {
+			case model.OpRead:
+				s.applyRead(id, op.Item, edges)
+			case model.OpWrite:
+				s.applyWrite(id, op.Item, next, edges, log)
+			}
+		}
+		log.Delta.Nodes = append(log.Delta.Nodes, id)
+		for e := range edges {
+			log.Delta.Edges = append(log.Delta.Edges, e)
+		}
+		commitMu.Unlock()
+		lm.Release(h)
+		return nil
+	}
+	lm.Release(h)
+	return fmt.Errorf("server: transaction starved after %d deadlock retries", maxTxRetries)
+}

@@ -1,0 +1,185 @@
+package server
+
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+
+	"bpush/internal/model"
+	"bpush/internal/sg"
+)
+
+func randomTxs(seed int64, n, dbSize int) []model.ServerTx {
+	rng := rand.New(rand.NewSource(seed))
+	txs := make([]model.ServerTx, n)
+	for i := range txs {
+		var ops []model.Op
+		for r := 0; r < 2+rng.Intn(3); r++ {
+			ops = append(ops, model.Op{Kind: model.OpRead, Item: model.ItemID(rng.Intn(dbSize) + 1)})
+		}
+		for w := 0; w < 1+rng.Intn(2); w++ {
+			item := model.ItemID(rng.Intn(dbSize) + 1)
+			ops = append(ops, model.Op{Kind: model.OpRead, Item: item}, model.Op{Kind: model.OpWrite, Item: item})
+		}
+		txs[i] = model.ServerTx{Ops: ops}
+	}
+	return txs
+}
+
+func TestConcurrentValidation(t *testing.T) {
+	s := mustNew(t, Config{DBSize: 10, MaxVersions: 1})
+	if _, err := s.CommitConcurrentAndAdvance(nil, 0); err == nil {
+		t.Error("zero workers accepted")
+	}
+	blind := []model.ServerTx{{Ops: []model.Op{{Kind: model.OpWrite, Item: 1}}}}
+	if _, err := s.CommitConcurrentAndAdvance(blind, 2); err == nil {
+		t.Error("blind write accepted")
+	}
+	bad := []model.ServerTx{{Ops: []model.Op{{Kind: model.OpRead, Item: 99}}}}
+	if _, err := s.CommitConcurrentAndAdvance(bad, 2); err == nil {
+		t.Error("out-of-range item accepted")
+	}
+}
+
+// TestSingleWorkerMatchesSerial: with one worker, the 2PL executor
+// degenerates to the serial path and must produce the identical log and
+// database state.
+func TestSingleWorkerMatchesSerial(t *testing.T) {
+	txs := randomTxs(7, 12, 20)
+	serial := mustNew(t, Config{DBSize: 20, MaxVersions: 3})
+	serialLog, err := serial.CommitAndAdvance(txs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	conc := mustNew(t, Config{DBSize: 20, MaxVersions: 3})
+	concLog, err := conc.CommitConcurrentAndAdvance(txs, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(serialLog.Updated, concLog.Updated) {
+		t.Errorf("updated sets differ: %v vs %v", serialLog.Updated, concLog.Updated)
+	}
+	if !reflect.DeepEqual(serialLog.FirstWriter, concLog.FirstWriter) {
+		t.Error("first writers differ")
+	}
+	if !reflect.DeepEqual(serialLog.Delta.Edges, concLog.Delta.Edges) {
+		t.Errorf("edges differ:\n serial %v\n conc   %v", serialLog.Delta.Edges, concLog.Delta.Edges)
+	}
+	a, b := serial.Snapshot(), conc.Snapshot()
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("state diverged at item %d: %d vs %d", i+1, a[i], b[i])
+		}
+	}
+}
+
+// TestConcurrentInvariants runs contended batches with many workers and
+// checks everything the broadcast layer depends on.
+func TestConcurrentInvariants(t *testing.T) {
+	for _, workers := range []int{2, 4, 8} {
+		s := mustNew(t, Config{DBSize: 12, MaxVersions: 2})
+		g := sg.New()
+		for cyc := 0; cyc < 6; cyc++ {
+			txs := randomTxs(int64(100+cyc), 16, 12)
+			log, err := s.CommitConcurrentAndAdvance(txs, workers)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if log.NumCommitted != len(txs) {
+				t.Fatalf("committed %d of %d", log.NumCommitted, len(txs))
+			}
+			// Every committed transaction appears exactly once, with
+			// sequence numbers 0..n-1.
+			seen := make(map[uint32]bool)
+			for _, n := range log.Delta.Nodes {
+				if n.Cycle != log.Cycle {
+					t.Fatalf("node %v from wrong cycle", n)
+				}
+				if seen[n.Seq] {
+					t.Fatalf("duplicate seq %d", n.Seq)
+				}
+				seen[n.Seq] = true
+			}
+			if len(seen) != len(txs) {
+				t.Fatalf("%d nodes for %d txs", len(seen), len(txs))
+			}
+			// Edges respect commit order (Claim 1) and integrate into an
+			// acyclic graph.
+			for _, e := range log.Delta.Edges {
+				if !e.From.Before(e.To) {
+					t.Fatalf("edge %v -> %v violates commit order", e.From, e.To)
+				}
+			}
+			if err := g.Apply(log.Delta); err != nil {
+				t.Fatal(err)
+			}
+			// First/last writers must be consistent with AllWriters.
+			for item, ws := range log.AllWriters {
+				if log.FirstWriter[item] != ws[0] {
+					t.Fatalf("first writer mismatch for %v", item)
+				}
+				if log.LastWriter[item] != ws[len(ws)-1] {
+					t.Fatalf("last writer mismatch for %v", item)
+				}
+				for i := 1; i < len(ws); i++ {
+					if !ws[i-1].Before(ws[i]) {
+						t.Fatalf("AllWriters out of commit order for %v", item)
+					}
+				}
+			}
+		}
+		if !g.IsAcyclic() {
+			t.Fatal("concurrent execution produced a cyclic serialization graph")
+		}
+	}
+}
+
+// TestConcurrentVersionsStayOrdered: the multiversion store must keep
+// ascending version cycles per item under concurrent commits.
+func TestConcurrentVersionsStayOrdered(t *testing.T) {
+	s := mustNew(t, Config{DBSize: 8, MaxVersions: 4})
+	for cyc := 0; cyc < 8; cyc++ {
+		if _, err := s.CommitConcurrentAndAdvance(randomTxs(int64(cyc), 10, 8), 4); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for i := 1; i <= 8; i++ {
+		vs, err := s.Versions(model.ItemID(i))
+		if err != nil {
+			t.Fatal(err)
+		}
+		for j := 1; j < len(vs); j++ {
+			if vs[j].Cycle <= vs[j-1].Cycle {
+				t.Fatalf("item %d versions out of order: %v", i, vs)
+			}
+		}
+	}
+}
+
+// TestConcurrentDeadlockProneWorkload forces opposite-order writesets so
+// deadlock victimization and retry actually fire.
+func TestConcurrentDeadlockProneWorkload(t *testing.T) {
+	s := mustNew(t, Config{DBSize: 4, MaxVersions: 1})
+	var txs []model.ServerTx
+	for i := 0; i < 12; i++ {
+		a, b := model.ItemID(1), model.ItemID(2)
+		if i%2 == 1 {
+			a, b = b, a
+		}
+		txs = append(txs, model.ServerTx{Ops: []model.Op{
+			{Kind: model.OpRead, Item: a}, {Kind: model.OpWrite, Item: a},
+			{Kind: model.OpRead, Item: b}, {Kind: model.OpWrite, Item: b},
+		}})
+	}
+	log, err := s.CommitConcurrentAndAdvance(txs, 6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if log.NumCommitted != 12 {
+		t.Errorf("committed %d of 12", log.NumCommitted)
+	}
+	if len(log.AllWriters[1]) != 12 || len(log.AllWriters[2]) != 12 {
+		t.Errorf("writer counts %d/%d, want 12/12",
+			len(log.AllWriters[1]), len(log.AllWriters[2]))
+	}
+}

@@ -1,0 +1,297 @@
+// Package server implements the broadcast server's database: a multiversion
+// item store over which update transactions execute serially between
+// broadcast cycles, producing per-cycle logs (invalidation report, first and
+// last writers, serialization-graph delta) from which the becast of the next
+// cycle is assembled.
+//
+// The model follows §2 of Pitoura & Chrysanthis: all updates are performed
+// at the server, the content broadcast during cycle c corresponds to the
+// database state at the beginning of c (all transactions committed by then),
+// and each server transaction reads an item before writing it, so histories
+// are strict and the serialization graph's edges always run forward in
+// commit order (Claim 1).
+package server
+
+import (
+	"fmt"
+	"sort"
+
+	"bpush/internal/model"
+	"bpush/internal/sg"
+)
+
+// Config configures a Server.
+type Config struct {
+	// DBSize is D, the number of items broadcast (items 1..DBSize).
+	DBSize int
+	// MaxVersions is S: the server retains, for each item, the versions
+	// needed by read-only transactions with span up to S. S=1 keeps only
+	// the current version (the invalidation-only and SGT configurations);
+	// S>1 enables multiversion broadcast.
+	MaxVersions int
+}
+
+func (c Config) validate() error {
+	if c.DBSize <= 0 {
+		return fmt.Errorf("server: DBSize must be positive, got %d", c.DBSize)
+	}
+	if c.MaxVersions < 1 {
+		return fmt.Errorf("server: MaxVersions must be >= 1, got %d", c.MaxVersions)
+	}
+	return nil
+}
+
+// CycleLog is everything the server learned while processing one cycle's
+// update transactions; the becast of cycle Cycle is assembled from it.
+type CycleLog struct {
+	// Cycle is the becast cycle that carries these effects: the listed
+	// transactions committed during cycle Cycle-1.
+	Cycle model.Cycle
+	// Updated is the invalidation report: the items written during the
+	// previous cycle, in ascending order.
+	Updated []model.ItemID
+	// FirstWriter maps each updated item to the first transaction that
+	// wrote it during the cycle (the target of the query's precedence
+	// edge, per Claim 2).
+	FirstWriter map[model.ItemID]model.TxID
+	// LastWriter maps each updated item to the last transaction that
+	// wrote it during the cycle; its value is the one broadcast.
+	LastWriter map[model.ItemID]model.TxID
+	// AllWriters maps each updated item to every transaction that wrote
+	// it during the cycle, in commit order. Used by the full-edge
+	// correctness oracle and the Claim 2/3 differential tests; it is not
+	// broadcast.
+	AllWriters map[model.ItemID][]model.TxID
+	// Delta is the difference of the serialization graph: the committed
+	// transactions and their direct conflict edges with previously
+	// committed transactions.
+	Delta sg.Delta
+	// NumCommitted is the number of transactions committed.
+	NumCommitted int
+}
+
+// Server is the broadcast server's database engine. It is not safe for
+// concurrent use; the simulator and the network broadcaster drive it from a
+// single goroutine, which matches the single-writer model of the paper.
+type Server struct {
+	cfg     Config
+	cycle   model.Cycle // cycle of the most recently produced becast
+	items   []itemState // index i holds item i+1
+	readers map[model.ItemID][]model.TxID
+}
+
+type itemState struct {
+	// versions holds the retained versions in ascending cycle order; the
+	// last element is current.
+	versions []model.Version
+	// writeCount feeds deterministic, per-item-unique values.
+	writeCount int64
+}
+
+// New creates a server with the initial database load. Item i starts with
+// value i*1e6, version cycle 1 (the first becast), written by the initial
+// load pseudo-transaction.
+func New(cfg Config) (*Server, error) {
+	if err := cfg.validate(); err != nil {
+		return nil, err
+	}
+	s := &Server{
+		cfg:     cfg,
+		cycle:   1,
+		items:   make([]itemState, cfg.DBSize),
+		readers: make(map[model.ItemID][]model.TxID),
+	}
+	for i := range s.items {
+		s.items[i].versions = []model.Version{{
+			Value:  initialValue(model.ItemID(i + 1)),
+			Cycle:  1,
+			Writer: model.InitialLoadTx,
+		}}
+	}
+	return s, nil
+}
+
+func initialValue(id model.ItemID) model.Value {
+	return model.Value(int64(id) * 1_000_000)
+}
+
+// Cycle returns the cycle number of the most recently produced becast.
+func (s *Server) Cycle() model.Cycle { return s.cycle }
+
+// DBSize returns D.
+func (s *Server) DBSize() int { return s.cfg.DBSize }
+
+// MaxVersions returns S.
+func (s *Server) MaxVersions() int { return s.cfg.MaxVersions }
+
+// Current returns the current version of an item.
+func (s *Server) Current(id model.ItemID) (model.Version, error) {
+	if err := s.checkItem(id); err != nil {
+		return model.Version{}, err
+	}
+	vs := s.items[id-1].versions
+	return vs[len(vs)-1], nil
+}
+
+// Versions returns a copy of the retained versions of an item, oldest
+// first; the last element is the current version.
+func (s *Server) Versions(id model.ItemID) ([]model.Version, error) {
+	if err := s.checkItem(id); err != nil {
+		return nil, err
+	}
+	src := s.items[id-1].versions
+	out := make([]model.Version, len(src))
+	copy(out, src)
+	return out, nil
+}
+
+// Snapshot returns the current database state (the state the next becast
+// will broadcast).
+func (s *Server) Snapshot() model.DBState {
+	out := make(model.DBState, len(s.items))
+	for i := range s.items {
+		vs := s.items[i].versions
+		out[i] = vs[len(vs)-1].Value
+	}
+	return out
+}
+
+func (s *Server) checkItem(id model.ItemID) error {
+	if id == model.InvalidItem || int(id) > len(s.items) {
+		return fmt.Errorf("server: %v out of range 1..%d", id, len(s.items))
+	}
+	return nil
+}
+
+// CommitAndAdvance executes the given update transactions serially (their
+// order is the commit order), as if they committed during the current
+// cycle, and advances to the next cycle. It returns the CycleLog from which
+// the next becast is assembled.
+//
+// Execution builds conflict edges exactly as a strict history would:
+//
+//   - a read of x adds a wr edge lastWriter(x) -> T,
+//   - a write of x adds rw edges reader -> T for every transaction that
+//     read x since its last write, and a ww edge lastWriter(x) -> T,
+//
+// always skipping the initial-load pseudo-transaction, which is not a node
+// of the broadcast graph.
+func (s *Server) CommitAndAdvance(txs []model.ServerTx) (*CycleLog, error) {
+	next := s.cycle + 1
+	log := &CycleLog{
+		Cycle:       next,
+		FirstWriter: make(map[model.ItemID]model.TxID),
+		LastWriter:  make(map[model.ItemID]model.TxID),
+		AllWriters:  make(map[model.ItemID][]model.TxID),
+		Delta:       sg.Delta{Cycle: next},
+	}
+	for seq, tx := range txs {
+		id := model.TxID{Cycle: next, Seq: uint32(seq)}
+		edges := make(map[sg.Edge]struct{})
+		readSoFar := make(map[model.ItemID]struct{})
+		for _, op := range tx.Ops {
+			if err := s.checkItem(op.Item); err != nil {
+				return nil, fmt.Errorf("tx %v: %w", id, err)
+			}
+			switch op.Kind {
+			case model.OpRead:
+				s.applyRead(id, op.Item, edges)
+				readSoFar[op.Item] = struct{}{}
+			case model.OpWrite:
+				if _, ok := readSoFar[op.Item]; !ok {
+					return nil, fmt.Errorf("tx %v writes %v without reading it first (strictness assumption)", id, op.Item)
+				}
+				s.applyWrite(id, op.Item, next, edges, log)
+			default:
+				return nil, fmt.Errorf("tx %v: invalid op kind %v", id, op.Kind)
+			}
+		}
+		log.Delta.Nodes = append(log.Delta.Nodes, id)
+		for e := range edges {
+			log.Delta.Edges = append(log.Delta.Edges, e)
+		}
+		log.NumCommitted++
+	}
+	sort.Slice(log.Delta.Edges, func(i, j int) bool {
+		a, b := log.Delta.Edges[i], log.Delta.Edges[j]
+		if a.To != b.To {
+			return a.To.Before(b.To)
+		}
+		return a.From.Before(b.From)
+	})
+	for item := range log.FirstWriter {
+		log.Updated = append(log.Updated, item)
+	}
+	sort.Slice(log.Updated, func(i, j int) bool { return log.Updated[i] < log.Updated[j] })
+	s.trimVersions(next)
+	s.cycle = next
+	return log, nil
+}
+
+func (s *Server) applyRead(id model.TxID, item model.ItemID, edges map[sg.Edge]struct{}) {
+	st := &s.items[item-1]
+	last := st.versions[len(st.versions)-1].Writer
+	if !last.IsZero() && last != id {
+		edges[sg.Edge{From: last, To: id}] = struct{}{}
+	}
+	for _, r := range s.readers[item] {
+		if r == id {
+			return // already recorded
+		}
+	}
+	s.readers[item] = append(s.readers[item], id)
+}
+
+func (s *Server) applyWrite(id model.TxID, item model.ItemID, next model.Cycle, edges map[sg.Edge]struct{}, log *CycleLog) {
+	st := &s.items[item-1]
+	cur := &st.versions[len(st.versions)-1]
+	if !cur.Writer.IsZero() && cur.Writer != id {
+		edges[sg.Edge{From: cur.Writer, To: id}] = struct{}{}
+	}
+	for _, r := range s.readers[item] {
+		if r != id && !r.IsZero() {
+			edges[sg.Edge{From: r, To: id}] = struct{}{}
+		}
+	}
+	delete(s.readers, item)
+
+	st.writeCount++
+	val := initialValue(item) + model.Value(st.writeCount)
+	if cur.Cycle == next {
+		// Same-cycle overwrite: the becast carries only the final value
+		// of the cycle, so replace in place.
+		cur.Value = val
+		cur.Writer = id
+	} else {
+		st.versions = append(st.versions, model.Version{Value: val, Cycle: next, Writer: id})
+	}
+	if _, ok := log.FirstWriter[item]; !ok {
+		log.FirstWriter[item] = id
+	}
+	log.LastWriter[item] = id
+	if ws := log.AllWriters[item]; len(ws) == 0 || ws[len(ws)-1] != id {
+		// A transaction writing the same item twice is still one writer.
+		log.AllWriters[item] = append(ws, id)
+	}
+}
+
+// trimVersions discards versions that no transaction with span <= S could
+// still need at becast cycle k: a non-current version v_i is dead once its
+// successor's cycle is <= k-S+1, because even the oldest supported starting
+// cycle (k-S+1) would already pick the successor or a later version.
+func (s *Server) trimVersions(k model.Cycle) {
+	if k < model.Cycle(s.cfg.MaxVersions) {
+		return
+	}
+	floor := k - model.Cycle(s.cfg.MaxVersions) + 1
+	for i := range s.items {
+		vs := s.items[i].versions
+		cut := 0
+		for cut < len(vs)-1 && vs[cut+1].Cycle <= floor {
+			cut++
+		}
+		if cut > 0 {
+			s.items[i].versions = append(vs[:0], vs[cut:]...)
+		}
+	}
+}

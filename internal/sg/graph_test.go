@@ -1,0 +1,290 @@
+package sg
+
+import (
+	"math/rand"
+	"testing"
+
+	"bpush/internal/model"
+)
+
+func tx(c model.Cycle, s uint32) model.TxID { return model.TxID{Cycle: c, Seq: s} }
+
+func TestAddEdgeEnforcesCommitOrder(t *testing.T) {
+	g := New()
+	if err := g.AddEdge(tx(1, 0), tx(1, 1)); err != nil {
+		t.Fatalf("forward same-cycle edge rejected: %v", err)
+	}
+	if err := g.AddEdge(tx(1, 1), tx(2, 0)); err != nil {
+		t.Fatalf("forward cross-cycle edge rejected: %v", err)
+	}
+	if err := g.AddEdge(tx(2, 0), tx(1, 0)); err == nil {
+		t.Error("backward edge accepted, want Claim 1 violation error")
+	}
+	if err := g.AddEdge(tx(1, 0), tx(1, 0)); err == nil {
+		t.Error("self edge accepted, want error")
+	}
+}
+
+func TestAddEdgeIdempotent(t *testing.T) {
+	g := New()
+	for i := 0; i < 3; i++ {
+		if err := g.AddEdge(tx(1, 0), tx(1, 1)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if got := g.EdgeCount(); got != 1 {
+		t.Errorf("EdgeCount() = %d after duplicate inserts, want 1", got)
+	}
+}
+
+func TestReachableBasic(t *testing.T) {
+	g := New()
+	// Chain 1.0 -> 1.1 -> 2.0 -> 3.0, plus isolated 2.5.
+	edges := []Edge{
+		{tx(1, 0), tx(1, 1)},
+		{tx(1, 1), tx(2, 0)},
+		{tx(2, 0), tx(3, 0)},
+	}
+	for _, e := range edges {
+		if err := g.AddEdge(e.From, e.To); err != nil {
+			t.Fatal(err)
+		}
+	}
+	g.EnsureNode(tx(2, 5))
+
+	tests := []struct {
+		name     string
+		src, dst model.TxID
+		want     bool
+	}{
+		{"direct", tx(1, 0), tx(1, 1), true},
+		{"transitive", tx(1, 0), tx(3, 0), true},
+		{"self", tx(2, 0), tx(2, 0), true},
+		{"backward", tx(3, 0), tx(1, 0), false},
+		{"isolated", tx(1, 0), tx(2, 5), false},
+		{"unknown source", tx(9, 9), tx(3, 0), false},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			if got := g.Reachable(tt.src, tt.dst); got != tt.want {
+				t.Errorf("Reachable(%v, %v) = %v, want %v", tt.src, tt.dst, got, tt.want)
+			}
+		})
+	}
+}
+
+func TestReachableFromAny(t *testing.T) {
+	g := New()
+	mustEdge(t, g, tx(1, 0), tx(2, 0))
+	mustEdge(t, g, tx(1, 1), tx(2, 1))
+	mustEdge(t, g, tx(2, 1), tx(3, 0))
+
+	if !g.ReachableFromAny([]model.TxID{tx(1, 0), tx(1, 1)}, tx(3, 0)) {
+		t.Error("tx(3.0) should be reachable from {1.0, 1.1} via 1.1")
+	}
+	if g.ReachableFromAny([]model.TxID{tx(1, 0)}, tx(3, 0)) {
+		t.Error("tx(3.0) should not be reachable from {1.0}")
+	}
+	if g.ReachableFromAny(nil, tx(3, 0)) {
+		t.Error("empty source set must reach nothing")
+	}
+	// Source equals destination counts as reachable (path length 0): the
+	// first writer being the last writer is an immediate cycle.
+	if !g.ReachableFromAny([]model.TxID{tx(3, 0)}, tx(3, 0)) {
+		t.Error("source == destination must be reachable")
+	}
+}
+
+func TestApplyDelta(t *testing.T) {
+	g := New()
+	d := Delta{
+		Cycle: 2,
+		Nodes: []model.TxID{tx(2, 0), tx(2, 1)},
+		Edges: []Edge{{tx(2, 0), tx(2, 1)}},
+	}
+	if err := g.Apply(d); err != nil {
+		t.Fatal(err)
+	}
+	if g.NodeCount() != 2 || g.EdgeCount() != 1 {
+		t.Errorf("after Apply: %d nodes %d edges, want 2/1", g.NodeCount(), g.EdgeCount())
+	}
+	bad := Delta{Cycle: 3, Edges: []Edge{{tx(3, 0), tx(2, 0)}}}
+	if err := g.Apply(bad); err == nil {
+		t.Error("Apply with backward edge succeeded, want error")
+	}
+}
+
+func TestPruneBefore(t *testing.T) {
+	g := New()
+	mustEdge(t, g, tx(1, 0), tx(2, 0))
+	mustEdge(t, g, tx(2, 0), tx(3, 0))
+	mustEdge(t, g, tx(3, 0), tx(4, 0))
+
+	g.PruneBefore(3)
+	if g.HasNode(tx(1, 0)) || g.HasNode(tx(2, 0)) {
+		t.Error("pruned nodes still present")
+	}
+	if !g.HasNode(tx(3, 0)) || !g.HasNode(tx(4, 0)) {
+		t.Error("retained nodes missing after prune")
+	}
+	if got := g.MinRetainedCycle(); got != 3 {
+		t.Errorf("MinRetainedCycle() = %v, want 3", got)
+	}
+	if !g.Reachable(tx(3, 0), tx(4, 0)) {
+		t.Error("retained edge lost by prune")
+	}
+	// Destinations in the pruned region are unreachable by construction.
+	if g.Reachable(tx(3, 0), tx(2, 0)) {
+		t.Error("pruned destination reported reachable")
+	}
+	// Pruning never moves backwards.
+	g.PruneBefore(1)
+	if got := g.MinRetainedCycle(); got != 3 {
+		t.Errorf("MinRetainedCycle() after backward prune = %v, want 3", got)
+	}
+	// New nodes in pruned cycles are ignored.
+	g.EnsureNode(tx(2, 7))
+	if g.HasNode(tx(2, 7)) {
+		t.Error("node in pruned cycle was added")
+	}
+	// Edges whose source is pruned are dropped without error.
+	if err := g.AddEdge(tx(2, 7), tx(5, 0)); err != nil {
+		t.Errorf("edge from pruned cycle returned error: %v", err)
+	}
+	if g.HasNode(tx(2, 7)) {
+		t.Error("pruned-source edge created its source node")
+	}
+}
+
+func TestPruneReleasesEdgeCount(t *testing.T) {
+	g := New()
+	mustEdge(t, g, tx(1, 0), tx(1, 1))
+	mustEdge(t, g, tx(1, 1), tx(2, 0))
+	before := g.EdgeCount()
+	g.PruneBefore(2)
+	if g.EdgeCount() >= before {
+		t.Errorf("EdgeCount() = %d after prune, want < %d", g.EdgeCount(), before)
+	}
+}
+
+func TestIsAcyclicAlwaysHoldsUnderAddEdge(t *testing.T) {
+	// Random forward-ordered edges can never form a cycle (Claim 1 makes
+	// the commit order a topological order).
+	rng := rand.New(rand.NewSource(11))
+	g := New()
+	ids := make([]model.TxID, 0, 200)
+	for c := model.Cycle(1); c <= 20; c++ {
+		for s := uint32(0); s < 10; s++ {
+			ids = append(ids, tx(c, s))
+		}
+	}
+	for i := 0; i < 2000; i++ {
+		a := ids[rng.Intn(len(ids))]
+		b := ids[rng.Intn(len(ids))]
+		if a.Before(b) {
+			mustEdge(t, g, a, b)
+		}
+	}
+	if !g.IsAcyclic() {
+		t.Error("graph with forward-only edges reported cyclic")
+	}
+}
+
+func TestNodesReturnsCopy(t *testing.T) {
+	g := New()
+	g.EnsureNode(tx(1, 0))
+	g.EnsureNode(tx(1, 1))
+	n := g.Nodes(1)
+	if len(n) != 2 {
+		t.Fatalf("Nodes(1) len = %d, want 2", len(n))
+	}
+	n[0] = tx(9, 9)
+	n2 := g.Nodes(1)
+	for _, id := range n2 {
+		if id == tx(9, 9) {
+			t.Error("Nodes() exposed internal slice")
+		}
+	}
+}
+
+func TestReachabilityAgainstBruteForce(t *testing.T) {
+	// Differential test: DFS with the forward-order pruning must agree
+	// with a naive BFS that ignores ordering.
+	rng := rand.New(rand.NewSource(99))
+	for trial := 0; trial < 20; trial++ {
+		g := New()
+		naive := make(map[model.TxID][]model.TxID)
+		var ids []model.TxID
+		for c := model.Cycle(1); c <= 6; c++ {
+			for s := uint32(0); s < 4; s++ {
+				ids = append(ids, tx(c, s))
+			}
+		}
+		for i := 0; i < 60; i++ {
+			a := ids[rng.Intn(len(ids))]
+			b := ids[rng.Intn(len(ids))]
+			if a.Before(b) {
+				mustEdge(t, g, a, b)
+				naive[a] = append(naive[a], b)
+			}
+		}
+		bfs := func(src, dst model.TxID) bool {
+			if src == dst {
+				return true
+			}
+			seen := map[model.TxID]bool{src: true}
+			queue := []model.TxID{src}
+			for len(queue) > 0 {
+				n := queue[0]
+				queue = queue[1:]
+				for _, next := range naive[n] {
+					if next == dst {
+						return true
+					}
+					if !seen[next] {
+						seen[next] = true
+						queue = append(queue, next)
+					}
+				}
+			}
+			return false
+		}
+		for i := 0; i < 100; i++ {
+			a := ids[rng.Intn(len(ids))]
+			b := ids[rng.Intn(len(ids))]
+			if got, want := g.Reachable(a, b), bfs(a, b); got != want {
+				t.Fatalf("trial %d: Reachable(%v,%v) = %v, brute force %v", trial, a, b, got, want)
+			}
+		}
+	}
+}
+
+func BenchmarkReachable(b *testing.B) {
+	g := New()
+	rng := rand.New(rand.NewSource(5))
+	var ids []model.TxID
+	for c := model.Cycle(1); c <= 50; c++ {
+		for s := uint32(0); s < 10; s++ {
+			ids = append(ids, tx(c, s))
+		}
+	}
+	for i := 0; i < 5000; i++ {
+		a := ids[rng.Intn(len(ids))]
+		c := ids[rng.Intn(len(ids))]
+		if a.Before(c) {
+			_ = g.AddEdge(a, c)
+		}
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		g.Reachable(ids[i%100], ids[len(ids)-1-(i%100)])
+	}
+}
+
+func mustEdge(t *testing.T, g *Graph, from, to model.TxID) {
+	t.Helper()
+	if err := g.AddEdge(from, to); err != nil {
+		t.Fatalf("AddEdge(%v, %v): %v", from, to, err)
+	}
+}

@@ -1,0 +1,116 @@
+package sim
+
+import (
+	"errors"
+	"testing"
+
+	"bpush/internal/core"
+	"bpush/internal/model"
+	"bpush/internal/server"
+	"bpush/internal/sg"
+)
+
+func archLog(c model.Cycle, writers map[model.ItemID][]model.TxID) *server.CycleLog {
+	l := &server.CycleLog{
+		Cycle:       c,
+		FirstWriter: make(map[model.ItemID]model.TxID),
+		LastWriter:  make(map[model.ItemID]model.TxID),
+		AllWriters:  writers,
+	}
+	l.Delta.Cycle = c
+	for item, ws := range writers {
+		l.FirstWriter[item] = ws[0]
+		l.LastWriter[item] = ws[len(ws)-1]
+		l.Delta.Nodes = append(l.Delta.Nodes, ws...)
+	}
+	return l
+}
+
+func TestArchiveWindowEviction(t *testing.T) {
+	a := newArchive(8)
+	for c := model.Cycle(1); c <= 20; c++ {
+		a.addState(c, model.DBState{model.Value(c)})
+	}
+	if _, ok := a.states[5]; ok {
+		t.Error("state 5 survived a window of 8 at cycle 20")
+	}
+	if _, ok := a.states[20]; !ok {
+		t.Error("latest state missing")
+	}
+	if a.low() != 12 {
+		t.Errorf("low() = %v, want 12", a.low())
+	}
+}
+
+func TestArchiveCheckStateMismatch(t *testing.T) {
+	a := newArchive(16)
+	a.addState(3, model.DBState{10, 20})
+	info := core.CommitInfo{
+		StartCycle:         3,
+		CommitCycle:        3,
+		SerializationCycle: 3,
+		Reads:              []model.ReadObservation{{Item: 2, Value: 99}},
+	}
+	if err := a.check(info); err == nil {
+		t.Error("inconsistent readset passed the oracle")
+	}
+	info.Reads[0].Value = 20
+	if err := a.check(info); err != nil {
+		t.Errorf("consistent readset rejected: %v", err)
+	}
+}
+
+func TestArchiveCheckOutsideWindow(t *testing.T) {
+	a := newArchive(8)
+	for c := model.Cycle(1); c <= 30; c++ {
+		a.addState(c, model.DBState{1})
+	}
+	info := core.CommitInfo{StartCycle: 2, CommitCycle: 3, SerializationCycle: 3}
+	if err := a.check(info); !errors.Is(err, errOracleWindow) {
+		t.Errorf("check outside window = %v, want errOracleWindow", err)
+	}
+}
+
+func TestArchiveSGTCheck(t *testing.T) {
+	a := newArchive(32)
+	ta := model.TxID{Cycle: 2, Seq: 0}
+	tb := model.TxID{Cycle: 3, Seq: 0}
+	// T_a wrote item 1 (cycle 2); T_b wrote item 2 (cycle 3); and there
+	// is a server path T_a -> T_b.
+	la := archLog(2, map[model.ItemID][]model.TxID{1: {ta}})
+	lb := archLog(3, map[model.ItemID][]model.TxID{2: {tb}})
+	lb.Delta.Edges = append(lb.Delta.Edges, edge(ta, tb))
+	a.addLog(la)
+	a.addLog(lb)
+
+	// Query read item 2 from T_b (version 3) and item 1 at version 1
+	// (pre-T_a); T_a overwrote it afterwards. Dependency source T_b,
+	// precedence target T_a, path T_a -> T_b: cycle -> must fail.
+	bad := core.CommitInfo{
+		StartCycle:  2,
+		CommitCycle: 3,
+		Reads: []model.ReadObservation{
+			{Item: 1, Value: 0, Version: 1, Writer: model.InitialLoadTx},
+			{Item: 2, Value: 0, Version: 3, Writer: tb},
+		},
+	}
+	if err := a.check(bad); err == nil {
+		t.Error("non-serializable SGT commit passed the oracle")
+	}
+
+	// Reading item 1's *current* version (written by T_a) instead is
+	// serializable: no precedence target precedes a dependency source.
+	good := core.CommitInfo{
+		StartCycle:  2,
+		CommitCycle: 3,
+		Reads: []model.ReadObservation{
+			{Item: 1, Value: 0, Version: 2, Writer: ta},
+			{Item: 2, Value: 0, Version: 3, Writer: tb},
+		},
+	}
+	if err := a.check(good); err != nil {
+		t.Errorf("serializable SGT commit rejected: %v", err)
+	}
+}
+
+func edge(from, to model.TxID) sg.Edge { return sg.Edge{From: from, To: to} }

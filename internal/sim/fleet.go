@@ -1,0 +1,60 @@
+package sim
+
+import (
+	"fmt"
+
+	"bpush/internal/stats"
+)
+
+// FleetMetrics aggregates a multi-client run: the paper's headline claim
+// is that the methods are *scalable* — processing happens entirely at the
+// clients, so per-client performance is independent of the population
+// size. RunFleet makes that measurable: every client consumes the same
+// broadcast-cycle stream (the server's work does not depend on who is
+// listening) with its own query workload and cache/graph state.
+type FleetMetrics struct {
+	Clients   int
+	PerClient []*Metrics
+
+	// Across-client aggregates of the per-client metrics.
+	MeanAbortRate float64
+	StdAbortRate  float64
+	MeanLatency   float64
+	StdLatency    float64
+
+	// ServerCycles is the number of broadcast cycles the longest-running
+	// client consumed; the server-side cost of a cycle is independent of
+	// the fleet size, which is the scalability property.
+	ServerCycles uint64
+}
+
+// RunFleet simulates a population of independent clients over one
+// broadcast stream. Client i draws its queries (and disconnections) from
+// seed cfg.Seed + 1000*(i+1); the server-side update stream is identical
+// for everyone, exactly as a shared broadcast channel behaves.
+func RunFleet(cfg Config, clients int) (*FleetMetrics, error) {
+	if clients <= 0 {
+		return nil, fmt.Errorf("sim: fleet size must be positive, got %d", clients)
+	}
+	fm := &FleetMetrics{Clients: clients}
+	var abort, latency stats.Accumulator
+	for i := 0; i < clients; i++ {
+		c := cfg
+		c.ClientSeed = cfg.Seed + 1000*int64(i+1)
+		m, err := Run(c)
+		if err != nil {
+			return nil, fmt.Errorf("client %d: %w", i, err)
+		}
+		fm.PerClient = append(fm.PerClient, m)
+		abort.Add(m.AbortRate)
+		latency.Add(m.MeanLatency)
+		if m.Cycles > fm.ServerCycles {
+			fm.ServerCycles = m.Cycles
+		}
+	}
+	fm.MeanAbortRate = abort.Mean()
+	fm.StdAbortRate = abort.Std()
+	fm.MeanLatency = latency.Mean()
+	fm.StdLatency = latency.Std()
+	return fm, nil
+}

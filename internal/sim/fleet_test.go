@@ -1,0 +1,83 @@
+package sim
+
+import (
+	"math"
+	"testing"
+
+	"bpush/internal/core"
+)
+
+func TestRunFleetValidation(t *testing.T) {
+	if _, err := RunFleet(testConfig(core.KindInvOnly, 0), 0); err == nil {
+		t.Error("zero fleet accepted")
+	}
+	if _, err := RunFleet(testConfig(core.KindInvOnly, 0), -2); err == nil {
+		t.Error("negative fleet accepted")
+	}
+}
+
+// TestScalability is the paper's headline property: because read-only
+// transactions are processed entirely at the clients, per-client
+// performance is independent of the population size. We run fleets of 1,
+// 4, and 12 clients over the same broadcast stream and check that the
+// across-fleet mean abort rate does not drift with fleet size (each
+// client sees the same channel; there is no shared server-side resource
+// to contend on).
+func TestScalability(t *testing.T) {
+	cfg := testConfig(core.KindSGT, 20)
+	cfg.Queries = 80
+	means := make(map[int]float64)
+	for _, k := range []int{1, 4, 12} {
+		fm, err := RunFleet(cfg, k)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if fm.Clients != k || len(fm.PerClient) != k {
+			t.Fatalf("fleet bookkeeping wrong: %d/%d", fm.Clients, len(fm.PerClient))
+		}
+		means[k] = fm.MeanAbortRate
+	}
+	// Workload sampling noise only: the 12-client mean is a tighter
+	// estimate of the same per-client distribution the 1-client run
+	// sampled. Allow generous sampling tolerance; the failure mode we
+	// guard against is systematic degradation with fleet size.
+	if diff := math.Abs(means[12] - means[4]); diff > 0.15 {
+		t.Errorf("per-client abort rate drifts with fleet size: k=4 %.3f vs k=12 %.3f", means[4], means[12])
+	}
+}
+
+func TestFleetClientsAreIndependentlySeeded(t *testing.T) {
+	cfg := testConfig(core.KindInvOnly, 0)
+	cfg.Queries = 60
+	fm, err := RunFleet(cfg, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	allEqual := true
+	for _, m := range fm.PerClient[1:] {
+		if m.Committed != fm.PerClient[0].Committed {
+			allEqual = false
+		}
+	}
+	if allEqual {
+		t.Error("all fleet clients produced identical commit counts; query workloads not independently seeded")
+	}
+}
+
+func TestFleetSharesServerStream(t *testing.T) {
+	// Every client must observe the same server-side activity: the same
+	// becast lengths (deterministic server seed) regardless of its own
+	// query stream.
+	cfg := testConfig(core.KindMVBroadcast, 0)
+	cfg.ServerVersions = 8
+	cfg.Queries = 60
+	fm, err := RunFleet(cfg, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, m := range fm.PerClient {
+		if m.MeanBcastSlots == 0 {
+			t.Errorf("client %d saw no broadcast", i)
+		}
+	}
+}

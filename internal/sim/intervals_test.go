@@ -1,0 +1,103 @@
+package sim
+
+import (
+	"testing"
+
+	"bpush/internal/core"
+)
+
+func intervalConfig(kind core.Kind, cacheSize, intervals int) Config {
+	cfg := testConfig(kind, cacheSize)
+	cfg.Intervals = intervals
+	// testConfig: DBSize 200, ServerTx 5, Updates 10 — make them
+	// divisible by the interval counts used here.
+	cfg.ServerTx = 10
+	cfg.Updates = 10
+	return cfg
+}
+
+func TestIntervalValidation(t *testing.T) {
+	cfg := intervalConfig(core.KindInvOnly, 0, 3) // 3 does not divide 200/10/10
+	if _, err := Run(cfg); err == nil {
+		t.Error("non-dividing interval count accepted")
+	}
+	cfg = intervalConfig(core.KindInvOnly, 0, 2)
+	cfg.DiskFreq = 2
+	cfg.DiskHot = 20
+	if _, err := Run(cfg); err == nil {
+		t.Error("intervals + broadcast disks accepted")
+	}
+}
+
+// TestIntervalsPassOracle runs the h-interval organization under the
+// consistency oracle for every scheme family.
+func TestIntervalsPassOracle(t *testing.T) {
+	for _, tt := range []struct {
+		name  string
+		kind  core.Kind
+		cache int
+	}{
+		{"inv-only", core.KindInvOnly, 0},
+		{"inv-only+cache", core.KindInvOnly, 30},
+		{"vcache", core.KindVCache, 30},
+		{"multiversion", core.KindMVBroadcast, 0},
+		{"mv-cache", core.KindMVCache, 30},
+		{"sgt", core.KindSGT, 30},
+	} {
+		t.Run(tt.name, func(t *testing.T) {
+			cfg := intervalConfig(tt.kind, tt.cache, 5)
+			if tt.kind == core.KindMVBroadcast {
+				cfg.ServerVersions = 30 // intervals, i.e. 6 periods
+			}
+			m, err := Run(cfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if m.Committed == 0 {
+				t.Error("nothing committed under the interval organization")
+			}
+			// Each becast carries one chunk: 200/5 = 40 data slots.
+			if m.MeanBcastSlots > 60 {
+				t.Errorf("becast %.0f slots, want ~40 (one chunk + overflow)", m.MeanBcastSlots)
+			}
+		})
+	}
+}
+
+// TestIntervalsImproveCurrency is the point of the §7 extension: more
+// frequent reports (and fresher values) shrink the distance between the
+// commit and the serialization state when measured in wall-clock slots.
+func TestIntervalsImproveCurrency(t *testing.T) {
+	whole := intervalConfig(core.KindInvOnly, 0, 1)
+	wholeM, err := Run(whole)
+	if err != nil {
+		t.Fatal(err)
+	}
+	split := intervalConfig(core.KindInvOnly, 0, 5)
+	splitM, err := Run(split)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Staleness is measured in cycles; convert to slots via the becast
+	// length so the two organizations are comparable.
+	wholeSlots := wholeM.MeanStaleness * wholeM.MeanBcastSlots
+	splitSlots := splitM.MeanStaleness * splitM.MeanBcastSlots
+	if splitSlots > wholeSlots+20 {
+		t.Errorf("interval staleness %.0f slots worse than whole-cycle %.0f", splitSlots, wholeSlots)
+	}
+}
+
+func TestIntervalsDeterministic(t *testing.T) {
+	cfg := intervalConfig(core.KindSGT, 20, 5)
+	a, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Committed != b.Committed || a.MeanLatencySlots != b.MeanLatencySlots {
+		t.Error("interval simulation not deterministic")
+	}
+}

@@ -1,0 +1,120 @@
+package sim
+
+import (
+	"fmt"
+	"testing"
+
+	"bpush/internal/core"
+)
+
+// TestOracleAcrossSeedsAndSchemes is the package's property sweep: every
+// scheme under several random workloads, every commit checked by the
+// consistency oracle. Any inconsistency anywhere in the protocol stack
+// fails the run.
+func TestOracleAcrossSeedsAndSchemes(t *testing.T) {
+	if testing.Short() {
+		t.Skip("multi-seed sweep")
+	}
+	variants := []core.Options{
+		{Kind: core.KindInvOnly},
+		{Kind: core.KindInvOnly, CacheSize: 40, BucketGranularity: 8},
+		{Kind: core.KindVCache, CacheSize: 40},
+		{Kind: core.KindVCache, CacheSize: 40, AllowChannelOldReads: true},
+		{Kind: core.KindMVBroadcast},
+		{Kind: core.KindMVCache, CacheSize: 40, OldFraction: 0.6},
+		{Kind: core.KindMVCache, CacheSize: 40, AllowChannelOldReads: true},
+		{Kind: core.KindSGT, CacheSize: 40},
+	}
+	for _, seed := range []int64{3, 17, 91} {
+		for _, v := range variants {
+			v := v
+			t.Run(fmt.Sprintf("%v-seed%d", v.Kind, seed), func(t *testing.T) {
+				cfg := testConfig(v.Kind, v.CacheSize)
+				cfg.Scheme = v
+				cfg.Seed = seed
+				cfg.Queries = 120
+				if v.Kind == core.KindMVBroadcast {
+					cfg.ServerVersions = 8
+				}
+				if _, err := Run(cfg); err != nil {
+					t.Fatal(err)
+				}
+			})
+		}
+	}
+}
+
+// TestOracleUnderDisconnections stresses the disconnection paths (misses,
+// resync, tolerance) with the oracle on.
+func TestOracleUnderDisconnections(t *testing.T) {
+	if testing.Short() {
+		t.Skip("multi-seed sweep")
+	}
+	variants := []core.Options{
+		{Kind: core.KindInvOnly, CacheSize: 40},
+		{Kind: core.KindInvOnly, CacheSize: 40, ResyncOnReconnect: true},
+		{Kind: core.KindVCache, CacheSize: 40, ResyncOnReconnect: true},
+		{Kind: core.KindMVBroadcast},
+		{Kind: core.KindMVCache, CacheSize: 40},
+		{Kind: core.KindSGT},
+		{Kind: core.KindSGT, TolerateDisconnects: true},
+	}
+	for _, v := range variants {
+		v := v
+		t.Run(fmt.Sprintf("%v-res%v-tol%v", v.Kind, v.ResyncOnReconnect, v.TolerateDisconnects), func(t *testing.T) {
+			cfg := testConfig(v.Kind, v.CacheSize)
+			cfg.Scheme = v
+			cfg.DisconnectProb = 0.25
+			cfg.Queries = 120
+			if v.Kind == core.KindMVBroadcast {
+				cfg.ServerVersions = 10
+			}
+			m, err := Run(cfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if m.Committed > 0 && m.OracleChecked == 0 && m.OracleSkipped == 0 {
+				t.Error("oracle never consulted")
+			}
+		})
+	}
+}
+
+// TestBroadcastDiskProgramUnderOracle exercises the non-flat organization
+// end to end with consistency checking.
+func TestBroadcastDiskProgramUnderOracle(t *testing.T) {
+	cfg := testConfig(core.KindInvOnly, 30)
+	cfg.DiskHot = 40
+	cfg.DiskFreq = 3
+	m, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The program repeats hot items: the becast must be longer than D.
+	if m.MeanBcastSlots <= float64(cfg.DBSize) {
+		t.Errorf("becast %.0f slots with a 3x hot disk, want > %d", m.MeanBcastSlots, cfg.DBSize)
+	}
+}
+
+// TestBroadcastDiskReducesHotLatency verifies the latency motivation of
+// the broadcast-disk extension: queries over the hot partition wait less.
+func TestBroadcastDiskReducesHotLatency(t *testing.T) {
+	base := testConfig(core.KindInvOnly, 0)
+	base.ReadRange = 40 // clients only query the hot partition
+	base.OpsPerQuery = 4
+	flat, err := Run(base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	disk := base
+	disk.DiskHot = 40
+	disk.DiskFreq = 4
+	diskM, err := Run(disk)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if diskM.MeanLatencySlots >= flat.MeanLatencySlots {
+		t.Errorf("hot-disk latency %.1f slots >= flat %.1f; fast disk must reduce waits",
+			diskM.MeanLatencySlots, flat.MeanLatencySlots)
+	}
+}

@@ -1,0 +1,443 @@
+// Package sim implements the cycle-driven simulation of §5.1 of Pitoura &
+// Chrysanthis: a server committing N update transactions per broadcast
+// cycle, the becast assembly, and a client running read-only queries
+// through one of the core schemes. All randomness derives from a single
+// seed, and the server-side workload stream is independent of the scheme
+// under test, so different schemes can be compared on identical histories.
+//
+// The simulator optionally checks every committed query against a
+// correctness oracle: schemes that name a serialization cycle are checked
+// value-by-value against the archived database state of that cycle
+// (Theorems 1, 2, 4, 5), and SGT commits are checked by rebuilding the full
+// serialization graph with the query's dependency and precedence edges and
+// asserting acyclicity (Theorem 3).
+package sim
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+
+	"bpush/internal/bdisk"
+	"bpush/internal/broadcast"
+	"bpush/internal/client"
+	"bpush/internal/core"
+	"bpush/internal/model"
+	"bpush/internal/server"
+	"bpush/internal/sg"
+	"bpush/internal/stats"
+	"bpush/internal/workload"
+)
+
+// Config collects every parameter of the performance model (Figure 4) plus
+// run control. DefaultConfig returns the paper's defaults.
+type Config struct {
+	// Server and broadcast parameters.
+	DBSize         int     // D: broadcast size in items
+	UpdateRange    int     // update distribution range
+	Offset         int     // update-vs-client-read pattern deviation
+	Theta          float64 // Zipf parameter
+	ServerTx       int     // N: transactions committed per cycle
+	Updates        int     // U: updates per cycle
+	ReadsPerUpdate int     // server read:write ratio
+	ServerVersions int     // S: versions the server keeps on air
+
+	// Scheme under test.
+	Scheme core.Options
+
+	// Client parameters.
+	ReadRange      int
+	OpsPerQuery    int
+	ThinkTime      int
+	DisconnectProb float64
+
+	// Broadcast organization: with DiskFreq >= 2, items 1..DiskHot are
+	// placed on a fast broadcast disk spinning DiskFreq times per cycle
+	// (the §7 broadcast-disk extension); zero means the flat program.
+	DiskHot  int
+	DiskFreq int
+	// Intervals enables the §7 h-interval organization: the broadcast
+	// period is split into this many intervals, each carrying 1/H of the
+	// item space plus an invalidation report covering the interval. The
+	// simulator then treats every interval as one (short) cycle: commits
+	// happen H times per period and reports are H times as frequent.
+	// Zero or one keeps the classic whole-period cycle. Must divide
+	// DBSize, ServerTx, and Updates; incompatible with broadcast disks.
+	Intervals int
+
+	// Run control.
+	Queries      int   // measured queries
+	Warmup       int   // unmeasured queries to reach steady state
+	Seed         int64 // master seed (drives the server-side workload)
+	ClientSeed   int64 // client-side seed; 0 derives it from Seed. RunFleet sets it per client so a fleet shares one broadcast stream.
+	Check        bool  // enable the correctness oracle
+	OracleWindow int   // archived cycles for the oracle (default 512)
+}
+
+// DefaultConfig returns the paper's default operating point: D=1000,
+// UpdateRange=500, theta=0.95, offset 100, N=10 server transactions, U=50
+// updates per cycle, reads 4x updates, ReadRange=1000, 10 ops per query,
+// think time 2 slots, 100-page cache (set on the Scheme by callers).
+func DefaultConfig() Config {
+	return Config{
+		DBSize:         1000,
+		UpdateRange:    500,
+		Offset:         100,
+		Theta:          0.95,
+		ServerTx:       10,
+		Updates:        50,
+		ReadsPerUpdate: 4,
+		ServerVersions: 1,
+		ReadRange:      1000,
+		OpsPerQuery:    10,
+		ThinkTime:      2,
+		Queries:        2000,
+		Warmup:         100,
+		Seed:           1,
+		Check:          false,
+		OracleWindow:   512,
+	}
+}
+
+func (c Config) validate() error {
+	if c.DBSize <= 0 || c.ReadRange <= 0 || c.ReadRange > c.DBSize {
+		return fmt.Errorf("sim: invalid DBSize/ReadRange %d/%d", c.DBSize, c.ReadRange)
+	}
+	if c.ServerVersions < 1 {
+		return fmt.Errorf("sim: ServerVersions must be >= 1, got %d", c.ServerVersions)
+	}
+	if c.Queries <= 0 || c.Warmup < 0 {
+		return fmt.Errorf("sim: invalid Queries/Warmup %d/%d", c.Queries, c.Warmup)
+	}
+	if c.OracleWindow < 8 {
+		return fmt.Errorf("sim: OracleWindow must be >= 8, got %d", c.OracleWindow)
+	}
+	if c.Intervals > 1 {
+		if c.DiskFreq >= 2 {
+			return fmt.Errorf("sim: h-interval organization is incompatible with broadcast disks")
+		}
+		if c.DBSize%c.Intervals != 0 || c.ServerTx%c.Intervals != 0 || c.Updates%c.Intervals != 0 {
+			return fmt.Errorf("sim: Intervals=%d must divide DBSize=%d, ServerTx=%d, and Updates=%d",
+				c.Intervals, c.DBSize, c.ServerTx, c.Updates)
+		}
+	}
+	return nil
+}
+
+// Metrics summarizes one run.
+type Metrics struct {
+	SchemeName string
+
+	Queries   int
+	Committed int
+	Aborted   int
+
+	AbortRate  float64
+	AcceptRate float64
+
+	// MeanLatency and MeanSpan are in broadcast cycles, over committed
+	// queries only (matching the paper's latency metric).
+	MeanLatency float64
+	MeanSpan    float64
+	// MeanLatencySlots is the same latency in broadcast slots, the
+	// right unit when comparing organizations with different cycle
+	// lengths (broadcast disks, multiversion overflow).
+	MeanLatencySlots float64
+	// MeanStaleness is the mean distance, in cycles, between a committed
+	// query's commit cycle and the database state it serialized against
+	// — the currency metric of §5.2.2 (0 = the most current view).
+	// SGT commits have no named state and are excluded.
+	MeanStaleness float64
+
+	CacheHitRate     float64 // fraction of reads served from cache
+	OverflowReadRate float64 // fraction of reads served from overflow
+	MeanBcastSlots   float64 // mean becast length (data + overflow slots)
+
+	Cycles        uint64 // broadcast cycles simulated
+	OracleChecked int
+	OracleSkipped int
+}
+
+// Run executes one simulation.
+func Run(cfg Config) (*Metrics, error) {
+	if err := cfg.validate(); err != nil {
+		return nil, err
+	}
+	srv, err := server.New(server.Config{DBSize: cfg.DBSize, MaxVersions: cfg.ServerVersions})
+	if err != nil {
+		return nil, err
+	}
+	intervals := cfg.Intervals
+	if intervals < 1 {
+		intervals = 1
+	}
+	sgen, err := workload.NewServerGen(workload.ServerConfig{
+		DBSize:          cfg.DBSize,
+		UpdateRange:     cfg.UpdateRange,
+		Offset:          cfg.Offset,
+		Theta:           cfg.Theta,
+		TxPerCycle:      cfg.ServerTx / intervals,
+		UpdatesPerCycle: cfg.Updates / intervals,
+		ReadsPerUpdate:  cfg.ReadsPerUpdate,
+	}, rand.New(rand.NewSource(cfg.Seed)))
+	if err != nil {
+		return nil, err
+	}
+	clientSeed := cfg.ClientSeed
+	if clientSeed == 0 {
+		clientSeed = cfg.Seed + 1
+	}
+	qgen, err := workload.NewQueryGen(workload.ClientConfig{
+		ReadRange:   cfg.ReadRange,
+		Theta:       cfg.Theta,
+		OpsPerQuery: cfg.OpsPerQuery,
+	}, rand.New(rand.NewSource(clientSeed)))
+	if err != nil {
+		return nil, err
+	}
+	scheme, err := core.New(cfg.Scheme)
+	if err != nil {
+		return nil, err
+	}
+	prog := broadcast.FlatProgram(cfg.DBSize)
+	if cfg.DiskFreq >= 2 {
+		prog, err = bdisk.TwoDisk(cfg.DBSize, cfg.DiskHot, cfg.DiskFreq)
+		if err != nil {
+			return nil, err
+		}
+	}
+	feed := &simFeed{
+		srv:     srv,
+		gen:     sgen,
+		archive: newArchive(cfg.OracleWindow),
+	}
+	if intervals > 1 {
+		per := cfg.DBSize / intervals
+		for k := 0; k < intervals; k++ {
+			feed.chunks = append(feed.chunks, prog[k*per:(k+1)*per])
+		}
+	} else {
+		feed.prog = prog
+	}
+	cl, err := client.New(scheme, feed, client.Config{
+		ThinkTime:      cfg.ThinkTime,
+		DisconnectProb: cfg.DisconnectProb,
+		Seed:           clientSeed + 1,
+	})
+	if err != nil {
+		return nil, err
+	}
+
+	m := &Metrics{SchemeName: scheme.Name()}
+	var latency, latencySlots, span, bcastLen, staleness stats.Accumulator
+	var reads, cacheReads, overflowReads int
+
+	total := cfg.Warmup + cfg.Queries
+	for q := 0; q < total; q++ {
+		res, err := cl.RunQuery(qgen.Query())
+		if err != nil {
+			return nil, fmt.Errorf("query %d: %w", q, err)
+		}
+		if cfg.Check && res.Committed {
+			if err := feed.archive.check(res.Info); err != nil {
+				if errors.Is(err, errOracleWindow) {
+					m.OracleSkipped++
+				} else {
+					return nil, fmt.Errorf("query %d: ORACLE VIOLATION: %w", q, err)
+				}
+			} else {
+				m.OracleChecked++
+			}
+		}
+		if q < cfg.Warmup {
+			continue
+		}
+		m.Queries++
+		if res.Committed {
+			m.Committed++
+			latency.Add(float64(res.LatencyCycles))
+			latencySlots.Add(float64(res.LatencySlots))
+			span.Add(float64(res.Span))
+			if res.Info.SerializationCycle != 0 {
+				staleness.Add(float64(res.Info.CommitCycle - res.Info.SerializationCycle))
+			}
+		} else {
+			m.Aborted++
+		}
+		reads += res.Reads
+		cacheReads += res.CacheReads
+		overflowReads += res.OverflowReads
+	}
+
+	m.AbortRate = float64(m.Aborted) / float64(m.Queries)
+	m.AcceptRate = float64(m.Committed) / float64(m.Queries)
+	m.MeanLatency = latency.Mean()
+	m.MeanLatencySlots = latencySlots.Mean()
+	m.MeanSpan = span.Mean()
+	m.MeanStaleness = staleness.Mean()
+	if reads > 0 {
+		m.CacheHitRate = float64(cacheReads) / float64(reads)
+		m.OverflowReadRate = float64(overflowReads) / float64(reads)
+	}
+	m.Cycles = feed.cycles
+	for _, l := range feed.lens {
+		bcastLen.Add(float64(l))
+	}
+	m.MeanBcastSlots = bcastLen.Mean()
+	return m, nil
+}
+
+// simFeed drives the server one cycle (or h-interval) per Next call and
+// archives states and logs for the oracle.
+type simFeed struct {
+	srv     *server.Server
+	gen     *workload.ServerGen
+	prog    broadcast.Program   // full-cycle program (classic organization)
+	chunks  []broadcast.Program // per-interval chunks (§7 h-interval organization)
+	started bool
+	cycles  uint64
+	lens    []int
+	archive *archive
+}
+
+var _ client.Feed = (*simFeed)(nil)
+
+// Next implements client.Feed.
+func (f *simFeed) Next() (*broadcast.Bcast, error) {
+	var (
+		b   *broadcast.Bcast
+		err error
+	)
+	if !f.started {
+		f.started = true
+		f.archive.addState(1, f.srv.Snapshot())
+		b, err = f.assemble(nil)
+	} else {
+		var log *server.CycleLog
+		log, err = f.srv.CommitAndAdvance(f.gen.Cycle())
+		if err != nil {
+			return nil, err
+		}
+		f.archive.addLog(log)
+		f.archive.addState(log.Cycle, f.srv.Snapshot())
+		b, err = f.assemble(log)
+	}
+	if err != nil {
+		return nil, err
+	}
+	f.cycles++
+	if len(f.lens) < 4096 {
+		f.lens = append(f.lens, b.Len())
+	}
+	return b, nil
+}
+
+func (f *simFeed) assemble(log *server.CycleLog) (*broadcast.Bcast, error) {
+	if len(f.chunks) == 0 {
+		return broadcast.Assemble(f.srv, log, f.prog)
+	}
+	chunk := f.chunks[int(f.srv.Cycle()-1)%len(f.chunks)]
+	return broadcast.AssembleChunk(f.srv, log, chunk)
+}
+
+var errOracleWindow = errors.New("sim: query outlived the oracle window")
+
+// archive keeps a sliding window of database states and cycle logs, plus
+// the full (pruned) serialization graph, for the correctness oracle.
+type archive struct {
+	window model.Cycle
+	states map[model.Cycle]model.DBState
+	logs   map[model.Cycle]*server.CycleLog
+	graph  *sg.Graph
+	latest model.Cycle
+}
+
+func newArchive(window int) *archive {
+	return &archive{
+		window: model.Cycle(window),
+		states: make(map[model.Cycle]model.DBState),
+		logs:   make(map[model.Cycle]*server.CycleLog),
+		graph:  sg.New(),
+	}
+}
+
+func (a *archive) low() model.Cycle {
+	if a.latest <= a.window {
+		return 1
+	}
+	return a.latest - a.window
+}
+
+func (a *archive) addState(c model.Cycle, s model.DBState) {
+	a.states[c] = s
+	if c > a.latest {
+		a.latest = c
+	}
+	delete(a.states, c-a.window)
+}
+
+func (a *archive) addLog(l *server.CycleLog) {
+	a.logs[l.Cycle] = l
+	if l.Cycle > a.latest {
+		a.latest = l.Cycle
+	}
+	if err := a.graph.Apply(l.Delta); err != nil {
+		// The server guarantees forward edges; a violation here is a
+		// programming error worth surfacing loudly in simulations.
+		panic(fmt.Sprintf("sim: archive graph: %v", err))
+	}
+	delete(a.logs, l.Cycle-a.window)
+	a.graph.PruneBefore(a.low())
+}
+
+// check verifies a committed query. Schemes naming a serialization cycle
+// are checked against that archived state; SGT commits are checked for
+// acyclicity against the full graph.
+func (a *archive) check(info core.CommitInfo) error {
+	if info.StartCycle < a.low() {
+		return errOracleWindow
+	}
+	if info.SerializationCycle != 0 {
+		state, ok := a.states[info.SerializationCycle]
+		if !ok {
+			return errOracleWindow
+		}
+		for _, obs := range info.Reads {
+			want, err := state.Get(obs.Item)
+			if err != nil {
+				return err
+			}
+			if obs.Value != want {
+				return fmt.Errorf("readset of %v inconsistent with state %v: %v = %d, state holds %d",
+					info.CommitCycle, info.SerializationCycle, obs.Item, obs.Value, want)
+			}
+		}
+		return nil
+	}
+	// SGT: dependency sources are the writers R read from; precedence
+	// targets are all transactions that overwrote a readset item after
+	// the version R observed. R is serializable iff no target reaches a
+	// source.
+	var sources, targets []model.TxID
+	for _, obs := range info.Reads {
+		if !obs.Writer.IsZero() {
+			sources = append(sources, obs.Writer)
+		}
+		from := obs.Version + 1
+		if from < a.low() {
+			from = a.low()
+		}
+		for c := from; c <= info.CommitCycle; c++ {
+			if log, ok := a.logs[c]; ok {
+				targets = append(targets, log.AllWriters[obs.Item]...)
+			}
+		}
+	}
+	for _, src := range sources {
+		if a.graph.ReachableFromAny(targets, src) {
+			return fmt.Errorf("SGT commit at %v not serializable: overwriter path reaches dependency source %v",
+				info.CommitCycle, src)
+		}
+	}
+	return nil
+}

@@ -1,0 +1,50 @@
+package wire
+
+import (
+	"bytes"
+	"testing"
+
+	"bpush/internal/broadcast"
+	"bpush/internal/server"
+)
+
+// FuzzDecode drives the frame decoder with arbitrary bytes: it must never
+// panic and never allocate absurdly, only return errors or valid becasts.
+// Valid frames are seeded so mutation explores deep into the format.
+func FuzzDecode(f *testing.F) {
+	srv, err := server.New(server.Config{DBSize: 8, MaxVersions: 2})
+	if err != nil {
+		f.Fatal(err)
+	}
+	b, err := broadcast.Assemble(srv, nil, broadcast.FlatProgram(8))
+	if err != nil {
+		f.Fatal(err)
+	}
+	frame, err := Encode(b)
+	if err != nil {
+		f.Fatal(err)
+	}
+	f.Add(frame)
+	f.Add([]byte{})
+	f.Add([]byte{0x42, 0x50, 0x53, 0x48})
+	f.Add(append(frame[:20:20], 0xff, 0xff, 0xff, 0xff))
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		got, err := Decode(bytes.NewReader(data))
+		if err != nil {
+			return
+		}
+		// A successfully decoded frame must round-trip.
+		re, err := Encode(got)
+		if err != nil {
+			t.Fatalf("decoded frame does not re-encode: %v", err)
+		}
+		got2, err := Decode(bytes.NewReader(re))
+		if err != nil {
+			t.Fatalf("re-encoded frame does not decode: %v", err)
+		}
+		if got2.Cycle != got.Cycle || len(got2.Entries) != len(got.Entries) {
+			t.Fatal("round-trip changed the frame")
+		}
+	})
+}

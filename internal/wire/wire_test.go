@@ -1,0 +1,246 @@
+package wire
+
+import (
+	"bytes"
+	"errors"
+	"io"
+	"math/rand"
+	"reflect"
+	"testing"
+
+	"bpush/internal/broadcast"
+	"bpush/internal/model"
+	"bpush/internal/server"
+	"bpush/internal/sg"
+)
+
+// buildBcast assembles a realistic becast via the server.
+func buildBcast(t *testing.T) *broadcast.Bcast {
+	t.Helper()
+	srv, err := server.New(server.Config{DBSize: 12, MaxVersions: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rw := func(items ...model.ItemID) model.ServerTx {
+		var ops []model.Op
+		for _, it := range items {
+			ops = append(ops, model.Op{Kind: model.OpRead, Item: it}, model.Op{Kind: model.OpWrite, Item: it})
+		}
+		return model.ServerTx{Ops: ops}
+	}
+	if _, err := srv.CommitAndAdvance([]model.ServerTx{rw(2), rw(5, 7)}); err != nil {
+		t.Fatal(err)
+	}
+	log, err := srv.CommitAndAdvance([]model.ServerTx{rw(2, 9), rw(5)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := broadcast.Assemble(srv, log, broadcast.FlatProgram(12))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return b
+}
+
+func TestRoundTrip(t *testing.T) {
+	b := buildBcast(t)
+	frame, err := Encode(b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := Decode(bytes.NewReader(frame))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Cycle != b.Cycle || got.NumCommitted != b.NumCommitted {
+		t.Errorf("header mismatch: %v/%d vs %v/%d", got.Cycle, got.NumCommitted, b.Cycle, b.NumCommitted)
+	}
+	if !reflect.DeepEqual(got.Report, b.Report) {
+		t.Errorf("report mismatch:\n got %+v\nwant %+v", got.Report, b.Report)
+	}
+	if !reflect.DeepEqual(got.Entries, b.Entries) {
+		t.Error("entries mismatch")
+	}
+	if !reflect.DeepEqual(got.Overflow, b.Overflow) {
+		t.Errorf("overflow mismatch:\n got %+v\nwant %+v", got.Overflow, b.Overflow)
+	}
+	if !reflect.DeepEqual(got.Delta, b.Delta) {
+		t.Errorf("delta mismatch:\n got %+v\nwant %+v", got.Delta, b.Delta)
+	}
+	// Behavioral equivalence: positions and overflow chains survive.
+	for i := 1; i <= 12; i++ {
+		id := model.ItemID(i)
+		if got.Position(id) != b.Position(id) {
+			t.Errorf("position of %v differs", id)
+		}
+		if !reflect.DeepEqual(got.OldVersionsOf(id), b.OldVersionsOf(id)) {
+			t.Errorf("old versions of %v differ", id)
+		}
+	}
+}
+
+func TestMultipleFramesOnOneStream(t *testing.T) {
+	b := buildBcast(t)
+	frame, err := Encode(b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var stream bytes.Buffer
+	stream.Write(frame)
+	stream.Write(frame)
+	r := bytes.NewReader(stream.Bytes())
+	for i := 0; i < 2; i++ {
+		if _, err := Decode(r); err != nil {
+			t.Fatalf("frame %d: %v", i, err)
+		}
+	}
+	if _, err := Decode(r); !errors.Is(err, io.EOF) {
+		t.Errorf("after last frame err = %v, want io.EOF", err)
+	}
+}
+
+func TestDecodeRejectsBadMagic(t *testing.T) {
+	if _, err := Decode(bytes.NewReader([]byte{1, 2, 3, 4, 5, 6, 7, 8})); !errors.Is(err, ErrBadFrame) {
+		t.Errorf("err = %v, want ErrBadFrame", err)
+	}
+}
+
+func TestDecodeRejectsBadVersion(t *testing.T) {
+	b := buildBcast(t)
+	frame, err := Encode(b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	frame[4] = 99 // version byte
+	if _, err := Decode(bytes.NewReader(frame)); !errors.Is(err, ErrBadFrame) {
+		t.Errorf("err = %v, want ErrBadFrame", err)
+	}
+}
+
+func TestDecodeDetectsCorruption(t *testing.T) {
+	b := buildBcast(t)
+	frame, err := Encode(b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(5))
+	corrupted := 0
+	for trial := 0; trial < 50; trial++ {
+		mut := make([]byte, len(frame))
+		copy(mut, frame)
+		// Flip one byte after the header (avoid magic/version so we test
+		// the checksum, not the header checks, and avoid the length
+		// fields that can make the read run off the end).
+		idx := 17 + rng.Intn(len(mut)-17)
+		mut[idx] ^= 0xff
+		if _, err := Decode(bytes.NewReader(mut)); err != nil {
+			corrupted++
+		}
+	}
+	if corrupted < 45 {
+		t.Errorf("only %d/50 corruptions detected", corrupted)
+	}
+}
+
+func TestDecodeTruncatedFrame(t *testing.T) {
+	b := buildBcast(t)
+	frame, err := Encode(b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, cut := range []int{5, 20, len(frame) / 2, len(frame) - 2} {
+		if _, err := Decode(bytes.NewReader(frame[:cut])); err == nil {
+			t.Errorf("truncation at %d not detected", cut)
+		}
+	}
+}
+
+func TestDecodeRejectsHugeSegment(t *testing.T) {
+	var buf bytes.Buffer
+	buf.Write([]byte{0x42, 0x50, 0x53, 0x48}) // magic
+	buf.WriteByte(Version)
+	buf.Write(make([]byte, 16))               // cycle + committed + totalItems
+	buf.Write([]byte{0xff, 0xff, 0xff, 0xff}) // absurd report length
+	if _, err := Decode(&buf); !errors.Is(err, ErrBadFrame) {
+		t.Errorf("err = %v, want ErrBadFrame for huge segment", err)
+	}
+}
+
+func TestEncodeRejectsEmpty(t *testing.T) {
+	if _, err := Encode(nil); err == nil {
+		t.Error("Encode(nil) succeeded")
+	}
+}
+
+func TestRoundTripEmptyControl(t *testing.T) {
+	// Cycle-1 becast: no report, no delta, no overflow.
+	srv, err := server.New(server.Config{DBSize: 4, MaxVersions: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := broadcast.Assemble(srv, nil, broadcast.FlatProgram(4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	frame, err := Encode(b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := Decode(bytes.NewReader(frame))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got.Report) != 0 || len(got.Overflow) != 0 || len(got.Delta.Nodes) != 0 {
+		t.Errorf("empty control segments not preserved: %+v", got)
+	}
+}
+
+func TestBroadcastNewValidation(t *testing.T) {
+	if _, err := broadcast.New(1, nil, sg.Delta{}, nil, nil, 0, 0); err == nil {
+		t.Error("empty entries accepted")
+	}
+	entries := []broadcast.Entry{{Item: 1, Overflow: 5}}
+	if _, err := broadcast.New(1, nil, sg.Delta{}, entries, nil, 0, 0); err == nil {
+		t.Error("out-of-range overflow pointer accepted")
+	}
+}
+
+func BenchmarkEncode(b *testing.B) {
+	srv, err := server.New(server.Config{DBSize: 1000, MaxVersions: 3})
+	if err != nil {
+		b.Fatal(err)
+	}
+	bc, err := broadcast.Assemble(srv, nil, broadcast.FlatProgram(1000))
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := Encode(bc); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkDecode(b *testing.B) {
+	srv, err := server.New(server.Config{DBSize: 1000, MaxVersions: 3})
+	if err != nil {
+		b.Fatal(err)
+	}
+	bc, err := broadcast.Assemble(srv, nil, broadcast.FlatProgram(1000))
+	if err != nil {
+		b.Fatal(err)
+	}
+	frame, err := Encode(bc)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := Decode(bytes.NewReader(frame)); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

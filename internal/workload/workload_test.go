@@ -1,0 +1,257 @@
+package workload
+
+import (
+	"math/rand"
+	"testing"
+
+	"bpush/internal/model"
+)
+
+func validServerCfg() ServerConfig {
+	return ServerConfig{
+		DBSize: 1000, UpdateRange: 500, Offset: 100, Theta: 0.95,
+		TxPerCycle: 10, UpdatesPerCycle: 50, ReadsPerUpdate: 4,
+	}
+}
+
+func TestServerConfigValidation(t *testing.T) {
+	tests := []struct {
+		name   string
+		mutate func(*ServerConfig)
+	}{
+		{"zero DBSize", func(c *ServerConfig) { c.DBSize = 0 }},
+		{"zero UpdateRange", func(c *ServerConfig) { c.UpdateRange = 0 }},
+		{"UpdateRange beyond DBSize", func(c *ServerConfig) { c.UpdateRange = 2000 }},
+		{"negative offset", func(c *ServerConfig) { c.Offset = -1 }},
+		{"negative theta", func(c *ServerConfig) { c.Theta = -1 }},
+		{"zero TxPerCycle", func(c *ServerConfig) { c.TxPerCycle = 0 }},
+		{"negative updates", func(c *ServerConfig) { c.UpdatesPerCycle = -1 }},
+		{"negative read ratio", func(c *ServerConfig) { c.ReadsPerUpdate = -1 }},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			cfg := validServerCfg()
+			tt.mutate(&cfg)
+			if _, err := NewServerGen(cfg, rand.New(rand.NewSource(1))); err == nil {
+				t.Errorf("config %+v accepted, want error", cfg)
+			}
+		})
+	}
+	if _, err := NewServerGen(validServerCfg(), nil); err == nil {
+		t.Error("nil rng accepted")
+	}
+}
+
+func TestServerCycleShape(t *testing.T) {
+	g, err := NewServerGen(validServerCfg(), rand.New(rand.NewSource(2)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	txs := g.Cycle()
+	if len(txs) != 10 {
+		t.Fatalf("len(txs) = %d, want N=10", len(txs))
+	}
+	totalWrites, totalReads := 0, 0
+	for _, tx := range txs {
+		for _, op := range tx.Ops {
+			switch op.Kind {
+			case model.OpWrite:
+				totalWrites++
+			case model.OpRead:
+				totalReads++
+			}
+			if op.Item < 1 || op.Item > 1000 {
+				t.Fatalf("op on %v outside database", op.Item)
+			}
+		}
+	}
+	if totalWrites != 50 {
+		t.Errorf("total writes = %d, want U=50", totalWrites)
+	}
+	// 4*U standalone reads plus one read preceding each write.
+	if totalReads != 4*50+50 {
+		t.Errorf("total reads = %d, want 4U+U = 250", totalReads)
+	}
+}
+
+func TestServerWritesRespectUpdateRange(t *testing.T) {
+	cfg := validServerCfg()
+	cfg.Offset = 0
+	g, err := NewServerGen(cfg, rand.New(rand.NewSource(3)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for c := 0; c < 20; c++ {
+		for _, tx := range g.Cycle() {
+			for _, op := range tx.Ops {
+				if op.Kind == model.OpWrite && int(op.Item) > cfg.UpdateRange {
+					t.Fatalf("write to %v outside UpdateRange %d", op.Item, cfg.UpdateRange)
+				}
+			}
+		}
+	}
+}
+
+func TestServerReadBeforeWrite(t *testing.T) {
+	g, err := NewServerGen(validServerCfg(), rand.New(rand.NewSource(4)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, tx := range g.Cycle() {
+		read := make(map[model.ItemID]bool)
+		for _, op := range tx.Ops {
+			switch op.Kind {
+			case model.OpRead:
+				read[op.Item] = true
+			case model.OpWrite:
+				if !read[op.Item] {
+					t.Fatalf("write of %v without preceding read (strictness)", op.Item)
+				}
+			}
+		}
+	}
+}
+
+func TestServerOffsetShiftsHotWrites(t *testing.T) {
+	cold := func(offset int) int {
+		cfg := validServerCfg()
+		cfg.Offset = offset
+		g, err := NewServerGen(cfg, rand.New(rand.NewSource(5)))
+		if err != nil {
+			t.Fatal(err)
+		}
+		hits := 0
+		for c := 0; c < 50; c++ {
+			for _, tx := range g.Cycle() {
+				for _, op := range tx.Ops {
+					if op.Kind == model.OpWrite && op.Item <= 50 {
+						hits++
+					}
+				}
+			}
+		}
+		return hits
+	}
+	aligned, shifted := cold(0), cold(250)
+	if shifted >= aligned {
+		t.Errorf("writes to the client-hot head: offset 250 (%d) >= offset 0 (%d); offset must shift updates away", shifted, aligned)
+	}
+}
+
+func TestShare(t *testing.T) {
+	tests := []struct {
+		total, n int
+		want     []int
+	}{
+		{total: 10, n: 3, want: []int{4, 3, 3}},
+		{total: 3, n: 3, want: []int{1, 1, 1}},
+		{total: 0, n: 2, want: []int{0, 0}},
+		{total: 2, n: 5, want: []int{1, 1, 0, 0, 0}},
+	}
+	for _, tt := range tests {
+		sum := 0
+		for i := 0; i < tt.n; i++ {
+			got := share(tt.total, tt.n, i)
+			if got != tt.want[i] {
+				t.Errorf("share(%d,%d,%d) = %d, want %d", tt.total, tt.n, i, got, tt.want[i])
+			}
+			sum += got
+		}
+		if sum != tt.total {
+			t.Errorf("shares of %d sum to %d", tt.total, sum)
+		}
+	}
+}
+
+func TestClientConfigValidation(t *testing.T) {
+	if _, err := NewQueryGen(ClientConfig{ReadRange: 0, OpsPerQuery: 1}, rand.New(rand.NewSource(1))); err == nil {
+		t.Error("zero ReadRange accepted")
+	}
+	if _, err := NewQueryGen(ClientConfig{ReadRange: 10, OpsPerQuery: 0}, rand.New(rand.NewSource(1))); err == nil {
+		t.Error("zero OpsPerQuery accepted")
+	}
+	if _, err := NewQueryGen(ClientConfig{ReadRange: 5, OpsPerQuery: 6}, rand.New(rand.NewSource(1))); err == nil {
+		t.Error("OpsPerQuery > ReadRange accepted")
+	}
+	if _, err := NewQueryGen(ClientConfig{ReadRange: 10, OpsPerQuery: 2, Theta: -1}, rand.New(rand.NewSource(1))); err == nil {
+		t.Error("negative theta accepted")
+	}
+	if _, err := NewQueryGen(ClientConfig{ReadRange: 10, OpsPerQuery: 2}, nil); err == nil {
+		t.Error("nil rng accepted")
+	}
+}
+
+func TestQueryDistinctItemsInRange(t *testing.T) {
+	g, err := NewQueryGen(ClientConfig{ReadRange: 100, Theta: 0.95, OpsPerQuery: 10}, rand.New(rand.NewSource(6)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for q := 0; q < 200; q++ {
+		items := g.Query()
+		if len(items) != 10 {
+			t.Fatalf("query has %d items, want 10", len(items))
+		}
+		seen := make(map[model.ItemID]bool)
+		for _, it := range items {
+			if it < 1 || it > 100 {
+				t.Fatalf("item %v outside ReadRange", it)
+			}
+			if seen[it] {
+				t.Fatalf("duplicate item %v in query", it)
+			}
+			seen[it] = true
+		}
+	}
+}
+
+func TestQuerySkewFavorsHotItems(t *testing.T) {
+	g, err := NewQueryGen(ClientConfig{ReadRange: 1000, Theta: 0.95, OpsPerQuery: 5}, rand.New(rand.NewSource(7)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	head, tail := 0, 0
+	for q := 0; q < 2000; q++ {
+		for _, it := range g.Query() {
+			if it <= 100 {
+				head++
+			} else if it > 900 {
+				tail++
+			}
+		}
+	}
+	if head <= 3*tail {
+		t.Errorf("head hits %d not >> tail hits %d; Zipf skew missing", head, tail)
+	}
+}
+
+func TestGeneratorsDeterministicPerSeed(t *testing.T) {
+	mk := func() ([]model.ServerTx, []model.ItemID) {
+		rng := rand.New(rand.NewSource(42))
+		sg, err := NewServerGen(validServerCfg(), rng)
+		if err != nil {
+			t.Fatal(err)
+		}
+		qg, err := NewQueryGen(ClientConfig{ReadRange: 1000, Theta: 0.95, OpsPerQuery: 10}, rng)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return sg.Cycle(), qg.Query()
+	}
+	txs1, q1 := mk()
+	txs2, q2 := mk()
+	for i := range txs1 {
+		if len(txs1[i].Ops) != len(txs2[i].Ops) {
+			t.Fatal("server generation not deterministic")
+		}
+		for j := range txs1[i].Ops {
+			if txs1[i].Ops[j] != txs2[i].Ops[j] {
+				t.Fatal("server generation not deterministic")
+			}
+		}
+	}
+	for i := range q1 {
+		if q1[i] != q2[i] {
+			t.Fatal("query generation not deterministic")
+		}
+	}
+}
