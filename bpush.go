@@ -53,6 +53,7 @@ import (
 	"bpush/internal/broadcast"
 	"bpush/internal/client"
 	"bpush/internal/core"
+	"bpush/internal/cyclesource"
 	"bpush/internal/index"
 	"bpush/internal/model"
 	"bpush/internal/netcast"
@@ -139,9 +140,32 @@ func Simulate(cfg SimConfig) (*SimMetrics, error) { return sim.Run(cfg) }
 
 // SimulateFleet runs a population of independent clients over one
 // broadcast stream — the scalability experiment: per-client performance
-// is independent of the fleet size.
+// is independent of the fleet size. Broadcast cycles are produced exactly
+// once by a shared CycleSource and replayed to every client; clients run
+// on a worker pool of cfg.Parallel goroutines (0 = one per CPU) with
+// results byte-identical to a serial run.
 func SimulateFleet(cfg SimConfig, clients int) (*FleetMetrics, error) {
 	return sim.RunFleet(cfg, clients)
+}
+
+// Cycle production. A CycleSource produces each broadcast cycle — server
+// transaction commits, becast assembly, optional oracle archiving —
+// exactly once into a replayable cycle log; any number of consumers
+// (simulated clients, network stations, inspectors) read the shared
+// stream through independent cursors.
+type (
+	// CycleSource is the produce-once broadcast cycle generator.
+	CycleSource = cyclesource.Source
+	// CycleSourceConfig configures a CycleSource.
+	CycleSourceConfig = cyclesource.Config
+	// CycleFeed is one consumer's cursor over a CycleSource; it
+	// implements Feed.
+	CycleFeed = cyclesource.Feed
+)
+
+// NewCycleSource builds a cycle producer.
+func NewCycleSource(cfg CycleSourceConfig) (*CycleSource, error) {
+	return cyclesource.New(cfg)
 }
 
 // Network broadcast.

@@ -7,6 +7,7 @@
 //	bpush-exp -fig fig5-left       # one exhibit
 //	bpush-exp -csv -fig fig6       # CSV output
 //	bpush-exp -queries 2000        # more queries per data point
+//	bpush-exp -parallel 1          # force serial sweeps (same output)
 //
 // Exhibits: fig5-left, fig5-right, fig6, fig7-span, fig7-updates,
 // fig8-left, fig8-right, table1, params, all; extension exhibits:
@@ -37,14 +38,15 @@ func main() {
 func run(args []string, out io.Writer) error {
 	fs := flag.NewFlagSet("bpush-exp", flag.ContinueOnError)
 	var (
-		fig     = fs.String("fig", "all", "exhibit to regenerate")
-		queries = fs.Int("queries", 600, "queries per data point")
-		warmup  = fs.Int("warmup", 100, "warmup queries per data point")
-		seed    = fs.Int64("seed", 1, "random seed")
-		check   = fs.Bool("check", false, "run the consistency oracle during sweeps")
-		cache   = fs.Int("cache", 100, "client cache size for the cached schemes")
-		csv     = fs.Bool("csv", false, "emit CSV instead of aligned text")
-		svgDir  = fs.String("svg", "", "also write each figure as an SVG plot into this directory")
+		fig      = fs.String("fig", "all", "exhibit to regenerate")
+		queries  = fs.Int("queries", 600, "queries per data point")
+		warmup   = fs.Int("warmup", 100, "warmup queries per data point")
+		seed     = fs.Int64("seed", 1, "random seed")
+		check    = fs.Bool("check", false, "run the consistency oracle during sweeps")
+		cache    = fs.Int("cache", 100, "client cache size for the cached schemes")
+		csv      = fs.Bool("csv", false, "emit CSV instead of aligned text")
+		svgDir   = fs.String("svg", "", "also write each figure as an SVG plot into this directory")
+		parallel = fs.Int("parallel", 0, "sweep worker-pool size (0 = one per CPU, 1 = serial)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -55,6 +57,7 @@ func run(args []string, out io.Writer) error {
 		Seed:      *seed,
 		Check:     *check,
 		CacheSize: *cache,
+		Parallel:  *parallel,
 	}
 
 	printFig := func(f *experiments.Figure) error {

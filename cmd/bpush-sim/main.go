@@ -4,8 +4,12 @@
 // Usage:
 //
 //	bpush-sim -scheme sgt -cache 100 -ops 10 -updates 50 -offset 100 -queries 2000
+//	bpush-sim -scheme sgt -cache 100 -clients 16 -parallel 0   # 16-client fleet, one shared stream
 //
-// Schemes: inv-only, vcache, multiversion, mv-cache, sgt.
+// Schemes: inv-only, vcache, multiversion, mv-cache, sgt. With -clients > 1
+// the broadcast cycles are produced once and replayed to every client; the
+// clients run on a -parallel worker pool (0 = one worker per CPU) with
+// results identical to a serial run.
 package main
 
 import (
@@ -49,6 +53,8 @@ func run(args []string, out io.Writer) error {
 		diskHot    = fs.Int("disk-hot", 0, "broadcast-disk: size of the hot partition (0 = flat broadcast)")
 		diskFreq   = fs.Int("disk-freq", 0, "broadcast-disk: relative frequency of the hot disk")
 		intervals  = fs.Int("intervals", 1, "h-interval organization: reports (and chunks) per broadcast period")
+		clients    = fs.Int("clients", 1, "fleet size: clients sharing one broadcast stream")
+		parallel   = fs.Int("parallel", 0, "fleet worker-pool size (0 = one per CPU, 1 = serial)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -77,6 +83,32 @@ func run(args []string, out io.Writer) error {
 	cfg.DiskFreq = *diskFreq
 	cfg.Intervals = *intervals
 	cfg.Scheme = core.Options{Kind: kind, CacheSize: *cacheSize, BucketGranularity: *granule}
+	cfg.Parallel = *parallel
+
+	if *clients > 1 {
+		fm, err := sim.RunFleet(cfg, *clients)
+		if err != nil {
+			return err
+		}
+		var nq, committed, aborted, checked, skipped int
+		for _, m := range fm.PerClient {
+			nq += m.Queries
+			committed += m.Committed
+			aborted += m.Aborted
+			checked += m.OracleChecked
+			skipped += m.OracleSkipped
+		}
+		fmt.Fprintf(out, "scheme            %s\n", fm.PerClient[0].SchemeName)
+		fmt.Fprintf(out, "clients           %d\n", fm.Clients)
+		fmt.Fprintf(out, "queries           %d (%d committed, %d aborted)\n", nq, committed, aborted)
+		fmt.Fprintf(out, "mean abort rate   %.4f (std %.4f)\n", fm.MeanAbortRate, fm.StdAbortRate)
+		fmt.Fprintf(out, "mean latency      %.3f cycles (std %.3f)\n", fm.MeanLatency, fm.StdLatency)
+		fmt.Fprintf(out, "server cycles     %d (produced once, shared by all clients)\n", fm.ServerCycles)
+		if *check {
+			fmt.Fprintf(out, "oracle            %d commits checked, %d outside window\n", checked, skipped)
+		}
+		return nil
+	}
 
 	m, err := sim.Run(cfg)
 	if err != nil {

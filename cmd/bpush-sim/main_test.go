@@ -53,6 +53,43 @@ func TestRunSmallSimulation(t *testing.T) {
 	}
 }
 
+func TestRunFleetSimulation(t *testing.T) {
+	var out strings.Builder
+	err := run([]string{
+		"-scheme", "inv-only", "-db", "120", "-update-range", "60",
+		"-read-range", "120", "-updates", "6", "-queries", "40", "-warmup", "5",
+		"-clients", "4", "-parallel", "2",
+	}, &out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := out.String()
+	for _, want := range []string{"clients           4", "mean abort rate", "server cycles"} {
+		if !strings.Contains(got, want) {
+			t.Errorf("fleet output missing %q:\n%s", want, got)
+		}
+	}
+}
+
+func TestRunFleetDeterministicAcrossWorkers(t *testing.T) {
+	runWith := func(parallel string) string {
+		t.Helper()
+		var out strings.Builder
+		err := run([]string{
+			"-scheme", "sgt", "-cache", "20", "-db", "120", "-update-range", "60",
+			"-read-range", "120", "-updates", "6", "-queries", "40", "-warmup", "5",
+			"-clients", "5", "-parallel", parallel,
+		}, &out)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return out.String()
+	}
+	if serial, par := runWith("1"), runWith("8"); serial != par {
+		t.Errorf("fleet output depends on worker count:\nserial:\n%s\nparallel:\n%s", serial, par)
+	}
+}
+
 func TestRunRejectsBadFlags(t *testing.T) {
 	var out strings.Builder
 	if err := run([]string{"-scheme", "nope"}, &out); err == nil {

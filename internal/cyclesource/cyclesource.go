@@ -1,0 +1,269 @@
+// Package cyclesource produces broadcast cycles exactly once and lets any
+// number of consumers replay them. It is the produce-once/consume-many
+// decomposition of the broadcast channel: one producer runs the server's
+// update transactions, assembles each cycle's becast, and (optionally)
+// archives the state snapshots and cycle logs the correctness oracle
+// needs; consumers attach through Feeds that walk the shared, immutable
+// cycle log at their own pace.
+//
+// This mirrors the paper's architecture directly: the server's work per
+// cycle is independent of who is listening, so fleet cost is
+// O(server-work + clients x client-work) rather than
+// O(clients x server-work). Because every produced becast is immutable
+// (Assemble copies the versions it reads from the server) and production
+// is serialized under the source's lock, Feeds may be driven from
+// different goroutines; each Feed itself is single-consumer.
+//
+// The cycle log is retained in full — it is the replay buffer that lets a
+// consumer start from cycle 1 long after production has moved on (a fleet
+// worker pool admits clients as slots free up). Memory is proportional to
+// the number of cycles produced, which the driving run bounds.
+package cyclesource
+
+import (
+	"fmt"
+	"sync"
+
+	"bpush/internal/broadcast"
+	"bpush/internal/core"
+	"bpush/internal/server"
+	"bpush/internal/workload"
+)
+
+// Config parameterizes a cycle producer: the server database, the
+// synthetic update workload, the broadcast organization, and the optional
+// correctness oracle.
+type Config struct {
+	// DBSize is D, the number of items (1..DBSize).
+	DBSize int
+	// Versions is S: versions the server retains on air (>= 1).
+	Versions int
+	// Workload drives the per-cycle update transactions. Its DBSize must
+	// match DBSize. With Chunks > 1 the caller is expected to have scaled
+	// TxPerCycle/UpdatesPerCycle down to per-interval amounts.
+	Workload workload.ServerConfig
+	// Seed feeds the workload generator: the entire cycle stream is a
+	// deterministic function of Config.
+	Seed int64
+	// Workers > 1 executes each cycle's update transactions concurrently
+	// under strict two-phase locking instead of serially.
+	Workers int
+
+	// Program is the broadcast organization (nil means the flat program
+	// over 1..DBSize). Broadcast-disk programs repeat hot items.
+	Program broadcast.Program
+	// Chunks > 1 enables the h-interval organization: Program is split
+	// into this many equal chunks and every produced cycle carries one
+	// chunk (with its invalidation report), rotating round-robin. Must
+	// divide len(Program).
+	Chunks int
+
+	// Check retains state snapshots and cycle logs so committed queries
+	// can be verified against the archived database states; see Check on
+	// Source. OracleWindow bounds how far back (in cycles, relative to the
+	// checked query's commit cycle) the oracle vouches; older queries are
+	// reported as outside the window (default 512).
+	Check        bool
+	OracleWindow int
+}
+
+func (c Config) validate() error {
+	if c.DBSize <= 0 || c.Versions < 1 {
+		return fmt.Errorf("cyclesource: invalid DBSize/Versions %d/%d", c.DBSize, c.Versions)
+	}
+	if c.Workload.DBSize != c.DBSize {
+		return fmt.Errorf("cyclesource: workload DBSize %d != DBSize %d", c.Workload.DBSize, c.DBSize)
+	}
+	if c.Chunks > 1 {
+		n := len(c.Program)
+		if n == 0 {
+			n = c.DBSize
+		}
+		if n%c.Chunks != 0 {
+			return fmt.Errorf("cyclesource: Chunks=%d must divide program length %d", c.Chunks, n)
+		}
+	}
+	if c.Check && c.OracleWindow < 8 {
+		return fmt.Errorf("cyclesource: OracleWindow must be >= 8, got %d", c.OracleWindow)
+	}
+	return nil
+}
+
+// Source produces each broadcast cycle exactly once, on demand, and caches
+// it in a replayable log. Safe for concurrent use.
+type Source struct {
+	cfg    Config
+	mu     sync.RWMutex
+	srv    *server.Server
+	gen    *workload.ServerGen
+	prog   broadcast.Program   // full-cycle program (classic organization)
+	chunks []broadcast.Program // per-interval chunks (§7 h-interval organization)
+	log    []*broadcast.Bcast  // the replayable cycle log; log[i] is the i-th becast on air
+	arch   *archive            // nil unless cfg.Check
+}
+
+// New creates a producer. No cycle is produced until the first Get.
+func New(cfg Config) (*Source, error) {
+	if cfg.Check && cfg.OracleWindow == 0 {
+		cfg.OracleWindow = 512
+	}
+	if err := cfg.validate(); err != nil {
+		return nil, err
+	}
+	srv, err := server.New(server.Config{DBSize: cfg.DBSize, MaxVersions: cfg.Versions})
+	if err != nil {
+		return nil, err
+	}
+	gen, err := workload.NewServerGen(cfg.Workload, newRand(cfg.Seed))
+	if err != nil {
+		return nil, err
+	}
+	s := &Source{cfg: cfg, srv: srv, gen: gen}
+	prog := cfg.Program
+	if prog == nil {
+		prog = broadcast.FlatProgram(cfg.DBSize)
+	}
+	if cfg.Chunks > 1 {
+		per := len(prog) / cfg.Chunks
+		for k := 0; k < cfg.Chunks; k++ {
+			s.chunks = append(s.chunks, prog[k*per:(k+1)*per])
+		}
+	} else {
+		s.prog = prog
+	}
+	if cfg.Check {
+		s.arch = newArchive(cfg.OracleWindow)
+	}
+	return s, nil
+}
+
+// Get returns the i-th becast (0-based), producing cycles up to i if they
+// have not been produced yet. Becasts are immutable once returned.
+func (s *Source) Get(i int) (*broadcast.Bcast, error) {
+	if i < 0 {
+		return nil, fmt.Errorf("cyclesource: negative cycle index %d", i)
+	}
+	s.mu.RLock()
+	if i < len(s.log) {
+		b := s.log[i]
+		s.mu.RUnlock()
+		return b, nil
+	}
+	s.mu.RUnlock()
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for i >= len(s.log) {
+		if err := s.produce(); err != nil {
+			return nil, err
+		}
+	}
+	return s.log[i], nil
+}
+
+// produce runs one more cycle: commit the next batch of update
+// transactions (none for the very first becast, which carries the initial
+// load), archive what the oracle needs, and assemble the becast. Caller
+// holds the write lock.
+func (s *Source) produce() error {
+	var (
+		b   *broadcast.Bcast
+		err error
+	)
+	if len(s.log) == 0 {
+		if s.arch != nil {
+			s.arch.addState(1, s.srv.Snapshot())
+		}
+		b, err = s.assemble(nil)
+	} else {
+		var log *server.CycleLog
+		if s.cfg.Workers > 1 {
+			log, err = s.srv.CommitConcurrentAndAdvance(s.gen.Cycle(), s.cfg.Workers)
+		} else {
+			log, err = s.srv.CommitAndAdvance(s.gen.Cycle())
+		}
+		if err != nil {
+			return err
+		}
+		if s.arch != nil {
+			s.arch.addLog(log)
+			s.arch.addState(log.Cycle, s.srv.Snapshot())
+		}
+		b, err = s.assemble(log)
+	}
+	if err != nil {
+		return err
+	}
+	s.log = append(s.log, b)
+	return nil
+}
+
+func (s *Source) assemble(log *server.CycleLog) (*broadcast.Bcast, error) {
+	if len(s.chunks) == 0 {
+		return broadcast.Assemble(s.srv, log, s.prog)
+	}
+	chunk := s.chunks[int(s.srv.Cycle()-1)%len(s.chunks)]
+	return broadcast.AssembleChunk(s.srv, log, chunk)
+}
+
+// Produced returns the number of cycles produced so far.
+func (s *Source) Produced() uint64 {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return uint64(len(s.log))
+}
+
+// Check verifies a committed query against the archived cycle stream; it
+// requires Config.Check. The verdict depends only on the query and the
+// (deterministic) stream up to its commit cycle — never on how far
+// production has advanced — so checks are reproducible regardless of how
+// many consumers share the source or how their executions interleave.
+func (s *Source) Check(info core.CommitInfo) error {
+	if s.arch == nil {
+		return fmt.Errorf("cyclesource: oracle not enabled (Config.Check)")
+	}
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return s.arch.check(info)
+}
+
+// NewFeed returns a new consumer cursor positioned at the first cycle.
+// The Feed implements the client runtime's Feed interface; each Feed is
+// for a single consumer, but distinct Feeds may run concurrently.
+func (s *Source) NewFeed() *Feed {
+	return &Feed{src: s}
+}
+
+// maxTrackedLens bounds the per-consumer becast-length sample used for
+// mean-length metrics, matching the simulator's historical cap.
+const maxTrackedLens = 4096
+
+// Feed walks the shared cycle log one becast per Next call.
+type Feed struct {
+	src    *Source
+	next   int
+	cycles uint64
+	lens   []int
+}
+
+// Next returns the next becast, producing it if this consumer is the
+// furthest ahead.
+func (f *Feed) Next() (*broadcast.Bcast, error) {
+	b, err := f.src.Get(f.next)
+	if err != nil {
+		return nil, err
+	}
+	f.next++
+	f.cycles++
+	if len(f.lens) < maxTrackedLens {
+		f.lens = append(f.lens, b.Len())
+	}
+	return b, nil
+}
+
+// Cycles returns the number of becasts this consumer has taken.
+func (f *Feed) Cycles() uint64 { return f.cycles }
+
+// Lens returns the lengths (data + overflow slots) of the becasts this
+// consumer has taken, capped at the first 4096. The slice aliases the
+// feed's sample; callers must not modify it.
+func (f *Feed) Lens() []int { return f.lens }

@@ -23,6 +23,7 @@ import (
 
 	"bpush/internal/broadcast"
 	"bpush/internal/core"
+	"bpush/internal/pool"
 	"bpush/internal/sim"
 	"bpush/internal/stats"
 )
@@ -40,6 +41,11 @@ type Options struct {
 	// CacheSize is the client cache in pages for the cached schemes
 	// (default 100).
 	CacheSize int
+	// Parallel is the worker-pool size for sweep data points (and fleet
+	// clients within a point): 0 means one worker per CPU, 1 forces the
+	// serial path. Every data point is an independent simulation, so
+	// results are identical for any worker count.
+	Parallel int
 }
 
 func (o Options) withDefaults() Options {
@@ -131,6 +137,7 @@ func (o Options) baseConfig() sim.Config {
 	cfg.Warmup = o.Warmup
 	cfg.Seed = o.Seed
 	cfg.Check = o.Check
+	cfg.Parallel = o.Parallel
 	return cfg
 }
 
@@ -146,31 +153,61 @@ func runPoint(cfg sim.Config, v variant) (*sim.Metrics, error) {
 	return m, nil
 }
 
+// sweep regenerates one figure's curves: every (variant, x) data point is
+// an independent simulation, so the full grid runs on a bounded worker
+// pool (Options.Parallel). Each point writes an index-addressed slot,
+// keeping series order and values identical for any worker count.
+func (o Options) sweep(variants []variant, xs []float64, set func(*sim.Config, float64), y func(*sim.Metrics) float64) ([]Series, error) {
+	grid := make([]float64, len(variants)*len(xs))
+	err := pool.For(o.Parallel, len(grid), func(i int) error {
+		vi, xi := i/len(xs), i%len(xs)
+		cfg := o.baseConfig()
+		set(&cfg, xs[xi])
+		m, err := runPoint(cfg, variants[vi])
+		if err != nil {
+			return err
+		}
+		grid[i] = y(m)
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	series := make([]Series, len(variants))
+	for vi := range variants {
+		series[vi] = Series{
+			Name: variants[vi].name,
+			X:    append([]float64(nil), xs...),
+			Y:    grid[vi*len(xs) : (vi+1)*len(xs) : (vi+1)*len(xs)],
+		}
+	}
+	return series, nil
+}
+
+func intXs(xs []int) []float64 {
+	out := make([]float64, len(xs))
+	for i, x := range xs {
+		out[i] = float64(x)
+	}
+	return out
+}
+
 // Fig5Left regenerates Figure 5 (left): abort rate as a function of the
 // number of read operations per query.
 func Fig5Left(o Options) (*Figure, error) {
 	o = o.withDefaults()
-	xs := []int{2, 5, 10, 15, 20, 30, 40, 50}
 	fig := &Figure{
 		ID:     "fig5-left",
 		Title:  "Abort rate vs. operations per query",
 		XLabel: "ops/query",
 		YLabel: "abort rate",
 	}
-	variants := abortRateVariants(o.CacheSize, 80)
-	series := make([]Series, len(variants))
-	for vi, v := range variants {
-		series[vi].Name = v.name
-		for _, ops := range xs {
-			cfg := o.baseConfig()
-			cfg.OpsPerQuery = ops
-			m, err := runPoint(cfg, v)
-			if err != nil {
-				return nil, err
-			}
-			series[vi].X = append(series[vi].X, float64(ops))
-			series[vi].Y = append(series[vi].Y, m.AbortRate)
-		}
+	series, err := o.sweep(abortRateVariants(o.CacheSize, 80),
+		intXs([]int{2, 5, 10, 15, 20, 30, 40, 50}),
+		func(cfg *sim.Config, x float64) { cfg.OpsPerQuery = int(x) },
+		func(m *sim.Metrics) float64 { return m.AbortRate })
+	if err != nil {
+		return nil, err
 	}
 	fig.Series = series
 	return fig, nil
@@ -180,27 +217,18 @@ func Fig5Left(o Options) (*Figure, error) {
 // offset between the client-read and the server-update patterns.
 func Fig5Right(o Options) (*Figure, error) {
 	o = o.withDefaults()
-	xs := []int{0, 50, 100, 150, 200, 250}
 	fig := &Figure{
 		ID:     "fig5-right",
 		Title:  "Abort rate vs. read/update pattern offset",
 		XLabel: "offset",
 		YLabel: "abort rate",
 	}
-	variants := abortRateVariants(o.CacheSize, 40)
-	series := make([]Series, len(variants))
-	for vi, v := range variants {
-		series[vi].Name = v.name
-		for _, off := range xs {
-			cfg := o.baseConfig()
-			cfg.Offset = off
-			m, err := runPoint(cfg, v)
-			if err != nil {
-				return nil, err
-			}
-			series[vi].X = append(series[vi].X, float64(off))
-			series[vi].Y = append(series[vi].Y, m.AbortRate)
-		}
+	series, err := o.sweep(abortRateVariants(o.CacheSize, 40),
+		intXs([]int{0, 50, 100, 150, 200, 250}),
+		func(cfg *sim.Config, x float64) { cfg.Offset = int(x) },
+		func(m *sim.Metrics) float64 { return m.AbortRate })
+	if err != nil {
+		return nil, err
 	}
 	fig.Series = series
 	return fig, nil
@@ -211,27 +239,18 @@ func Fig5Right(o Options) (*Figure, error) {
 // shrinks as server activity grows).
 func Fig6(o Options) (*Figure, error) {
 	o = o.withDefaults()
-	xs := []int{50, 100, 150, 200, 250, 300, 350, 400, 450, 500}
 	fig := &Figure{
 		ID:     "fig6",
 		Title:  "Abort rate vs. updates per cycle",
 		XLabel: "updates",
 		YLabel: "abort rate",
 	}
-	variants := abortRateVariants(o.CacheSize, 40)
-	series := make([]Series, len(variants))
-	for vi, v := range variants {
-		series[vi].Name = v.name
-		for _, u := range xs {
-			cfg := o.baseConfig()
-			cfg.Updates = u
-			m, err := runPoint(cfg, v)
-			if err != nil {
-				return nil, err
-			}
-			series[vi].X = append(series[vi].X, float64(u))
-			series[vi].Y = append(series[vi].Y, m.AbortRate)
-		}
+	series, err := o.sweep(abortRateVariants(o.CacheSize, 40),
+		intXs([]int{50, 100, 150, 200, 250, 300, 350, 400, 450, 500}),
+		func(cfg *sim.Config, x float64) { cfg.Updates = int(x) },
+		func(m *sim.Metrics) float64 { return m.AbortRate })
+	if err != nil {
+		return nil, err
 	}
 	fig.Series = series
 	return fig, nil
@@ -315,25 +334,17 @@ func Fig8Left(o Options) (*Figure, error) {
 		XLabel: "ops/query",
 		YLabel: "latency (cycles)",
 	}
-	variants := []variant{
+	series, err := o.sweep([]variant{
 		{name: "inv-only", opts: core.Options{Kind: core.KindInvOnly}},
 		{name: "inv-only+cache", opts: core.Options{Kind: core.KindInvOnly, CacheSize: o.CacheSize}},
 		{name: "sgt", opts: core.Options{Kind: core.KindSGT}},
 		{name: "multiversion", opts: core.Options{Kind: core.KindMVBroadcast}, serverVersions: 80},
-	}
-	series := make([]Series, len(variants))
-	for vi, v := range variants {
-		series[vi].Name = v.name
-		for _, ops := range xs {
-			cfg := o.baseConfig()
-			cfg.OpsPerQuery = ops
-			m, err := runPoint(cfg, v)
-			if err != nil {
-				return nil, err
-			}
-			series[vi].X = append(series[vi].X, float64(ops))
-			series[vi].Y = append(series[vi].Y, m.MeanLatency)
-		}
+	},
+		intXs(xs),
+		func(cfg *sim.Config, x float64) { cfg.OpsPerQuery = int(x) },
+		func(m *sim.Metrics) float64 { return m.MeanLatency })
+	if err != nil {
+		return nil, err
 	}
 	fig.Series = series
 	return fig, nil
@@ -351,19 +362,15 @@ func Fig8Right(o Options) (*Figure, error) {
 		XLabel: "offset",
 		YLabel: "latency (cycles)",
 	}
-	v := variant{name: "multiversion", opts: core.Options{Kind: core.KindMVBroadcast}, serverVersions: 40}
-	s := Series{Name: v.name}
-	for _, off := range xs {
-		cfg := o.baseConfig()
-		cfg.Offset = off
-		m, err := runPoint(cfg, v)
-		if err != nil {
-			return nil, err
-		}
-		s.X = append(s.X, float64(off))
-		s.Y = append(s.Y, m.MeanLatency)
+	series, err := o.sweep(
+		[]variant{{name: "multiversion", opts: core.Options{Kind: core.KindMVBroadcast}, serverVersions: 40}},
+		intXs(xs),
+		func(cfg *sim.Config, x float64) { cfg.Offset = int(x) },
+		func(m *sim.Metrics) float64 { return m.MeanLatency })
+	if err != nil {
+		return nil, err
 	}
-	fig.Series = []Series{s}
+	fig.Series = series
 	return fig, nil
 }
 
@@ -374,33 +381,26 @@ func Table1(o Options) (*stats.Table, error) {
 	o = o.withDefaults()
 	t := stats.NewTable("criterion", "inv-only", "multiversion", "sgt", "mv-cache")
 
-	accept := func(v variant) (float64, error) {
-		cfg := o.baseConfig()
-		m, err := runPoint(cfg, v)
+	variants := []variant{
+		{name: "inv-only", opts: core.Options{Kind: core.KindInvOnly}},
+		{name: "multiversion", opts: core.Options{Kind: core.KindMVBroadcast}, serverVersions: 40},
+		{name: "sgt", opts: core.Options{Kind: core.KindSGT}},
+		{name: "mv-cache", opts: core.Options{Kind: core.KindMVCache, CacheSize: o.CacheSize}},
+	}
+	accepts := make([]float64, len(variants))
+	if err := pool.For(o.Parallel, len(variants), func(i int) error {
+		m, err := runPoint(o.baseConfig(), variants[i])
 		if err != nil {
-			return 0, err
+			return err
 		}
-		return m.AcceptRate, nil
-	}
-	aInv, err := accept(variant{name: "inv-only", opts: core.Options{Kind: core.KindInvOnly}})
-	if err != nil {
-		return nil, err
-	}
-	aMV, err := accept(variant{name: "multiversion", opts: core.Options{Kind: core.KindMVBroadcast}, serverVersions: 40})
-	if err != nil {
-		return nil, err
-	}
-	aSGT, err := accept(variant{name: "sgt", opts: core.Options{Kind: core.KindSGT}})
-	if err != nil {
-		return nil, err
-	}
-	aMC, err := accept(variant{name: "mv-cache", opts: core.Options{Kind: core.KindMVCache, CacheSize: o.CacheSize}})
-	if err != nil {
+		accepts[i] = m.AcceptRate
+		return nil
+	}); err != nil {
 		return nil, err
 	}
 	t.AddRow("concurrency (accept rate)",
-		fmt.Sprintf("%.2f", aInv), fmt.Sprintf("%.2f", aMV),
-		fmt.Sprintf("%.2f", aSGT), fmt.Sprintf("%.2f", aMC))
+		fmt.Sprintf("%.2f", accepts[0]), fmt.Sprintf("%.2f", accepts[1]),
+		fmt.Sprintf("%.2f", accepts[2]), fmt.Sprintf("%.2f", accepts[3]))
 
 	p := broadcast.DefaultSizeParams()
 	pct := func(m broadcast.Method) string {
@@ -433,26 +433,18 @@ func ExtDisconnect(o Options) (*Figure, error) {
 		XLabel: "P(miss cycle)",
 		YLabel: "accept rate",
 	}
-	variants := []variant{
+	series, err := o.sweep([]variant{
 		{name: "inv-only", opts: core.Options{Kind: core.KindInvOnly}},
 		{name: "inv-only+resync", opts: core.Options{Kind: core.KindInvOnly, ResyncOnReconnect: true}},
 		{name: "sgt", opts: core.Options{Kind: core.KindSGT}},
 		{name: "sgt+versions", opts: core.Options{Kind: core.KindSGT, TolerateDisconnects: true}},
 		{name: "multiversion", opts: core.Options{Kind: core.KindMVBroadcast}, serverVersions: 30},
-	}
-	series := make([]Series, len(variants))
-	for vi, v := range variants {
-		series[vi].Name = v.name
-		for _, p := range xs {
-			cfg := o.baseConfig()
-			cfg.DisconnectProb = p
-			m, err := runPoint(cfg, v)
-			if err != nil {
-				return nil, err
-			}
-			series[vi].X = append(series[vi].X, p)
-			series[vi].Y = append(series[vi].Y, m.AcceptRate)
-		}
+	},
+		xs,
+		func(cfg *sim.Config, x float64) { cfg.DisconnectProb = x },
+		func(m *sim.Metrics) float64 { return m.AcceptRate })
+	if err != nil {
+		return nil, err
 	}
 	fig.Series = series
 	return fig, nil

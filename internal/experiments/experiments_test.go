@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"reflect"
 	"strings"
 	"testing"
 )
@@ -144,6 +145,31 @@ func seriesByName(t *testing.T, f *Figure) map[string]Series {
 		out[s.Name] = s
 	}
 	return out
+}
+
+// TestSweepParallelMatchesSerial pins the parallel sweep engine's
+// determinism: a figure regenerated on one worker and on eight workers is
+// identical, because every data point is an independent simulation landing
+// in an index-addressed slot.
+func TestSweepParallelMatchesSerial(t *testing.T) {
+	if testing.Short() {
+		t.Skip("simulation sweep")
+	}
+	serial := tiny()
+	serial.Parallel = 1
+	a, err := Fig5Right(serial)
+	if err != nil {
+		t.Fatal(err)
+	}
+	par := tiny()
+	par.Parallel = 8
+	b, err := Fig5Right(par)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(a, b) {
+		t.Errorf("parallel sweep diverged from serial:\nserial:   %+v\nparallel: %+v", a, b)
+	}
 }
 
 func TestExtDisconnectShape(t *testing.T) {

@@ -2,12 +2,10 @@ package netcast
 
 import (
 	"fmt"
-	"math/rand"
 	"sync"
 	"time"
 
-	"bpush/internal/broadcast"
-	"bpush/internal/server"
+	"bpush/internal/cyclesource"
 	"bpush/internal/workload"
 )
 
@@ -35,17 +33,18 @@ type StationConfig struct {
 	Workers int
 }
 
-// Station periodically commits a cycle of updates and broadcasts the
-// becast to all subscribers.
+// Station periodically takes the next cycle from a shared cyclesource
+// producer and broadcasts the becast to all subscribers. Production and
+// wire encoding happen exactly once per cycle no matter how many
+// subscribers are connected — the Broadcaster fans the one frame out —
+// so station cost per cycle is independent of the audience size.
 type Station struct {
-	cfg  StationConfig
-	srv  *server.Server
-	gen  *workload.ServerGen
-	prog broadcast.Program
-	bc   *Broadcaster
+	cfg StationConfig
+	src *cyclesource.Source
+	bc  *Broadcaster
 
-	mu    sync.Mutex
-	first bool
+	mu   sync.Mutex
+	next int // index of the next cycle to put on air
 
 	stop chan struct{}
 	done chan struct{}
@@ -60,11 +59,13 @@ func NewStation(cfg StationConfig) (*Station, error) {
 	if cfg.Workload.DBSize != cfg.DBSize {
 		return nil, fmt.Errorf("netcast: workload DBSize %d != station DBSize %d", cfg.Workload.DBSize, cfg.DBSize)
 	}
-	srv, err := server.New(server.Config{DBSize: cfg.DBSize, MaxVersions: cfg.Versions})
-	if err != nil {
-		return nil, err
-	}
-	gen, err := workload.NewServerGen(cfg.Workload, rand.New(rand.NewSource(cfg.Seed)))
+	src, err := cyclesource.New(cyclesource.Config{
+		DBSize:   cfg.DBSize,
+		Versions: cfg.Versions,
+		Workload: cfg.Workload,
+		Seed:     cfg.Seed,
+		Workers:  cfg.Workers,
+	})
 	if err != nil {
 		return nil, err
 	}
@@ -73,14 +74,11 @@ func NewStation(cfg StationConfig) (*Station, error) {
 		return nil, err
 	}
 	s := &Station{
-		cfg:   cfg,
-		srv:   srv,
-		gen:   gen,
-		prog:  broadcast.FlatProgram(cfg.DBSize),
-		bc:    bc,
-		first: true,
-		stop:  make(chan struct{}),
-		done:  make(chan struct{}),
+		cfg:  cfg,
+		src:  src,
+		bc:   bc,
+		stop: make(chan struct{}),
+		done: make(chan struct{}),
 	}
 	go s.run()
 	return s, nil
@@ -91,6 +89,10 @@ func (s *Station) Addr() string { return s.bc.Addr() }
 
 // Subscribers returns the current subscriber count.
 func (s *Station) Subscribers() int { return s.bc.Subscribers() }
+
+// Source returns the station's cycle producer, e.g. to attach in-process
+// consumers to the same stream the network subscribers hear.
+func (s *Station) Source() *cyclesource.Source { return s.src }
 
 func (s *Station) run() {
 	defer close(s.done)
@@ -112,33 +114,17 @@ func (s *Station) run() {
 	}
 }
 
-// Tick commits one cycle of synthetic updates and broadcasts the becast.
-// The first tick broadcasts the initial database load.
+// Tick produces the next cycle (the first tick broadcasts the initial
+// database load) and pushes its becast to every subscriber.
 func (s *Station) Tick() error {
 	s.mu.Lock()
-	defer s.mu.Unlock()
-	var (
-		b   *broadcast.Bcast
-		err error
-	)
-	if s.first {
-		s.first = false
-		b, err = broadcast.Assemble(s.srv, nil, s.prog)
-	} else {
-		var log *server.CycleLog
-		if s.cfg.Workers > 1 {
-			log, err = s.srv.CommitConcurrentAndAdvance(s.gen.Cycle(), s.cfg.Workers)
-		} else {
-			log, err = s.srv.CommitAndAdvance(s.gen.Cycle())
-		}
-		if err != nil {
-			return err
-		}
-		b, err = broadcast.Assemble(s.srv, log, s.prog)
-	}
+	b, err := s.src.Get(s.next)
 	if err != nil {
+		s.mu.Unlock()
 		return err
 	}
+	s.next++
+	s.mu.Unlock()
 	return s.bc.Broadcast(b)
 }
 

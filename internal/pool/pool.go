@@ -1,0 +1,80 @@
+// Package pool provides the bounded worker pool shared by the simulator's
+// fleet runner and the experiment sweeps. Work items are claimed in index
+// order and write results into caller-owned, index-addressed slots, so
+// output is identical regardless of the worker count or the scheduler's
+// interleaving — the property the fleet determinism tests pin down.
+package pool
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+)
+
+// Workers normalizes a worker-count knob: zero or negative means one
+// worker per CPU.
+func Workers(n int) int {
+	if n <= 0 {
+		return runtime.NumCPU()
+	}
+	return n
+}
+
+// For runs fn(0), ..., fn(n-1) on up to workers goroutines and returns
+// the lowest-index error (or nil). After any error, no further indexes
+// are claimed. Because indexes are claimed in ascending order, every
+// index below a failing one has been run, so the returned error is
+// deterministic for deterministic fn.
+func For(workers, n int, fn func(i int) error) error {
+	if n <= 0 {
+		return nil
+	}
+	workers = Workers(workers)
+	if workers > n {
+		workers = n
+	}
+	if workers == 1 {
+		for i := 0; i < n; i++ {
+			if err := fn(i); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	var (
+		next   atomic.Int64
+		failed atomic.Bool
+		wg     sync.WaitGroup
+	)
+	errs := make([]error, n)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				// Check the failure flag before claiming: a claimed index
+				// always runs, so every index below a failing one has a
+				// recorded outcome and the returned error is stable.
+				if failed.Load() {
+					return
+				}
+				i := int(next.Add(1)) - 1
+				if i >= n {
+					return
+				}
+				if err := fn(i); err != nil {
+					errs[i] = err
+					failed.Store(true)
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}

@@ -1,0 +1,55 @@
+package pool
+
+import (
+	"errors"
+	"fmt"
+	"sync/atomic"
+	"testing"
+)
+
+func TestForRunsEveryIndexOnce(t *testing.T) {
+	for _, workers := range []int{1, 4, 100} {
+		const n = 57
+		counts := make([]atomic.Int64, n)
+		if err := For(workers, n, func(i int) error {
+			counts[i].Add(1)
+			return nil
+		}); err != nil {
+			t.Fatalf("workers=%d: %v", workers, err)
+		}
+		for i := range counts {
+			if got := counts[i].Load(); got != 1 {
+				t.Errorf("workers=%d: index %d ran %d times", workers, i, got)
+			}
+		}
+	}
+}
+
+func TestForEmpty(t *testing.T) {
+	if err := For(4, 0, func(int) error { return errors.New("must not run") }); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestForReturnsLowestIndexError(t *testing.T) {
+	for _, workers := range []int{1, 8} {
+		err := For(workers, 40, func(i int) error {
+			if i == 7 || i == 23 {
+				return fmt.Errorf("boom %d", i)
+			}
+			return nil
+		})
+		if err == nil || err.Error() != "boom 7" {
+			t.Errorf("workers=%d: err = %v, want boom 7", workers, err)
+		}
+	}
+}
+
+func TestWorkers(t *testing.T) {
+	if Workers(0) < 1 || Workers(-3) < 1 {
+		t.Error("Workers must normalize to >= 1")
+	}
+	if Workers(5) != 5 {
+		t.Errorf("Workers(5) = %d", Workers(5))
+	}
+}

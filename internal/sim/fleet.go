@@ -3,15 +3,16 @@ package sim
 import (
 	"fmt"
 
+	"bpush/internal/pool"
 	"bpush/internal/stats"
 )
 
 // FleetMetrics aggregates a multi-client run: the paper's headline claim
 // is that the methods are *scalable* — processing happens entirely at the
 // clients, so per-client performance is independent of the population
-// size. RunFleet makes that measurable: every client consumes the same
-// broadcast-cycle stream (the server's work does not depend on who is
-// listening) with its own query workload and cache/graph state.
+// size. RunFleet makes that structural, not just measured: one producer
+// generates every broadcast cycle exactly once and all clients replay the
+// shared stream, so fleet cost is O(server-work + clients x client-work).
 type FleetMetrics struct {
 	Clients   int
 	PerClient []*Metrics
@@ -22,39 +23,53 @@ type FleetMetrics struct {
 	MeanLatency   float64
 	StdLatency    float64
 
-	// ServerCycles is the number of broadcast cycles the longest-running
-	// client consumed; the server-side cost of a cycle is independent of
-	// the fleet size, which is the scalability property.
+	// ServerCycles is the number of broadcast cycles the producer
+	// assembled — each exactly once, however many clients consumed it.
+	// The server-side cost of a cycle is independent of the fleet size,
+	// which is the scalability property.
 	ServerCycles uint64
 }
 
-// RunFleet simulates a population of independent clients over one
+// RunFleet simulates a population of independent clients over one shared
 // broadcast stream. Client i draws its queries (and disconnections) from
-// seed cfg.Seed + 1000*(i+1); the server-side update stream is identical
-// for everyone, exactly as a shared broadcast channel behaves.
+// seed cfg.Seed + 1000*(i+1); the server-side cycle stream is produced
+// once and replayed to everyone, exactly as a shared broadcast channel
+// behaves. Clients run on a bounded worker pool of cfg.Parallel
+// goroutines (0 = one per CPU, 1 = serial); per-client results and all
+// aggregates are identical regardless of the worker count.
 func RunFleet(cfg Config, clients int) (*FleetMetrics, error) {
 	if clients <= 0 {
 		return nil, fmt.Errorf("sim: fleet size must be positive, got %d", clients)
 	}
-	fm := &FleetMetrics{Clients: clients}
-	var abort, latency stats.Accumulator
-	for i := 0; i < clients; i++ {
+	src, err := cfg.NewSource()
+	if err != nil {
+		return nil, err
+	}
+	fm := &FleetMetrics{Clients: clients, PerClient: make([]*Metrics, clients)}
+	err = pool.For(cfg.Parallel, clients, func(i int) error {
 		c := cfg
 		c.ClientSeed = cfg.Seed + 1000*int64(i+1)
-		m, err := Run(c)
+		m, err := runClient(c, src)
 		if err != nil {
-			return nil, fmt.Errorf("client %d: %w", i, err)
+			return fmt.Errorf("client %d: %w", i, err)
 		}
-		fm.PerClient = append(fm.PerClient, m)
+		fm.PerClient[i] = m
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	// Aggregate in client order after the pool drains so floating-point
+	// accumulation order (and thus every aggregate) is deterministic.
+	var abort, latency stats.Accumulator
+	for _, m := range fm.PerClient {
 		abort.Add(m.AbortRate)
 		latency.Add(m.MeanLatency)
-		if m.Cycles > fm.ServerCycles {
-			fm.ServerCycles = m.Cycles
-		}
 	}
 	fm.MeanAbortRate = abort.Mean()
 	fm.StdAbortRate = abort.Std()
 	fm.MeanLatency = latency.Mean()
 	fm.StdLatency = latency.Std()
+	fm.ServerCycles = src.Produced()
 	return fm, nil
 }

@@ -1,0 +1,65 @@
+package sim
+
+import (
+	"fmt"
+	"testing"
+
+	"bpush/internal/core"
+)
+
+// benchFleetConfig is the default operating point at a per-client query
+// budget small enough for testing.B, oracle off (benchmarks measure the
+// pipeline, not the checker).
+func benchFleetConfig() Config {
+	cfg := DefaultConfig()
+	cfg.Queries = 200
+	cfg.Warmup = 20
+	cfg.Scheme = core.Options{Kind: core.KindSGT, CacheSize: 100}
+	return cfg
+}
+
+// BenchmarkFleetSerialVsParallel measures the produce-once/consume-many
+// pipeline across fleet sizes: "serial" runs the clients one after
+// another on a single worker, "parallel" uses one worker per CPU. Both
+// share one producer, so the delta is pure consumer-side parallelism;
+// results are identical by construction (see
+// TestFleetParallelMatchesSerial). Summarized in BENCH_fleet.json.
+func BenchmarkFleetSerialVsParallel(b *testing.B) {
+	for _, clients := range []int{1, 4, 16, 64} {
+		for _, mode := range []struct {
+			name    string
+			workers int
+		}{{"serial", 1}, {"parallel", 0}} {
+			b.Run(fmt.Sprintf("clients=%d/%s", clients, mode.name), func(b *testing.B) {
+				cfg := benchFleetConfig()
+				cfg.Parallel = mode.workers
+				for i := 0; i < b.N; i++ {
+					fm, err := RunFleet(cfg, clients)
+					if err != nil {
+						b.Fatal(err)
+					}
+					if i == b.N-1 {
+						b.ReportMetric(float64(fm.ServerCycles), "server_cycles")
+					}
+				}
+			})
+		}
+	}
+}
+
+// BenchmarkCycleProduction isolates the producer: server commits plus
+// becast assembly, no clients. This is the O(server-work) term that the
+// shared source pays exactly once per cycle regardless of fleet size.
+func BenchmarkCycleProduction(b *testing.B) {
+	cfg := benchFleetConfig()
+	src, err := cfg.NewSource()
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := src.Get(i); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

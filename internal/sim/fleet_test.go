@@ -2,6 +2,7 @@ package sim
 
 import (
 	"math"
+	"reflect"
 	"testing"
 
 	"bpush/internal/core"
@@ -61,6 +62,79 @@ func TestFleetClientsAreIndependentlySeeded(t *testing.T) {
 	}
 	if allEqual {
 		t.Error("all fleet clients produced identical commit counts; query workloads not independently seeded")
+	}
+}
+
+// TestFleetParallelMatchesSerial is the determinism regression test for
+// the produce-once/consume-many pipeline: for every scheme, a fleet run
+// on one worker and a fleet run on eight workers must produce identical
+// FleetMetrics — aggregates and every per-client metric — because each
+// client's execution is a pure function of its seed and the shared,
+// deterministic cycle stream. The oracle stays on, so the shared archive
+// is exercised concurrently too (and under -race, raced).
+func TestFleetParallelMatchesSerial(t *testing.T) {
+	kinds := []struct {
+		name  string
+		kind  core.Kind
+		cache int
+	}{
+		{"inv-only", core.KindInvOnly, 0},
+		{"vcache", core.KindVCache, 20},
+		{"multiversion", core.KindMVBroadcast, 0},
+		{"mv-cache", core.KindMVCache, 20},
+		{"sgt", core.KindSGT, 20},
+	}
+	for _, tt := range kinds {
+		t.Run(tt.name, func(t *testing.T) {
+			cfg := testConfig(tt.kind, tt.cache)
+			cfg.Queries = 60
+			cfg.DisconnectProb = 0.05 // exercise the per-client RNGs too
+
+			serial := cfg
+			serial.Parallel = 1
+			a, err := RunFleet(serial, 6)
+			if err != nil {
+				t.Fatal(err)
+			}
+			par := cfg
+			par.Parallel = 8
+			b, err := RunFleet(par, 6)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !reflect.DeepEqual(a, b) {
+				t.Errorf("parallel fleet diverged from serial:\nserial:   %+v\nparallel: %+v", a, b)
+				for i := range a.PerClient {
+					if !reflect.DeepEqual(a.PerClient[i], b.PerClient[i]) {
+						t.Errorf("client %d: serial %+v vs parallel %+v", i, a.PerClient[i], b.PerClient[i])
+					}
+				}
+			}
+		})
+	}
+}
+
+// TestFleetOfOneMatchesRun pins the produce-once refactor's compatibility
+// anchor: a fleet of one client must report exactly the metrics of a
+// plain Run with the same per-client seed.
+func TestFleetOfOneMatchesRun(t *testing.T) {
+	cfg := testConfig(core.KindSGT, 20)
+	cfg.Queries = 60
+	fm, err := RunFleet(cfg, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	solo := cfg
+	solo.ClientSeed = cfg.Seed + 1000
+	m, err := Run(solo)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(fm.PerClient[0], m) {
+		t.Errorf("fleet-of-one client metrics %+v != solo run %+v", fm.PerClient[0], m)
+	}
+	if fm.ServerCycles != m.Cycles {
+		t.Errorf("producer cycles %d != consumer cycles %d for a single client", fm.ServerCycles, m.Cycles)
 	}
 }
 

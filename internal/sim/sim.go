@@ -1,9 +1,17 @@
 // Package sim implements the cycle-driven simulation of §5.1 of Pitoura &
 // Chrysanthis: a server committing N update transactions per broadcast
-// cycle, the becast assembly, and a client running read-only queries
+// cycle, the becast assembly, and clients running read-only queries
 // through one of the core schemes. All randomness derives from a single
 // seed, and the server-side workload stream is independent of the scheme
 // under test, so different schemes can be compared on identical histories.
+//
+// Cycle production and consumption are decoupled: a cyclesource.Source
+// produces each broadcast cycle (server commits, becast assembly, oracle
+// archive snapshot) exactly once into a replayable log, and any number of
+// clients consume the shared, immutable stream through per-client feeds.
+// Run drives a single client; RunFleet drives a population on a bounded
+// worker pool over one source — the paper's architecture, where server
+// work is independent of who is listening.
 //
 // The simulator optionally checks every committed query against a
 // correctness oracle: schemes that name a serialization cycle are checked
@@ -22,9 +30,7 @@ import (
 	"bpush/internal/broadcast"
 	"bpush/internal/client"
 	"bpush/internal/core"
-	"bpush/internal/model"
-	"bpush/internal/server"
-	"bpush/internal/sg"
+	"bpush/internal/cyclesource"
 	"bpush/internal/stats"
 	"bpush/internal/workload"
 )
@@ -72,6 +78,12 @@ type Config struct {
 	ClientSeed   int64 // client-side seed; 0 derives it from Seed. RunFleet sets it per client so a fleet shares one broadcast stream.
 	Check        bool  // enable the correctness oracle
 	OracleWindow int   // archived cycles for the oracle (default 512)
+	// Parallel is the worker-pool size RunFleet uses to run clients over
+	// the shared cycle stream: 1 forces the serial path, 0 (the default)
+	// means one worker per CPU. Results are byte-identical either way —
+	// each client's execution is a pure function of the config, its seed,
+	// and the (deterministic) shared stream.
+	Parallel int
 }
 
 // DefaultConfig returns the paper's default operating point: D=1000,
@@ -153,36 +165,64 @@ type Metrics struct {
 	OverflowReadRate float64 // fraction of reads served from overflow
 	MeanBcastSlots   float64 // mean becast length (data + overflow slots)
 
-	Cycles        uint64 // broadcast cycles simulated
+	Cycles        uint64 // broadcast cycles this client consumed
 	OracleChecked int
 	OracleSkipped int
 }
 
-// Run executes one simulation.
-func Run(cfg Config) (*Metrics, error) {
-	if err := cfg.validate(); err != nil {
+// NewSource builds the cycle producer for this configuration: the
+// becast stream every client of the run consumes. Exposed so callers can
+// share one producer across custom consumers; Run and RunFleet construct
+// their own.
+func (c Config) NewSource() (*cyclesource.Source, error) {
+	if err := c.validate(); err != nil {
 		return nil, err
 	}
-	srv, err := server.New(server.Config{DBSize: cfg.DBSize, MaxVersions: cfg.ServerVersions})
-	if err != nil {
-		return nil, err
-	}
-	intervals := cfg.Intervals
+	intervals := c.Intervals
 	if intervals < 1 {
 		intervals = 1
 	}
-	sgen, err := workload.NewServerGen(workload.ServerConfig{
-		DBSize:          cfg.DBSize,
-		UpdateRange:     cfg.UpdateRange,
-		Offset:          cfg.Offset,
-		Theta:           cfg.Theta,
-		TxPerCycle:      cfg.ServerTx / intervals,
-		UpdatesPerCycle: cfg.Updates / intervals,
-		ReadsPerUpdate:  cfg.ReadsPerUpdate,
-	}, rand.New(rand.NewSource(cfg.Seed)))
+	var prog broadcast.Program
+	if c.DiskFreq >= 2 {
+		var err error
+		prog, err = bdisk.TwoDisk(c.DBSize, c.DiskHot, c.DiskFreq)
+		if err != nil {
+			return nil, err
+		}
+	}
+	return cyclesource.New(cyclesource.Config{
+		DBSize:   c.DBSize,
+		Versions: c.ServerVersions,
+		Workload: workload.ServerConfig{
+			DBSize:          c.DBSize,
+			UpdateRange:     c.UpdateRange,
+			Offset:          c.Offset,
+			Theta:           c.Theta,
+			TxPerCycle:      c.ServerTx / intervals,
+			UpdatesPerCycle: c.Updates / intervals,
+			ReadsPerUpdate:  c.ReadsPerUpdate,
+		},
+		Seed:         c.Seed,
+		Program:      prog,
+		Chunks:       intervals,
+		Check:        c.Check,
+		OracleWindow: c.OracleWindow,
+	})
+}
+
+// Run executes one simulation: one producer, one client.
+func Run(cfg Config) (*Metrics, error) {
+	src, err := cfg.NewSource()
 	if err != nil {
 		return nil, err
 	}
+	return runClient(cfg, src)
+}
+
+// runClient consumes the shared cycle stream with one client and collects
+// its metrics. It is a pure function of (cfg, cfg.ClientSeed, the stream),
+// which is what makes fleet results independent of worker interleaving.
+func runClient(cfg Config, src *cyclesource.Source) (*Metrics, error) {
 	clientSeed := cfg.ClientSeed
 	if clientSeed == 0 {
 		clientSeed = cfg.Seed + 1
@@ -199,26 +239,7 @@ func Run(cfg Config) (*Metrics, error) {
 	if err != nil {
 		return nil, err
 	}
-	prog := broadcast.FlatProgram(cfg.DBSize)
-	if cfg.DiskFreq >= 2 {
-		prog, err = bdisk.TwoDisk(cfg.DBSize, cfg.DiskHot, cfg.DiskFreq)
-		if err != nil {
-			return nil, err
-		}
-	}
-	feed := &simFeed{
-		srv:     srv,
-		gen:     sgen,
-		archive: newArchive(cfg.OracleWindow),
-	}
-	if intervals > 1 {
-		per := cfg.DBSize / intervals
-		for k := 0; k < intervals; k++ {
-			feed.chunks = append(feed.chunks, prog[k*per:(k+1)*per])
-		}
-	} else {
-		feed.prog = prog
-	}
+	feed := src.NewFeed()
 	cl, err := client.New(scheme, feed, client.Config{
 		ThinkTime:      cfg.ThinkTime,
 		DisconnectProb: cfg.DisconnectProb,
@@ -239,8 +260,8 @@ func Run(cfg Config) (*Metrics, error) {
 			return nil, fmt.Errorf("query %d: %w", q, err)
 		}
 		if cfg.Check && res.Committed {
-			if err := feed.archive.check(res.Info); err != nil {
-				if errors.Is(err, errOracleWindow) {
+			if err := src.Check(res.Info); err != nil {
+				if errors.Is(err, cyclesource.ErrOracleWindow) {
 					m.OracleSkipped++
 				} else {
 					return nil, fmt.Errorf("query %d: ORACLE VIOLATION: %w", q, err)
@@ -279,165 +300,10 @@ func Run(cfg Config) (*Metrics, error) {
 		m.CacheHitRate = float64(cacheReads) / float64(reads)
 		m.OverflowReadRate = float64(overflowReads) / float64(reads)
 	}
-	m.Cycles = feed.cycles
-	for _, l := range feed.lens {
+	m.Cycles = feed.Cycles()
+	for _, l := range feed.Lens() {
 		bcastLen.Add(float64(l))
 	}
 	m.MeanBcastSlots = bcastLen.Mean()
 	return m, nil
-}
-
-// simFeed drives the server one cycle (or h-interval) per Next call and
-// archives states and logs for the oracle.
-type simFeed struct {
-	srv     *server.Server
-	gen     *workload.ServerGen
-	prog    broadcast.Program   // full-cycle program (classic organization)
-	chunks  []broadcast.Program // per-interval chunks (§7 h-interval organization)
-	started bool
-	cycles  uint64
-	lens    []int
-	archive *archive
-}
-
-var _ client.Feed = (*simFeed)(nil)
-
-// Next implements client.Feed.
-func (f *simFeed) Next() (*broadcast.Bcast, error) {
-	var (
-		b   *broadcast.Bcast
-		err error
-	)
-	if !f.started {
-		f.started = true
-		f.archive.addState(1, f.srv.Snapshot())
-		b, err = f.assemble(nil)
-	} else {
-		var log *server.CycleLog
-		log, err = f.srv.CommitAndAdvance(f.gen.Cycle())
-		if err != nil {
-			return nil, err
-		}
-		f.archive.addLog(log)
-		f.archive.addState(log.Cycle, f.srv.Snapshot())
-		b, err = f.assemble(log)
-	}
-	if err != nil {
-		return nil, err
-	}
-	f.cycles++
-	if len(f.lens) < 4096 {
-		f.lens = append(f.lens, b.Len())
-	}
-	return b, nil
-}
-
-func (f *simFeed) assemble(log *server.CycleLog) (*broadcast.Bcast, error) {
-	if len(f.chunks) == 0 {
-		return broadcast.Assemble(f.srv, log, f.prog)
-	}
-	chunk := f.chunks[int(f.srv.Cycle()-1)%len(f.chunks)]
-	return broadcast.AssembleChunk(f.srv, log, chunk)
-}
-
-var errOracleWindow = errors.New("sim: query outlived the oracle window")
-
-// archive keeps a sliding window of database states and cycle logs, plus
-// the full (pruned) serialization graph, for the correctness oracle.
-type archive struct {
-	window model.Cycle
-	states map[model.Cycle]model.DBState
-	logs   map[model.Cycle]*server.CycleLog
-	graph  *sg.Graph
-	latest model.Cycle
-}
-
-func newArchive(window int) *archive {
-	return &archive{
-		window: model.Cycle(window),
-		states: make(map[model.Cycle]model.DBState),
-		logs:   make(map[model.Cycle]*server.CycleLog),
-		graph:  sg.New(),
-	}
-}
-
-func (a *archive) low() model.Cycle {
-	if a.latest <= a.window {
-		return 1
-	}
-	return a.latest - a.window
-}
-
-func (a *archive) addState(c model.Cycle, s model.DBState) {
-	a.states[c] = s
-	if c > a.latest {
-		a.latest = c
-	}
-	delete(a.states, c-a.window)
-}
-
-func (a *archive) addLog(l *server.CycleLog) {
-	a.logs[l.Cycle] = l
-	if l.Cycle > a.latest {
-		a.latest = l.Cycle
-	}
-	if err := a.graph.Apply(l.Delta); err != nil {
-		// The server guarantees forward edges; a violation here is a
-		// programming error worth surfacing loudly in simulations.
-		panic(fmt.Sprintf("sim: archive graph: %v", err))
-	}
-	delete(a.logs, l.Cycle-a.window)
-	a.graph.PruneBefore(a.low())
-}
-
-// check verifies a committed query. Schemes naming a serialization cycle
-// are checked against that archived state; SGT commits are checked for
-// acyclicity against the full graph.
-func (a *archive) check(info core.CommitInfo) error {
-	if info.StartCycle < a.low() {
-		return errOracleWindow
-	}
-	if info.SerializationCycle != 0 {
-		state, ok := a.states[info.SerializationCycle]
-		if !ok {
-			return errOracleWindow
-		}
-		for _, obs := range info.Reads {
-			want, err := state.Get(obs.Item)
-			if err != nil {
-				return err
-			}
-			if obs.Value != want {
-				return fmt.Errorf("readset of %v inconsistent with state %v: %v = %d, state holds %d",
-					info.CommitCycle, info.SerializationCycle, obs.Item, obs.Value, want)
-			}
-		}
-		return nil
-	}
-	// SGT: dependency sources are the writers R read from; precedence
-	// targets are all transactions that overwrote a readset item after
-	// the version R observed. R is serializable iff no target reaches a
-	// source.
-	var sources, targets []model.TxID
-	for _, obs := range info.Reads {
-		if !obs.Writer.IsZero() {
-			sources = append(sources, obs.Writer)
-		}
-		from := obs.Version + 1
-		if from < a.low() {
-			from = a.low()
-		}
-		for c := from; c <= info.CommitCycle; c++ {
-			if log, ok := a.logs[c]; ok {
-				targets = append(targets, log.AllWriters[obs.Item]...)
-			}
-		}
-	}
-	for _, src := range sources {
-		if a.graph.ReachableFromAny(targets, src) {
-			return fmt.Errorf("SGT commit at %v not serializable: overwriter path reaches dependency source %v",
-				info.CommitCycle, src)
-		}
-	}
-	return nil
 }
