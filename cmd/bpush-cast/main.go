@@ -15,6 +15,7 @@ import (
 	"os/signal"
 	"time"
 
+	"bpush/internal/fault"
 	"bpush/internal/netcast"
 	"bpush/internal/workload"
 )
@@ -58,19 +59,25 @@ func run(args []string) error {
 func buildConfig(args []string) (netcast.StationConfig, error) {
 	fs := flag.NewFlagSet("bpush-cast", flag.ContinueOnError)
 	var (
-		addr     = fs.String("addr", "127.0.0.1:7475", "listen address")
-		dbSize   = fs.Int("db", 1000, "broadcast size D in items")
-		versions = fs.Int("versions", 1, "versions kept on air (S)")
-		updRange = fs.Int("update-range", 500, "update distribution range")
-		offset   = fs.Int("offset", 100, "update pattern offset")
-		theta    = fs.Float64("theta", 0.95, "Zipf skew")
-		serverTx = fs.Int("server-tx", 10, "server transactions per cycle")
-		updates  = fs.Int("updates", 50, "updates per cycle")
-		workers  = fs.Int("workers", 1, "server executor workers (>1 uses strict 2PL)")
-		interval = fs.Duration("interval", 500*time.Millisecond, "time per broadcast cycle")
-		seed     = fs.Int64("seed", 1, "workload seed")
+		addr      = fs.String("addr", "127.0.0.1:7475", "listen address")
+		dbSize    = fs.Int("db", 1000, "broadcast size D in items")
+		versions  = fs.Int("versions", 1, "versions kept on air (S)")
+		updRange  = fs.Int("update-range", 500, "update distribution range")
+		offset    = fs.Int("offset", 100, "update pattern offset")
+		theta     = fs.Float64("theta", 0.95, "Zipf skew")
+		serverTx  = fs.Int("server-tx", 10, "server transactions per cycle")
+		updates   = fs.Int("updates", 50, "updates per cycle")
+		workers   = fs.Int("workers", 1, "server executor workers (>1 uses strict 2PL)")
+		interval  = fs.Duration("interval", 500*time.Millisecond, "time per broadcast cycle")
+		seed      = fs.Int64("seed", 1, "workload seed")
+		faultSpec = fs.String("fault", "none", "channel-side fault plan: none, a named plan, or a spec like drop=0.05,corrupt=0.01")
+		faultSeed = fs.Int64("fault-seed", 0, "fault RNG seed (0 = derive from the workload seed)")
 	)
 	if err := fs.Parse(args); err != nil {
+		return netcast.StationConfig{}, err
+	}
+	plan, err := fault.ParsePlan(*faultSpec)
+	if err != nil {
 		return netcast.StationConfig{}, err
 	}
 	return netcast.StationConfig{
@@ -86,8 +93,10 @@ func buildConfig(args []string) (netcast.StationConfig, error) {
 			UpdatesPerCycle: *updates,
 			ReadsPerUpdate:  4,
 		},
-		Interval: *interval,
-		Workers:  *workers,
-		Seed:     *seed,
+		Interval:  *interval,
+		Workers:   *workers,
+		Seed:      *seed,
+		Fault:     plan,
+		FaultSeed: *faultSeed,
 	}, nil
 }

@@ -19,6 +19,7 @@ import (
 	"os"
 
 	"bpush/internal/core"
+	"bpush/internal/fault"
 	"bpush/internal/sim"
 )
 
@@ -55,11 +56,17 @@ func run(args []string, out io.Writer) error {
 		intervals  = fs.Int("intervals", 1, "h-interval organization: reports (and chunks) per broadcast period")
 		clients    = fs.Int("clients", 1, "fleet size: clients sharing one broadcast stream")
 		parallel   = fs.Int("parallel", 0, "fleet worker-pool size (0 = one per CPU, 1 = serial)")
+		faultSpec  = fs.String("fault", "none", "fault plan: none | "+faultNames()+" | spec like drop=0.05,corrupt=0.01")
+		faultSeed  = fs.Int64("fault-seed", 0, "fault RNG seed (0 = derive from the client seed)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
 	kind, err := parseScheme(*schemeName)
+	if err != nil {
+		return err
+	}
+	plan, err := fault.ParsePlan(*faultSpec)
 	if err != nil {
 		return err
 	}
@@ -84,6 +91,8 @@ func run(args []string, out io.Writer) error {
 	cfg.Intervals = *intervals
 	cfg.Scheme = core.Options{Kind: kind, CacheSize: *cacheSize, BucketGranularity: *granule}
 	cfg.Parallel = *parallel
+	cfg.Fault = plan
+	cfg.FaultSeed = *faultSeed
 
 	if *clients > 1 {
 		fm, err := sim.RunFleet(cfg, *clients)
@@ -124,10 +133,27 @@ func run(args []string, out io.Writer) error {
 	fmt.Fprintf(out, "overflow reads    %.4f of reads\n", m.OverflowReadRate)
 	fmt.Fprintf(out, "becast length     %.1f slots\n", m.MeanBcastSlots)
 	fmt.Fprintf(out, "cycles simulated  %d\n", m.Cycles)
+	if !plan.IsZero() {
+		fmt.Fprintf(out, "fault plan        %s\n", plan)
+		fmt.Fprintf(out, "cycles lost       %d (stale frames discarded: %d)\n", m.MissedCycles, m.StaleFrames)
+	}
 	if *check {
 		fmt.Fprintf(out, "oracle            %d commits checked, %d outside window\n", m.OracleChecked, m.OracleSkipped)
 	}
 	return nil
+}
+
+// faultNames lists the shipped fault plans for the flag help text.
+func faultNames() string {
+	names := fault.PlanNames()
+	out := ""
+	for i, n := range names {
+		if i > 0 {
+			out += " | "
+		}
+		out += n
+	}
+	return out
 }
 
 func parseScheme(s string) (core.Kind, error) {

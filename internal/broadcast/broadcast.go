@@ -180,7 +180,7 @@ func New(cycle model.Cycle, report []InvalidationEntry, delta sg.Delta, entries 
 		positions:    make(map[model.ItemID][]int, len(entries)),
 	}
 	for i, e := range entries {
-		if e.Overflow >= len(overflow) {
+		if e.Overflow >= len(overflow) || e.Overflow < -1 {
 			return nil, fmt.Errorf("broadcast: slot %d overflow pointer %d out of range", i, e.Overflow)
 		}
 		b.positions[e.Item] = append(b.positions[e.Item], i)

@@ -25,6 +25,41 @@ type Feed interface {
 	Next() (*broadcast.Bcast, error)
 }
 
+// Event is one delivery observed on the channel: either a becast heard
+// intact, or a cycle known to be lost (dropped, corrupted, or truncated in
+// delivery). A loss still occupies air time — the channel keeps
+// broadcasting whether or not this client can decode it — so a loss event
+// carries the lost cycle's length in slots.
+type Event struct {
+	// Bcast is the becast heard, nil when the cycle was lost.
+	Bcast *broadcast.Bcast
+	// Cycle identifies the lost cycle (only meaningful when Bcast is nil).
+	Cycle model.Cycle
+	// Slots is the air time, in broadcast slots, the lost cycle occupied.
+	Slots int
+}
+
+// EventFeed is a Feed that can also report losses it detects itself — the
+// fault-injection layer and hardened tuners implement it. Feeds that
+// cannot tell (a plain Feed) are adapted; the client then infers losses
+// from gaps in the cycle numbering.
+type EventFeed interface {
+	// NextEvent blocks until the next delivery event.
+	NextEvent() (Event, error)
+}
+
+// feedEvents adapts a plain Feed: every delivery is a heard becast; losses
+// are left for the client's gap detection to infer.
+type feedEvents struct{ f Feed }
+
+func (a feedEvents) NextEvent() (Event, error) {
+	b, err := a.f.Next()
+	if err != nil {
+		return Event{}, err
+	}
+	return Event{Bcast: b}, nil
+}
+
 // Config configures a client runtime.
 type Config struct {
 	// ThinkTime is the number of broadcast slots the client waits before
@@ -77,25 +112,42 @@ type QueryResult struct {
 type Client struct {
 	cfg    Config
 	scheme core.Scheme
-	feed   Feed
+	events EventFeed
 	rng    *rand.Rand
 
 	cur      *broadcast.Bcast
 	pos      int
-	curLen   int   // slots of the cycle currently on air (heard or not)
-	slotBase int64 // slots of all fully elapsed cycles
-	missed   int   // cycles slept through (total)
+	curLen   int         // slots of the cycle currently on air (heard or not)
+	slotBase int64       // slots of all fully elapsed cycles
+	last     model.Cycle // last cycle accounted (heard, missed, or skipped)
+	missed   int         // cycles slept through or lost in delivery (total)
+	stale    int         // duplicate or late frames discarded (total)
 }
 
-// New creates a client and tunes in to the first becast of the feed.
+// New creates a client and tunes in to the first becast of the feed. A
+// feed that also implements EventFeed is used directly, so its loss
+// reports reach the client.
 func New(scheme core.Scheme, feed Feed, cfg Config) (*Client, error) {
+	if feed == nil {
+		return nil, fmt.Errorf("client: nil feed")
+	}
+	if ef, ok := feed.(EventFeed); ok {
+		return NewFromEvents(scheme, ef, cfg)
+	}
+	return NewFromEvents(scheme, feedEvents{feed}, cfg)
+}
+
+// NewFromEvents creates a client over an event feed — a channel view that
+// reports losses explicitly (the fault-injection layer, hardened tuners) —
+// and tunes in to its first heard becast.
+func NewFromEvents(scheme core.Scheme, events EventFeed, cfg Config) (*Client, error) {
 	if err := cfg.validate(); err != nil {
 		return nil, err
 	}
-	if scheme == nil || feed == nil {
+	if scheme == nil || events == nil {
 		return nil, fmt.Errorf("client: nil scheme or feed")
 	}
-	c := &Client{cfg: cfg, scheme: scheme, feed: feed}
+	c := &Client{cfg: cfg, scheme: scheme, events: events}
 	if cfg.DisconnectProb > 0 {
 		c.rng = rand.New(rand.NewSource(cfg.Seed))
 	}
@@ -120,16 +172,57 @@ func (c *Client) Scheme() core.Scheme { return c.scheme }
 // freshly tuned-in client size its workload.
 func (c *Client) Items() int { return c.cur.Items() }
 
-// nextCycle consumes feeds until a becast is actually heard, applying
-// disconnection injection.
+// nextCycle consumes delivery events until a becast is actually heard,
+// applying disconnection injection and the receive-path hardening: cycles
+// the feed reports lost — and cycles silently missing from the numbering —
+// are downgraded to misses, and duplicate or late (reordered) frames are
+// discarded, so the scheme always sees a strictly ascending cycle stream
+// with every gap declared through MissCycle.
 func (c *Client) nextCycle() error {
 	for {
-		b, err := c.feed.Next()
+		ev, err := c.events.NextEvent()
 		if err != nil {
 			return err
 		}
+		if ev.Bcast == nil {
+			// The feed itself reports the loss: the cycle went by on air
+			// but could not be heard (dropped, corrupted, truncated).
+			c.slotBase += int64(c.curLen)
+			c.curLen = ev.Slots
+			c.missed++
+			if ev.Cycle > c.last {
+				c.last = ev.Cycle
+			}
+			if err := c.scheme.MissCycle(ev.Cycle); err != nil {
+				return err
+			}
+			continue
+		}
+		b := ev.Bcast
+		if c.last != 0 && b.Cycle <= c.last {
+			// Duplicate or late frame: the cycle is already accounted
+			// (heard, missed, or skipped), so this copy is a delivery
+			// artifact and carries no new air time.
+			c.stale++
+			continue
+		}
+		if c.last != 0 {
+			// Undeclared gap: cycles vanished without a loss report (a
+			// lossy tuner, reordering). Downgrade each to a miss; the
+			// lost lengths are unknown, so air time is estimated with the
+			// length of the frame that revealed the gap.
+			for gap := c.last + 1; gap < b.Cycle; gap++ {
+				c.slotBase += int64(c.curLen)
+				c.curLen = b.Len()
+				c.missed++
+				if err := c.scheme.MissCycle(gap); err != nil {
+					return err
+				}
+			}
+		}
 		c.slotBase += int64(c.curLen)
 		c.curLen = b.Len()
+		c.last = b.Cycle
 		if c.rng != nil && c.rng.Float64() < c.cfg.DisconnectProb {
 			c.missed++
 			if err := c.scheme.MissCycle(b.Cycle); err != nil {
@@ -145,6 +238,14 @@ func (c *Client) nextCycle() error {
 		return nil
 	}
 }
+
+// Missed returns the total number of cycles the client did not hear —
+// injected disconnections plus cycles lost in delivery.
+func (c *Client) Missed() int { return c.missed }
+
+// Stale returns the total number of duplicate or late frames the client
+// discarded.
+func (c *Client) Stale() int { return c.stale }
 
 // think advances the channel position by the configured think time,
 // crossing cycle boundaries as needed.

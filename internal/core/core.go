@@ -270,6 +270,21 @@ func New(opts Options) (Scheme, error) {
 	}
 }
 
+// missRange downgrades an undeclared cycle gap to explicit misses: every
+// cycle in [from, to) is delivered to the scheme as a MissCycle. This is
+// the schemes' own receive-path hardening — a damaged or lost becast that
+// reaches NewCycle only as a jump in the cycle numbering is treated
+// exactly like a disconnection, feeding the resync/tolerate machinery
+// instead of corrupting scheme state.
+func missRange(s Scheme, from, to model.Cycle) error {
+	for c := from; c < to; c++ {
+		if err := s.MissCycle(c); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
 // txn is the per-transaction state shared by all schemes.
 type txn struct {
 	active  bool

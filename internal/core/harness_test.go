@@ -110,6 +110,31 @@ func (h *harness) skipCycle(updates ...model.ItemID) {
 	}
 }
 
+// skipSilently advances the server one cycle without telling the scheme
+// anything at all — the becast is lost in delivery and the client has no
+// loss report (undeclared gap).
+func (h *harness) skipSilently(updates ...model.ItemID) {
+	h.t.Helper()
+	txs := make([]model.ServerTx, len(updates))
+	for i, item := range updates {
+		txs[i] = model.ServerTx{Ops: []model.Op{
+			{Kind: model.OpRead, Item: item},
+			{Kind: model.OpWrite, Item: item},
+		}}
+	}
+	log, err := h.srv.CommitAndAdvance(txs)
+	if err != nil {
+		h.t.Fatal(err)
+	}
+	h.logs[log.Cycle] = log
+	h.states[log.Cycle] = h.srv.Snapshot()
+	b, err := broadcast.Assemble(h.srv, log, h.prog)
+	if err != nil {
+		h.t.Fatal(err)
+	}
+	h.cur = b
+}
+
 // resume re-attaches the scheme to the current becast after skipped cycles.
 func (h *harness) resume() {
 	h.t.Helper()

@@ -93,8 +93,16 @@ func (s *invOnly) Abort() { s.t.reset(); s.marked = 0 }
 
 // NewCycle implements Scheme.
 func (s *invOnly) NewCycle(b *broadcast.Bcast) error {
-	if s.cur != nil && b.Cycle != s.cur.Cycle+1 && !s.pendingResync {
-		return fmt.Errorf("core: cycle %v after %v; use MissCycle for gaps", b.Cycle, s.cur.Cycle)
+	if s.cur != nil {
+		if b.Cycle <= s.cur.Cycle {
+			return nil // duplicate or late frame: already processed
+		}
+		if b.Cycle != s.cur.Cycle+1 && !s.pendingResync {
+			// Undeclared gap: downgrade the lost cycles to misses.
+			if err := missRange(s, s.cur.Cycle+1, b.Cycle); err != nil {
+				return err
+			}
+		}
 	}
 	if s.pendingResync {
 		s.resync(b)

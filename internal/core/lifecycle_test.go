@@ -66,9 +66,36 @@ func TestLifecycleAcrossAllSchemes(t *testing.T) {
 	}
 }
 
-// TestOutOfOrderCycleRejectedAcrossSchemes: skipping a cycle without
-// MissCycle is a programming error for the report-dependent schemes.
-func TestOutOfOrderCycleRejectedAcrossSchemes(t *testing.T) {
+// TestDuplicateCycleIgnoredAcrossSchemes: a replayed becast is a
+// delivery-path artifact (duplicated or reordered frame); every scheme
+// must discard it without disturbing state — the receive-path hardening
+// that lets clients survive jittery channels.
+func TestDuplicateCycleIgnoredAcrossSchemes(t *testing.T) {
+	for _, opts := range []Options{
+		{Kind: KindInvOnly},
+		{Kind: KindVCache, CacheSize: 8},
+		{Kind: KindMVBroadcast},
+		{Kind: KindMVCache, CacheSize: 8},
+		{Kind: KindSGT},
+	} {
+		h := newHarness(t, 5, 1, opts)
+		h.cycle(2)
+		h.mustBegin()
+		h.mustRead(3)
+		if err := h.scheme.NewCycle(h.cur); err != nil {
+			t.Errorf("%v: replayed cycle not ignored: %v", opts.Kind, err)
+		}
+		h.mustRead(4)
+		h.mustCommit()
+	}
+}
+
+// TestUndeclaredGapDowngradedToMisses: a becast arriving with a jump in
+// the cycle numbering — frames lost without the client knowing — must be
+// treated exactly like a disconnection: the gap cycles become misses, so
+// the active transaction aborts for the report-dependent schemes instead
+// of silently continuing on stale certification state.
+func TestUndeclaredGapDowngradedToMisses(t *testing.T) {
 	for _, opts := range []Options{
 		{Kind: KindInvOnly},
 		{Kind: KindVCache, CacheSize: 8},
@@ -76,9 +103,23 @@ func TestOutOfOrderCycleRejectedAcrossSchemes(t *testing.T) {
 		{Kind: KindSGT},
 	} {
 		h := newHarness(t, 5, 1, opts)
-		if err := h.scheme.NewCycle(h.cur); err == nil {
-			t.Errorf("%v: replaying a cycle succeeded", opts.Kind)
+		h.mustBegin()
+		h.mustRead(3)
+		// Advance the server two cycles without telling the scheme, then
+		// deliver the latest becast: cycle numbering jumps by 2.
+		h.skipSilently(3)
+		h.skipSilently()
+		if err := h.scheme.NewCycle(h.cur); err != nil {
+			t.Fatalf("%v: gapped NewCycle errored: %v", opts.Kind, err)
 		}
+		if _, err := h.read(3); !errors.Is(err, ErrAborted) {
+			t.Errorf("%v: read after undeclared gap = %v, want ErrAborted", opts.Kind, err)
+		}
+		// A fresh query on the resynced scheme works.
+		h.scheme.Abort()
+		h.mustBegin()
+		h.mustRead(5)
+		h.mustCommit()
 	}
 }
 

@@ -71,9 +71,17 @@ func (s *mvBroadcast) Abort() { s.t.reset() }
 
 // NewCycle implements Scheme.
 func (s *mvBroadcast) NewCycle(b *broadcast.Bcast) error {
-	if s.cur != nil && b.Cycle != s.cur.Cycle+1 {
-		// A gap is a tolerated disconnection for this method; resync.
-		flushCache(s.cache)
+	if s.cur != nil {
+		if b.Cycle <= s.cur.Cycle {
+			return nil // duplicate or late frame: already processed
+		}
+		if b.Cycle != s.cur.Cycle+1 {
+			// A gap is a tolerated disconnection for this method;
+			// downgrade the lost cycles to misses (which flush the cache).
+			if err := missRange(s, s.cur.Cycle+1, b.Cycle); err != nil {
+				return err
+			}
+		}
 	}
 	s.prev, s.cur = s.cur, b
 	autoprefetch(s.cache, s.prev)

@@ -74,8 +74,16 @@ func (s *mvCache) Abort() { s.t.reset(); s.cu = 0 }
 
 // NewCycle implements Scheme.
 func (s *mvCache) NewCycle(b *broadcast.Bcast) error {
-	if s.cur != nil && b.Cycle != s.cur.Cycle+1 {
-		return fmt.Errorf("core: cycle %v after %v; use MissCycle for gaps", b.Cycle, s.cur.Cycle)
+	if s.cur != nil {
+		if b.Cycle <= s.cur.Cycle {
+			return nil // duplicate or late frame: already processed
+		}
+		if b.Cycle != s.cur.Cycle+1 {
+			// Undeclared gap: downgrade the lost cycles to misses.
+			if err := missRange(s, s.cur.Cycle+1, b.Cycle); err != nil {
+				return err
+			}
+		}
 	}
 	s.prev, s.cur = s.cur, b
 	// Autoprefetch invalidated current pages with the values from the

@@ -101,8 +101,16 @@ func (s *sgt) clearTxnGraphState() {
 
 // NewCycle implements Scheme.
 func (s *sgt) NewCycle(b *broadcast.Bcast) error {
-	if s.cur != nil && b.Cycle != s.cur.Cycle+1 && !s.resync {
-		return fmt.Errorf("core: cycle %v after %v; use MissCycle for gaps", b.Cycle, s.cur.Cycle)
+	if s.cur != nil {
+		if b.Cycle <= s.cur.Cycle {
+			return nil // duplicate or late frame: already processed
+		}
+		if b.Cycle != s.cur.Cycle+1 && !s.resync {
+			// Undeclared gap: downgrade the lost cycles to misses.
+			if err := missRange(s, s.cur.Cycle+1, b.Cycle); err != nil {
+				return err
+			}
+		}
 	}
 	s.resync = false
 	s.prev, s.cur = s.cur, b

@@ -1,0 +1,234 @@
+// Package fault injects deterministic, replayable delivery faults into a
+// broadcast channel. The paper's disconnection analysis (§4.1, §5.2.2)
+// models exactly one failure mode — a client cleanly sleeping through
+// whole cycles — but a real push channel also delivers corrupted,
+// truncated, duplicated, and reordered frames, and suffers burst outages.
+// This package makes those anomalies first-class and reproducible: a Plan
+// names per-cycle fault probabilities, every random decision is drawn from
+// one seeded RNG, and any run is replayable from (seed, plan) alone.
+//
+// Two interposition points are provided. An Injector wraps a client-side
+// Feed (a cyclesource feed, a tuner) and emits client.Events: faulted
+// frames are pushed through the real wire codec — encoded, damaged,
+// decoded — and a frame the checksum rejects is reported as a *lost
+// cycle*, never as data, exercising the same downgrade-to-miss recovery
+// the disconnection machinery already implements. A Mangler damages raw
+// encoded frames before they go on air (the netcast station's channel-side
+// interposition), where every subscriber shares the damage.
+//
+// A zero Plan is free: the Injector forwards becasts untouched with no
+// RNG draws and no allocations, so a clean run is unchanged. A Plan with
+// only Drop set draws exactly one random number per cycle from the same
+// generator construction the client runtime's DisconnectProb uses, so a
+// drop-only plan with the client's seed reproduces the DisconnectProb
+// schedule byte for byte — the new layer strictly subsumes the old model.
+package fault
+
+import (
+	"fmt"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// DefaultBurstLen is the burst outage length used when a Plan enables
+// Burst without setting BurstLen.
+const DefaultBurstLen = 3
+
+// Plan configures the per-cycle fault probabilities of a channel. Each
+// field is the probability, in [0, 1], that the fault hits a given frame;
+// faults whose probability is zero consume no randomness, so extending a
+// plan never perturbs the decision stream of the faults already in it.
+//
+// The per-frame decision order is fixed: burst, drop, corrupt, truncate,
+// duplicate, reorder. A frame consumed by an earlier fault is not offered
+// to later ones.
+type Plan struct {
+	// Drop loses the whole frame: the cycle goes by unheard.
+	Drop float64
+	// Corrupt flips a burst of bits inside a 32-byte window of the
+	// encoded frame. The damaged frame is then decoded: the checksum
+	// rejects it and the cycle is reported lost (in the astronomically
+	// unlikely event the frame still checks out, it is delivered).
+	Corrupt float64
+	// Truncate cuts the encoded frame short at a random byte; the decode
+	// failure reports the cycle lost.
+	Truncate float64
+	// Duplicate delivers the frame a second time immediately after the
+	// first. Receivers must discard the copy.
+	Duplicate float64
+	// Reorder swaps the frame with its successor: the successor arrives
+	// first, then the frame, late. Receivers see the late frame as stale.
+	Reorder float64
+	// Burst starts an outage of BurstLen consecutive lost cycles
+	// (including the triggering one) — the burst-error model of mobile
+	// channels, distinct from independent per-cycle drops.
+	Burst float64
+	// BurstLen is the outage length in cycles; 0 means DefaultBurstLen.
+	BurstLen int
+}
+
+// IsZero reports whether the plan injects no faults at all.
+func (p Plan) IsZero() bool {
+	return p.Drop == 0 && p.Corrupt == 0 && p.Truncate == 0 &&
+		p.Duplicate == 0 && p.Reorder == 0 && p.Burst == 0
+}
+
+// Validate checks every probability and the burst length.
+func (p Plan) Validate() error {
+	for _, f := range []struct {
+		name string
+		v    float64
+	}{
+		{"drop", p.Drop},
+		{"corrupt", p.Corrupt},
+		{"truncate", p.Truncate},
+		{"duplicate", p.Duplicate},
+		{"reorder", p.Reorder},
+		{"burst", p.Burst},
+	} {
+		if f.v < 0 || f.v > 1 {
+			return fmt.Errorf("fault: %s probability %g outside [0, 1]", f.name, f.v)
+		}
+	}
+	if p.BurstLen < 0 {
+		return fmt.Errorf("fault: negative burst length %d", p.BurstLen)
+	}
+	return nil
+}
+
+// burstLen returns the effective outage length.
+func (p Plan) burstLen() int {
+	if p.BurstLen <= 0 {
+		return DefaultBurstLen
+	}
+	return p.BurstLen
+}
+
+// String renders the plan in the spec format ParsePlan accepts.
+func (p Plan) String() string {
+	if p.IsZero() {
+		return "none"
+	}
+	var parts []string
+	add := func(k string, v float64) {
+		if v != 0 {
+			parts = append(parts, fmt.Sprintf("%s=%g", k, v))
+		}
+	}
+	add("drop", p.Drop)
+	add("corrupt", p.Corrupt)
+	add("truncate", p.Truncate)
+	add("duplicate", p.Duplicate)
+	add("reorder", p.Reorder)
+	add("burst", p.Burst)
+	if p.Burst != 0 && p.BurstLen != 0 {
+		parts = append(parts, fmt.Sprintf("burstlen=%d", p.BurstLen))
+	}
+	return strings.Join(parts, ",")
+}
+
+// plans is the shipped registry of named fault plans — the adversarial
+// channel conditions the chaos suite certifies every scheme against.
+var plans = map[string]Plan{
+	// drops: independent whole-cycle losses, the paper's own model made
+	// adversarially frequent.
+	"drops": {Drop: 0.1},
+	// noise: bit errors and framing damage; every hit must be caught by
+	// the checksum and downgraded to a miss.
+	"noise": {Corrupt: 0.05, Truncate: 0.02},
+	// bursty: correlated outages, the §5.2.2 long-disconnection regime.
+	"bursty": {Burst: 0.02, BurstLen: 4},
+	// jitter: delivery-path artifacts only — duplicated and reordered
+	// frames, no losses at the source.
+	"jitter": {Duplicate: 0.05, Reorder: 0.05},
+	// chaos: everything at once.
+	"chaos": {Drop: 0.04, Corrupt: 0.03, Truncate: 0.02, Duplicate: 0.03, Reorder: 0.03, Burst: 0.01, BurstLen: 3},
+}
+
+// Plans returns the shipped named plans, keyed by name.
+func Plans() map[string]Plan {
+	out := make(map[string]Plan, len(plans))
+	for k, v := range plans {
+		out[k] = v
+	}
+	return out
+}
+
+// PlanNames returns the shipped plan names, sorted.
+func PlanNames() []string {
+	names := make([]string, 0, len(plans))
+	for k := range plans {
+		names = append(names, k)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// ParsePlan turns a CLI argument into a Plan: either a shipped plan name
+// ("chaos"), "none" for the zero plan, or a spec of comma-separated
+// key=value pairs ("drop=0.05,corrupt=0.01,burstlen=4") with the keys
+// drop, corrupt, truncate, duplicate, reorder, burst, burstlen.
+func ParsePlan(s string) (Plan, error) {
+	s = strings.TrimSpace(s)
+	if s == "" || s == "none" {
+		return Plan{}, nil
+	}
+	if p, ok := plans[s]; ok {
+		return p, nil
+	}
+	var p Plan
+	for _, kv := range strings.Split(s, ",") {
+		key, val, ok := strings.Cut(strings.TrimSpace(kv), "=")
+		if !ok {
+			return Plan{}, fmt.Errorf("fault: bad plan %q: %q is neither a named plan (%s) nor key=value",
+				s, kv, strings.Join(PlanNames(), ", "))
+		}
+		if key == "burstlen" {
+			n, err := strconv.Atoi(val)
+			if err != nil {
+				return Plan{}, fmt.Errorf("fault: bad burstlen %q: %w", val, err)
+			}
+			p.BurstLen = n
+			continue
+		}
+		f, err := strconv.ParseFloat(val, 64)
+		if err != nil {
+			return Plan{}, fmt.Errorf("fault: bad value %q for %s: %w", val, key, err)
+		}
+		switch key {
+		case "drop":
+			p.Drop = f
+		case "corrupt":
+			p.Corrupt = f
+		case "truncate":
+			p.Truncate = f
+		case "duplicate":
+			p.Duplicate = f
+		case "reorder":
+			p.Reorder = f
+		case "burst":
+			p.Burst = f
+		default:
+			return Plan{}, fmt.Errorf("fault: unknown plan key %q", key)
+		}
+	}
+	if err := p.Validate(); err != nil {
+		return Plan{}, err
+	}
+	return p, nil
+}
+
+// Stats counts what a fault layer did to the stream, per cause.
+type Stats struct {
+	Delivered  int64 // frames passed through intact (duplicates included)
+	Dropped    int64 // frames lost to independent drops
+	Corrupted  int64 // frames lost to bit corruption
+	Truncated  int64 // frames lost to truncation
+	Burst      int64 // frames lost to burst outages
+	Duplicated int64 // frames delivered twice
+	Reordered  int64 // frame pairs swapped
+}
+
+// Lost returns the total number of cycles the layer made unhearable.
+func (s Stats) Lost() int64 { return s.Dropped + s.Corrupted + s.Truncated + s.Burst }

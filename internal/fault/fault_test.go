@@ -1,0 +1,369 @@
+package fault
+
+import (
+	"bytes"
+	"errors"
+	"io"
+	"reflect"
+	"testing"
+
+	"bpush/internal/broadcast"
+	"bpush/internal/client"
+	"bpush/internal/core"
+	"bpush/internal/model"
+	"bpush/internal/server"
+	"bpush/internal/wire"
+)
+
+// sliceFeed replays a fixed becast sequence, then io.EOF.
+type sliceFeed struct {
+	bs []*broadcast.Bcast
+	i  int
+}
+
+func (f *sliceFeed) Next() (*broadcast.Bcast, error) {
+	if f.i >= len(f.bs) {
+		return nil, io.EOF
+	}
+	b := f.bs[f.i]
+	f.i++
+	return b, nil
+}
+
+// makeCycles assembles n consecutive real becasts from a small server.
+func makeCycles(t *testing.T, n int) []*broadcast.Bcast {
+	t.Helper()
+	srv, err := server.New(server.Config{DBSize: 8, MaxVersions: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	prog := broadcast.FlatProgram(8)
+	b, err := broadcast.Assemble(srv, nil, prog)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := []*broadcast.Bcast{b}
+	for len(out) < n {
+		item := model.ItemID(len(out)%8 + 1)
+		log, err := srv.CommitAndAdvance([]model.ServerTx{{Ops: []model.Op{
+			{Kind: model.OpRead, Item: item},
+			{Kind: model.OpWrite, Item: item},
+		}}})
+		if err != nil {
+			t.Fatal(err)
+		}
+		b, err := broadcast.Assemble(srv, log, prog)
+		if err != nil {
+			t.Fatal(err)
+		}
+		out = append(out, b)
+	}
+	return out
+}
+
+// drain pulls every event until EOF and returns the observed sequence:
+// positive cycle numbers for heard frames, negative for lost cycles.
+func drain(t *testing.T, in *Injector) []int64 {
+	t.Helper()
+	var seq []int64
+	for {
+		ev, err := in.NextEvent()
+		if err == io.EOF {
+			return seq
+		}
+		if err != nil {
+			t.Fatal(err)
+		}
+		if ev.Bcast != nil {
+			seq = append(seq, int64(ev.Bcast.Cycle))
+		} else {
+			if ev.Slots <= 0 {
+				t.Errorf("lost cycle %v carries no air time", ev.Cycle)
+			}
+			seq = append(seq, -int64(ev.Cycle))
+		}
+	}
+}
+
+func TestParsePlan(t *testing.T) {
+	tests := []struct {
+		in      string
+		want    Plan
+		wantErr bool
+	}{
+		{in: "none", want: Plan{}},
+		{in: "", want: Plan{}},
+		{in: "drops", want: Plan{Drop: 0.1}},
+		{in: "chaos", want: plans["chaos"]},
+		{in: "drop=0.05,corrupt=0.01", want: Plan{Drop: 0.05, Corrupt: 0.01}},
+		{in: "burst=0.02,burstlen=4", want: Plan{Burst: 0.02, BurstLen: 4}},
+		{in: "drop=2", wantErr: true},
+		{in: "drop=x", wantErr: true},
+		{in: "burstlen=x", wantErr: true},
+		{in: "frobnicate=0.1", wantErr: true},
+		{in: "nosuchplan", wantErr: true},
+	}
+	for _, tt := range tests {
+		got, err := ParsePlan(tt.in)
+		if tt.wantErr {
+			if err == nil {
+				t.Errorf("ParsePlan(%q) accepted, want error", tt.in)
+			}
+			continue
+		}
+		if err != nil {
+			t.Errorf("ParsePlan(%q): %v", tt.in, err)
+			continue
+		}
+		if got != tt.want {
+			t.Errorf("ParsePlan(%q) = %+v, want %+v", tt.in, got, tt.want)
+		}
+	}
+}
+
+func TestPlanStringRoundTrips(t *testing.T) {
+	for name, p := range Plans() {
+		back, err := ParsePlan(p.String())
+		if err != nil {
+			t.Errorf("%s: ParsePlan(%q): %v", name, p.String(), err)
+			continue
+		}
+		if back != p {
+			t.Errorf("%s: round trip %q -> %+v, want %+v", name, p.String(), back, p)
+		}
+	}
+	if (Plan{}).String() != "none" {
+		t.Errorf("zero plan renders %q", Plan{}.String())
+	}
+}
+
+func TestPlanValidate(t *testing.T) {
+	if err := (Plan{Corrupt: -0.1}).Validate(); err == nil {
+		t.Error("negative probability accepted")
+	}
+	if err := (Plan{BurstLen: -1}).Validate(); err == nil {
+		t.Error("negative burst length accepted")
+	}
+	if err := (plans["chaos"]).Validate(); err != nil {
+		t.Errorf("shipped plan invalid: %v", err)
+	}
+}
+
+func TestZeroPlanPassesThrough(t *testing.T) {
+	cycles := makeCycles(t, 5)
+	in, err := New(&sliceFeed{bs: cycles}, Plan{}, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	seq := drain(t, in)
+	want := []int64{1, 2, 3, 4, 5}
+	if !reflect.DeepEqual(seq, want) {
+		t.Errorf("zero plan delivered %v, want %v", seq, want)
+	}
+	st := in.Stats()
+	if st.Delivered != 5 || st.Lost() != 0 {
+		t.Errorf("zero-plan stats %+v", st)
+	}
+}
+
+func TestInjectorDeterminism(t *testing.T) {
+	cycles := makeCycles(t, 40)
+	plan := plans["chaos"]
+	run := func() []int64 {
+		in, err := New(&sliceFeed{bs: cycles}, plan, 42)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return drain(t, in)
+	}
+	a, b := run(), run()
+	if !reflect.DeepEqual(a, b) {
+		t.Errorf("same (seed, plan) produced different event streams:\n %v\n %v", a, b)
+	}
+}
+
+func TestCorruptionAlwaysLost(t *testing.T) {
+	cycles := makeCycles(t, 20)
+	in, err := New(&sliceFeed{bs: cycles}, Plan{Corrupt: 1}, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	seq := drain(t, in)
+	if len(seq) != 20 {
+		t.Fatalf("saw %d events, want 20", len(seq))
+	}
+	for i, s := range seq {
+		if s >= 0 {
+			t.Errorf("corrupted frame %d survived as cycle %d", i, s)
+		}
+	}
+	st := in.Stats()
+	if st.Corrupted != 20 || st.Delivered != 0 {
+		t.Errorf("stats %+v, want 20 corrupted, 0 delivered", st)
+	}
+}
+
+func TestTruncationAlwaysLost(t *testing.T) {
+	cycles := makeCycles(t, 20)
+	in, err := New(&sliceFeed{bs: cycles}, Plan{Truncate: 1}, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, s := range drain(t, in) {
+		if s >= 0 {
+			t.Errorf("truncated frame survived as cycle %d", s)
+		}
+	}
+	if st := in.Stats(); st.Truncated != 20 {
+		t.Errorf("stats %+v, want 20 truncated", st)
+	}
+}
+
+func TestDuplicateDeliversTwice(t *testing.T) {
+	cycles := makeCycles(t, 3)
+	in, err := New(&sliceFeed{bs: cycles}, Plan{Duplicate: 1}, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	seq := drain(t, in)
+	want := []int64{1, 1, 2, 2, 3, 3}
+	if !reflect.DeepEqual(seq, want) {
+		t.Errorf("duplicate stream %v, want %v", seq, want)
+	}
+	st := in.Stats()
+	if st.Duplicated != 3 || st.Delivered != 6 {
+		t.Errorf("stats %+v, want 3 duplicated, 6 delivered", st)
+	}
+}
+
+func TestReorderSwapsAdjacentFrames(t *testing.T) {
+	cycles := makeCycles(t, 4)
+	in, err := New(&sliceFeed{bs: cycles}, Plan{Reorder: 1}, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	seq := drain(t, in)
+	want := []int64{2, 1, 4, 3}
+	if !reflect.DeepEqual(seq, want) {
+		t.Errorf("reordered stream %v, want %v", seq, want)
+	}
+	if st := in.Stats(); st.Reordered != 2 || st.Delivered != 4 {
+		t.Errorf("stats %+v, want 2 reordered, 4 delivered", st)
+	}
+}
+
+func TestBurstLosesWholeOutage(t *testing.T) {
+	cycles := makeCycles(t, 6)
+	in, err := New(&sliceFeed{bs: cycles}, Plan{Burst: 1, BurstLen: 3}, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	seq := drain(t, in)
+	want := []int64{-1, -2, -3, -4, -5, -6} // every frame re-triggers at p=1
+	if !reflect.DeepEqual(seq, want) {
+		t.Errorf("burst stream %v, want %v", seq, want)
+	}
+	if st := in.Stats(); st.Burst != 6 {
+		t.Errorf("stats %+v, want 6 burst losses", st)
+	}
+}
+
+func TestInjectorRejectsBadInputs(t *testing.T) {
+	if _, err := New(nil, Plan{}, 1); err == nil {
+		t.Error("nil feed accepted")
+	}
+	if _, err := New(&sliceFeed{}, Plan{Drop: 1.5}, 1); err == nil {
+		t.Error("invalid plan accepted")
+	}
+}
+
+// TestInjectorDrivesClient wires an injector under the real client runtime:
+// heavy losses must surface as missed cycles, duplicates as discarded stale
+// frames — never as errors or garbage reads.
+func TestInjectorDrivesClient(t *testing.T) {
+	cycles := makeCycles(t, 60)
+	in, err := New(&sliceFeed{bs: cycles}, Plan{Drop: 0.3, Duplicate: 0.3}, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sch, err := core.New(core.Options{Kind: core.KindMVBroadcast})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cl, err := client.NewFromEvents(sch, in, client.Config{ThinkTime: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 10; i++ {
+		if _, err := cl.RunQuery([]model.ItemID{1, 5}); err != nil {
+			if errors.Is(err, io.EOF) {
+				break // stream exhausted; fine for this smoke test
+			}
+			t.Fatalf("query %d: %v", i, err)
+		}
+	}
+	if cl.Missed() == 0 {
+		t.Error("30% drop plan caused no missed cycles")
+	}
+	if cl.Stale() == 0 {
+		t.Error("30% duplicate plan caused no stale-frame discards")
+	}
+}
+
+func TestManglerFaults(t *testing.T) {
+	frame := mustEncode(t, makeCycles(t, 1)[0])
+
+	m, err := NewMangler(Plan{Drop: 1}, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out := m.Mangle(frame); len(out) != 0 {
+		t.Errorf("dropped frame still transmitted %d copies", len(out))
+	}
+
+	m, _ = NewMangler(Plan{Duplicate: 1}, 1)
+	if out := m.Mangle(frame); len(out) != 2 || !bytes.Equal(out[0], frame) || !bytes.Equal(out[1], frame) {
+		t.Errorf("duplicate produced %d frames", len(out))
+	}
+
+	m, _ = NewMangler(Plan{Corrupt: 1}, 1)
+	out := m.Mangle(frame)
+	if len(out) != 1 || bytes.Equal(out[0], frame) {
+		t.Error("corruption left the frame intact")
+	}
+	if _, err := wire.DecodeBytes(frame); err != nil {
+		t.Errorf("corruption damaged the caller's frame: %v", err)
+	}
+
+	m, _ = NewMangler(Plan{Truncate: 1}, 1)
+	out = m.Mangle(frame)
+	if len(out) != 1 || len(out[0]) >= len(frame) {
+		t.Error("truncation did not shorten the frame")
+	}
+
+	m, _ = NewMangler(Plan{Reorder: 1}, 1)
+	frame2 := mustEncode(t, makeCycles(t, 2)[1])
+	if out := m.Mangle(frame); len(out) != 0 {
+		t.Errorf("reordered frame transmitted immediately (%d frames)", len(out))
+	}
+	out = m.Mangle(frame2)
+	if len(out) != 2 || !bytes.Equal(out[0], frame2) || !bytes.Equal(out[1], frame) {
+		t.Errorf("reorder delivered %d frames in the wrong order", len(out))
+	}
+
+	if m.String() == "" {
+		t.Error("empty Stringer")
+	}
+	if _, err := NewMangler(Plan{Drop: -1}, 1); err == nil {
+		t.Error("invalid plan accepted")
+	}
+}
+
+func mustEncode(t *testing.T, b *broadcast.Bcast) []byte {
+	t.Helper()
+	frame, err := wire.Encode(b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return frame
+}

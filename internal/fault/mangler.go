@@ -1,0 +1,107 @@
+package fault
+
+import (
+	"fmt"
+	"math/rand"
+)
+
+// Mangler applies a Plan to raw encoded frames before they go on air —
+// the channel-side interposition point the netcast station uses, where
+// every subscriber shares the damage (a broadcast channel has one air
+// interface, not one per listener). Unlike the Injector it never decodes:
+// damaged bytes are transmitted as-is and it is the receivers' wire
+// checksum and resynchronization that must cope.
+//
+// A Mangler is deterministic from (seed, plan, frame sequence) and is not
+// safe for concurrent use; the station serializes Tick calls already.
+type Mangler struct {
+	plan Plan
+	rng  *rand.Rand
+
+	burstLeft int
+	held      []byte // frame delayed by a reorder, owed after the next one
+	stats     Stats
+}
+
+// NewMangler builds a frame mangler for the plan, seeded deterministically.
+func NewMangler(plan Plan, seed int64) (*Mangler, error) {
+	if err := plan.Validate(); err != nil {
+		return nil, err
+	}
+	return &Mangler{plan: plan, rng: rand.New(rand.NewSource(seed))}, nil
+}
+
+// Stats returns what the mangler has done to the stream so far.
+func (m *Mangler) Stats() Stats { return m.stats }
+
+// Mangle applies the plan to one encoded frame and returns the byte
+// sequences to transmit, in order — zero when the frame is lost (or held
+// back by a reorder), two for a duplicate. A reorder swaps the frame with
+// its successor: the successor jumps ahead unfaulted (the swap consumed
+// its budget) and the held frame follows it, late. Returned slices are
+// copies whenever they were damaged; an undamaged frame is passed through
+// unaliased and uncopied.
+func (m *Mangler) Mangle(frame []byte) [][]byte {
+	if frame == nil {
+		return nil
+	}
+	if prev := m.held; prev != nil {
+		m.held = nil
+		m.stats.Delivered += 2
+		return [][]byte{frame, prev}
+	}
+	return m.mangleOne(frame)
+}
+
+func (m *Mangler) mangleOne(frame []byte) [][]byte {
+	if m.burstLeft > 0 {
+		m.burstLeft--
+		m.stats.Burst++
+		return nil
+	}
+	if m.plan.Burst > 0 && m.rng.Float64() < m.plan.Burst {
+		m.burstLeft = m.plan.burstLen() - 1
+		m.stats.Burst++
+		return nil
+	}
+	if m.plan.Drop > 0 && m.rng.Float64() < m.plan.Drop {
+		m.stats.Dropped++
+		return nil
+	}
+	if m.plan.Corrupt > 0 && m.rng.Float64() < m.plan.Corrupt {
+		damaged := append([]byte(nil), frame...)
+		off := m.rng.Intn(len(damaged))
+		flips := 1 + m.rng.Intn(corruptWindow-1)
+		for i := 0; i < flips; i++ {
+			pos := off + m.rng.Intn(corruptWindow)
+			if pos >= len(damaged) {
+				pos = len(damaged) - 1
+			}
+			damaged[pos] ^= 1 << uint(m.rng.Intn(8))
+		}
+		m.stats.Corrupted++
+		frame = damaged
+	}
+	if m.plan.Truncate > 0 && m.rng.Float64() < m.plan.Truncate {
+		cut := m.rng.Intn(len(frame))
+		m.stats.Truncated++
+		frame = frame[:cut]
+	}
+	if m.plan.Duplicate > 0 && m.rng.Float64() < m.plan.Duplicate {
+		m.stats.Duplicated++
+		m.stats.Delivered += 2
+		return [][]byte{frame, frame}
+	}
+	if m.plan.Reorder > 0 && m.rng.Float64() < m.plan.Reorder {
+		m.stats.Reordered++
+		m.held = frame
+		return nil
+	}
+	m.stats.Delivered++
+	return [][]byte{frame}
+}
+
+// String implements fmt.Stringer for logging.
+func (m *Mangler) String() string {
+	return fmt.Sprintf("fault.Mangler(%s)", m.plan)
+}

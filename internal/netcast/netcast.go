@@ -8,6 +8,8 @@ package netcast
 
 import (
 	"bufio"
+	"encoding/binary"
+	"errors"
 	"fmt"
 	"net"
 	"sync"
@@ -132,6 +134,14 @@ func (b *Broadcaster) Broadcast(bc *broadcast.Bcast) error {
 	if err != nil {
 		return err
 	}
+	return b.BroadcastRaw(frame)
+}
+
+// BroadcastRaw pushes an already-encoded (possibly deliberately damaged)
+// frame to every subscriber. The fault-injecting station uses it to put
+// mangled frames on air; the tuners' checksum verification and resync
+// logic are exercised by real bytes on a real socket.
+func (b *Broadcaster) BroadcastRaw(frame []byte) error {
 	b.mu.Lock()
 	if b.closed {
 		b.mu.Unlock()
@@ -197,6 +207,8 @@ func (b *Broadcaster) Close() error {
 type Tuner struct {
 	conn net.Conn
 	r    *bufio.Reader
+
+	corrupt atomic.Int64
 }
 
 // Dial connects a tuner to a broadcaster.
@@ -208,11 +220,49 @@ func Dial(addr string) (*Tuner, error) {
 	return &Tuner{conn: conn, r: bufio.NewReaderSize(conn, 1<<16)}, nil
 }
 
-// Next blocks until the next becast arrives. It returns io.EOF after the
-// broadcaster shuts down.
+// Next blocks until the next intact becast arrives. Frames that fail the
+// wire checksum or structural validation are discarded and the tuner
+// resynchronizes by scanning the stream for the next frame magic — a
+// damaged cycle becomes a silent gap for the client's loss detection to
+// downgrade, never garbage data. It returns io.EOF after the broadcaster
+// shuts down.
 func (t *Tuner) Next() (*broadcast.Bcast, error) {
-	return wire.Decode(t.r)
+	for {
+		b, err := wire.Decode(t.r)
+		if err == nil {
+			return b, nil
+		}
+		if !errors.Is(err, wire.ErrBadFrame) {
+			return nil, err // transport error or clean EOF
+		}
+		t.corrupt.Add(1)
+		if err := t.resync(); err != nil {
+			return nil, err
+		}
+	}
 }
+
+// resync scans forward until the next frame magic is at the head of the
+// stream. A failed decode leaves the reader at an arbitrary offset inside
+// the damaged frame; each failed attempt consumes at least the magic, so
+// the scan always makes progress.
+func (t *Tuner) resync() error {
+	for {
+		hdr, err := t.r.Peek(4)
+		if err != nil {
+			return err
+		}
+		if binary.BigEndian.Uint32(hdr) == wire.Magic {
+			return nil
+		}
+		if _, err := t.r.Discard(1); err != nil {
+			return err
+		}
+	}
+}
+
+// CorruptFrames reports how many damaged frames the tuner has discarded.
+func (t *Tuner) CorruptFrames() int64 { return t.corrupt.Load() }
 
 // Close disconnects the tuner.
 func (t *Tuner) Close() error { return t.conn.Close() }

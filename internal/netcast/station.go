@@ -6,6 +6,8 @@ import (
 	"time"
 
 	"bpush/internal/cyclesource"
+	"bpush/internal/fault"
+	"bpush/internal/wire"
 	"bpush/internal/workload"
 )
 
@@ -31,6 +33,13 @@ type StationConfig struct {
 	// Workers > 1 executes each cycle's update transactions concurrently
 	// under strict two-phase locking instead of serially.
 	Workers int
+	// Fault, when non-zero, damages frames channel-side before they go on
+	// air: every subscriber hears the same mangled stream, as with a
+	// shared physical channel. Per-client (independent) faults belong in
+	// the client-side injector instead.
+	Fault fault.Plan
+	// FaultSeed seeds the fault RNG; 0 derives it from Seed.
+	FaultSeed int64
 }
 
 // Station periodically takes the next cycle from a shared cyclesource
@@ -43,8 +52,9 @@ type Station struct {
 	src *cyclesource.Source
 	bc  *Broadcaster
 
-	mu   sync.Mutex
-	next int // index of the next cycle to put on air
+	mu      sync.Mutex
+	next    int // index of the next cycle to put on air
+	mangler *fault.Mangler
 
 	stop chan struct{}
 	done chan struct{}
@@ -69,16 +79,28 @@ func NewStation(cfg StationConfig) (*Station, error) {
 	if err != nil {
 		return nil, err
 	}
+	var mangler *fault.Mangler
+	if !cfg.Fault.IsZero() {
+		seed := cfg.FaultSeed
+		if seed == 0 {
+			seed = cfg.Seed + 1
+		}
+		mangler, err = fault.NewMangler(cfg.Fault, seed)
+		if err != nil {
+			return nil, err
+		}
+	}
 	bc, err := Listen(cfg.Addr)
 	if err != nil {
 		return nil, err
 	}
 	s := &Station{
-		cfg:  cfg,
-		src:  src,
-		bc:   bc,
-		stop: make(chan struct{}),
-		done: make(chan struct{}),
+		cfg:     cfg,
+		src:     src,
+		bc:      bc,
+		mangler: mangler,
+		stop:    make(chan struct{}),
+		done:    make(chan struct{}),
 	}
 	go s.run()
 	return s, nil
@@ -115,7 +137,9 @@ func (s *Station) run() {
 }
 
 // Tick produces the next cycle (the first tick broadcasts the initial
-// database load) and pushes its becast to every subscriber.
+// database load) and pushes its becast to every subscriber. With a fault
+// plan configured the frame passes through the mangler first; dropped
+// cycles put nothing on air, so subscribers see an undeclared gap.
 func (s *Station) Tick() error {
 	s.mu.Lock()
 	b, err := s.src.Get(s.next)
@@ -124,8 +148,34 @@ func (s *Station) Tick() error {
 		return err
 	}
 	s.next++
+	if s.mangler == nil {
+		s.mu.Unlock()
+		return s.bc.Broadcast(b)
+	}
+	frame, err := wire.Encode(b)
+	if err != nil {
+		s.mu.Unlock()
+		return err
+	}
+	frames := s.mangler.Mangle(frame)
 	s.mu.Unlock()
-	return s.bc.Broadcast(b)
+	for _, f := range frames {
+		if err := s.bc.BroadcastRaw(f); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// FaultStats reports the mangler's cumulative fault counters; the zero
+// Stats when no fault plan is configured.
+func (s *Station) FaultStats() fault.Stats {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.mangler == nil {
+		return fault.Stats{}
+	}
+	return s.mangler.Stats()
 }
 
 // Close stops the ticker and shuts the broadcaster down.

@@ -1,0 +1,168 @@
+package sim
+
+import (
+	"fmt"
+	"reflect"
+	"testing"
+
+	"bpush/internal/core"
+	"bpush/internal/fault"
+)
+
+// chaosConfig shrinks the test configuration further: fault plans force
+// extra cycles (missed frames stall queries), so chaos cells run fewer
+// queries than the clean-path tests.
+func chaosConfig(opts core.Options, plan fault.Plan, seed int64) Config {
+	cfg := testConfig(opts.Kind, opts.CacheSize)
+	cfg.Scheme = opts
+	cfg.Queries = 80
+	cfg.Warmup = 10
+	cfg.Seed = seed
+	cfg.Fault = plan
+	cfg.OracleWindow = 1024 // bursts can push serialization cycles far back
+	return cfg
+}
+
+// TestChaosOracleAcrossSchemesAndPlans is the chaos property suite: every
+// scheme, under every shipped fault plan, with the consistency oracle on.
+// The property is the paper's correctness claim extended to a hostile
+// channel — faults may abort transactions or slow them down, but no
+// accepted transaction is ever inconsistent, and no fault surfaces as an
+// infrastructure error. Each cell is exercised under two seeds.
+func TestChaosOracleAcrossSchemesAndPlans(t *testing.T) {
+	variants := []core.Options{
+		{Kind: core.KindInvOnly},
+		{Kind: core.KindInvOnly, ResyncOnReconnect: true},
+		{Kind: core.KindVCache, CacheSize: 40, ResyncOnReconnect: true},
+		{Kind: core.KindMVBroadcast},
+		{Kind: core.KindMVBroadcast, CacheSize: 40, TolerateDisconnects: true},
+		{Kind: core.KindMVCache, CacheSize: 40},
+		{Kind: core.KindSGT},
+		{Kind: core.KindSGT, TolerateDisconnects: true},
+	}
+	for name, plan := range fault.Plans() {
+		for _, opts := range variants {
+			for _, seed := range []int64{1, 99} {
+				opts, plan, seed := opts, plan, seed
+				label := fmt.Sprintf("%s/%v-res%v-tol%v/seed%d",
+					name, opts.Kind, opts.ResyncOnReconnect, opts.TolerateDisconnects, seed)
+				t.Run(label, func(t *testing.T) {
+					t.Parallel()
+					cfg := chaosConfig(opts, plan, seed)
+					if opts.Kind == core.KindMVBroadcast {
+						cfg.ServerVersions = 6
+					}
+					m, err := Run(cfg)
+					if err != nil {
+						t.Fatalf("chaos run failed: %v", err)
+					}
+					if m.Queries != cfg.Queries {
+						t.Errorf("ran %d queries, want %d", m.Queries, cfg.Queries)
+					}
+					if m.Committed+m.Aborted != m.Queries {
+						t.Errorf("committed %d + aborted %d != %d queries",
+							m.Committed, m.Aborted, m.Queries)
+					}
+					if !plan.IsZero() && plan.Duplicate == 0 && plan.Reorder == 0 && m.MissedCycles == 0 {
+						t.Errorf("loss plan %s injected no missed cycles over %d cycles", plan, m.Cycles)
+					}
+				})
+			}
+		}
+	}
+}
+
+// TestDropPlanMatchesDisconnectSchedule is the metamorphic check that the
+// fault layer strictly subsumes the paper's disconnection model: a
+// drop-only plan must reproduce the DisconnectProb schedule byte for byte
+// — identical Metrics, not just statistically similar ones — because both
+// draw the same decisions from the same seeded RNG.
+func TestDropPlanMatchesDisconnectSchedule(t *testing.T) {
+	const p = 0.08
+	for _, opts := range []core.Options{
+		{Kind: core.KindInvOnly},
+		{Kind: core.KindVCache, CacheSize: 40},
+		{Kind: core.KindMVBroadcast},
+		{Kind: core.KindMVCache, CacheSize: 40},
+		{Kind: core.KindSGT},
+	} {
+		t.Run(opts.Kind.String(), func(t *testing.T) {
+			disc := testConfig(opts.Kind, opts.CacheSize)
+			disc.Scheme = opts
+			disc.DisconnectProb = p
+			if opts.Kind == core.KindMVBroadcast {
+				disc.ServerVersions = 6
+			}
+			drop := disc
+			drop.DisconnectProb = 0
+			drop.Fault = fault.Plan{Drop: p}
+
+			mDisc, err := Run(disc)
+			if err != nil {
+				t.Fatalf("disconnect run: %v", err)
+			}
+			mDrop, err := Run(drop)
+			if err != nil {
+				t.Fatalf("drop-plan run: %v", err)
+			}
+			if !reflect.DeepEqual(mDisc, mDrop) {
+				t.Errorf("drop-only plan diverged from DisconnectProb:\n disconnect: %+v\n fault:      %+v",
+					mDisc, mDrop)
+			}
+			if mDisc.MissedCycles == 0 {
+				t.Error("schedule injected no misses; the comparison is vacuous")
+			}
+		})
+	}
+}
+
+// TestChaosDeterminism pins the replayability contract: the same (seed,
+// plan) produces identical Metrics run after run, and fleet results are
+// identical whatever the worker count — faults are drawn per client from
+// the client's own seed, never from shared state.
+func TestChaosDeterminism(t *testing.T) {
+	plan := fault.Plans()["chaos"]
+
+	cfg := chaosConfig(core.Options{Kind: core.KindSGT, TolerateDisconnects: true}, plan, 7)
+	a, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(a, b) {
+		t.Errorf("same (seed, plan) produced different Metrics:\n first:  %+v\n second: %+v", a, b)
+	}
+
+	fleet := chaosConfig(core.Options{Kind: core.KindVCache, CacheSize: 40, ResyncOnReconnect: true}, plan, 11)
+	fleet.Queries = 40
+	const clients = 6
+	fleet.Parallel = 1
+	serial, err := RunFleet(fleet, clients)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fleet.Parallel = 4
+	parallel, err := RunFleet(fleet, clients)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(serial, parallel) {
+		t.Error("chaos fleet metrics differ between serial and parallel runs")
+	}
+	// Clients must not share a fault schedule: with per-client seeds the
+	// miss counts should not all be equal... unless the channel is clean.
+	allSame := true
+	for _, m := range serial.PerClient[1:] {
+		if m.MissedCycles != serial.PerClient[0].MissedCycles {
+			allSame = false
+			break
+		}
+	}
+	if allSame {
+		t.Errorf("every client lost exactly %d cycles; fault schedules look shared",
+			serial.PerClient[0].MissedCycles)
+	}
+}

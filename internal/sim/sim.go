@@ -31,6 +31,7 @@ import (
 	"bpush/internal/client"
 	"bpush/internal/core"
 	"bpush/internal/cyclesource"
+	"bpush/internal/fault"
 	"bpush/internal/stats"
 	"bpush/internal/workload"
 )
@@ -56,6 +57,19 @@ type Config struct {
 	OpsPerQuery    int
 	ThinkTime      int
 	DisconnectProb float64
+
+	// Fault, when non-zero, interposes a deterministic fault injector
+	// between the cycle stream and each client: frames are dropped,
+	// corrupted, truncated, duplicated, reordered, or lost in bursts per
+	// the plan's probabilities. Faults are per client (independent
+	// receivers of a shared channel); each client's injector is seeded
+	// from its own seed, so any run replays exactly from (Seed, Fault).
+	Fault fault.Plan
+	// FaultSeed overrides the per-client fault seed; 0 derives it from
+	// the client seed, which keeps a drop-only plan byte-identical to the
+	// equivalent DisconnectProb schedule. RunFleet leaves it 0 so every
+	// client draws independent faults.
+	FaultSeed int64
 
 	// Broadcast organization: with DiskFreq >= 2, items 1..DiskHot are
 	// placed on a fast broadcast disk spinning DiskFreq times per cycle
@@ -124,6 +138,9 @@ func (c Config) validate() error {
 	if c.OracleWindow < 8 {
 		return fmt.Errorf("sim: OracleWindow must be >= 8, got %d", c.OracleWindow)
 	}
+	if err := c.Fault.Validate(); err != nil {
+		return fmt.Errorf("sim: %w", err)
+	}
 	if c.Intervals > 1 {
 		if c.DiskFreq >= 2 {
 			return fmt.Errorf("sim: h-interval organization is incompatible with broadcast disks")
@@ -168,6 +185,13 @@ type Metrics struct {
 	Cycles        uint64 // broadcast cycles this client consumed
 	OracleChecked int
 	OracleSkipped int
+
+	// MissedCycles counts cycles the client lost to disconnections or
+	// injected faults (dropped, corrupted, or truncated frames and
+	// undeclared gaps); StaleFrames counts duplicated or reordered frames
+	// the receive path discarded.
+	MissedCycles int
+	StaleFrames  int
 }
 
 // NewSource builds the cycle producer for this configuration: the
@@ -240,11 +264,29 @@ func runClient(cfg Config, src *cyclesource.Source) (*Metrics, error) {
 		return nil, err
 	}
 	feed := src.NewFeed()
-	cl, err := client.New(scheme, feed, client.Config{
+	ccfg := client.Config{
 		ThinkTime:      cfg.ThinkTime,
 		DisconnectProb: cfg.DisconnectProb,
 		Seed:           clientSeed + 1,
-	})
+	}
+	var cl *client.Client
+	if cfg.Fault.IsZero() {
+		cl, err = client.New(scheme, feed, ccfg)
+	} else {
+		// The injector's default seed is the same one the client's
+		// disconnect RNG would use, so a drop-only plan replays the exact
+		// DisconnectProb schedule.
+		fseed := cfg.FaultSeed
+		if fseed == 0 {
+			fseed = clientSeed + 1
+		}
+		var inj *fault.Injector
+		inj, err = fault.New(feed, cfg.Fault, fseed)
+		if err != nil {
+			return nil, err
+		}
+		cl, err = client.NewFromEvents(scheme, inj, ccfg)
+	}
 	if err != nil {
 		return nil, err
 	}
@@ -305,5 +347,7 @@ func runClient(cfg Config, src *cyclesource.Source) (*Metrics, error) {
 		bcastLen.Add(float64(l))
 	}
 	m.MeanBcastSlots = bcastLen.Mean()
+	m.MissedCycles = cl.Missed()
+	m.StaleFrames = cl.Stale()
 	return m, nil
 }

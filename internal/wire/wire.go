@@ -51,6 +51,21 @@ var ErrBadFrame = errors.New("wire: bad frame")
 // and the smallest element size so corrupt lengths fail fast.
 const maxSegment = MaxFrameSize / 12
 
+// initialSegmentCap caps the capacity pre-allocated for a segment before
+// its elements have actually been read. A corrupt length field can claim
+// up to maxSegment elements; growing by append instead of trusting the
+// field keeps a damaged frame from forcing a huge allocation before the
+// decode fails.
+const initialSegmentCap = 4096
+
+// segCap clamps a decoded length field to a safe pre-allocation size.
+func segCap(n int) int {
+	if n > initialSegmentCap {
+		return initialSegmentCap
+	}
+	return n
+}
+
 // Encode serializes a becast into a frame.
 func Encode(b *broadcast.Bcast) ([]byte, error) {
 	if b == nil || len(b.Entries) == 0 {
@@ -174,8 +189,8 @@ func Decode(r io.Reader) (*broadcast.Bcast, error) {
 	if err != nil {
 		return nil, frameErr(err)
 	}
-	report := make([]broadcast.InvalidationEntry, n)
-	for i := range report {
+	report := make([]broadcast.InvalidationEntry, 0, segCap(n))
+	for i := 0; i < n; i++ {
 		var item uint32
 		if err := rd(&item); err != nil {
 			return nil, frameErr(err)
@@ -184,25 +199,27 @@ func Decode(r io.Reader) (*broadcast.Bcast, error) {
 		if err != nil {
 			return nil, frameErr(err)
 		}
-		report[i] = broadcast.InvalidationEntry{Item: model.ItemID(item), FirstWriter: tx}
+		report = append(report, broadcast.InvalidationEntry{Item: model.ItemID(item), FirstWriter: tx})
 	}
 
 	n, err = readLen()
 	if err != nil {
 		return nil, frameErr(err)
 	}
-	delta := sg.Delta{Cycle: model.Cycle(cycle), Nodes: make([]model.TxID, n)}
-	for i := range delta.Nodes {
-		if delta.Nodes[i], err = readTx(); err != nil {
+	delta := sg.Delta{Cycle: model.Cycle(cycle), Nodes: make([]model.TxID, 0, segCap(n))}
+	for i := 0; i < n; i++ {
+		tx, err := readTx()
+		if err != nil {
 			return nil, frameErr(err)
 		}
+		delta.Nodes = append(delta.Nodes, tx)
 	}
 	n, err = readLen()
 	if err != nil {
 		return nil, frameErr(err)
 	}
-	delta.Edges = make([]sg.Edge, n)
-	for i := range delta.Edges {
+	delta.Edges = make([]sg.Edge, 0, segCap(n))
+	for i := 0; i < n; i++ {
 		from, err := readTx()
 		if err != nil {
 			return nil, frameErr(err)
@@ -211,15 +228,15 @@ func Decode(r io.Reader) (*broadcast.Bcast, error) {
 		if err != nil {
 			return nil, frameErr(err)
 		}
-		delta.Edges[i] = sg.Edge{From: from, To: to}
+		delta.Edges = append(delta.Edges, sg.Edge{From: from, To: to})
 	}
 
 	n, err = readLen()
 	if err != nil {
 		return nil, frameErr(err)
 	}
-	entries := make([]broadcast.Entry, n)
-	for i := range entries {
+	entries := make([]broadcast.Entry, 0, segCap(n))
+	for i := 0; i < n; i++ {
 		var item uint32
 		var value int64
 		var verCycle uint64
@@ -240,21 +257,24 @@ func Decode(r io.Reader) (*broadcast.Bcast, error) {
 		if err := rd(&overflow); err != nil {
 			return nil, frameErr(err)
 		}
-		entries[i] = broadcast.Entry{
+		if overflow < -1 {
+			return nil, fmt.Errorf("%w: entry %d overflow pointer %d", ErrBadFrame, i, overflow)
+		}
+		entries = append(entries, broadcast.Entry{
 			Item: model.ItemID(item),
 			Version: model.Version{
 				Value: model.Value(value), Cycle: model.Cycle(verCycle), Writer: writer,
 			},
 			Overflow: int(overflow),
-		}
+		})
 	}
 
 	n, err = readLen()
 	if err != nil {
 		return nil, frameErr(err)
 	}
-	overflow := make([]broadcast.OldVersion, n)
-	for i := range overflow {
+	overflow := make([]broadcast.OldVersion, 0, segCap(n))
+	for i := 0; i < n; i++ {
 		var item uint32
 		var value int64
 		var verCycle uint64
@@ -271,12 +291,12 @@ func Decode(r io.Reader) (*broadcast.Bcast, error) {
 		if err != nil {
 			return nil, frameErr(err)
 		}
-		overflow[i] = broadcast.OldVersion{
+		overflow = append(overflow, broadcast.OldVersion{
 			Item: model.ItemID(item),
 			Version: model.Version{
 				Value: model.Value(value), Cycle: model.Cycle(verCycle), Writer: writer,
 			},
-		}
+		})
 	}
 
 	want := sum.Sum32()
@@ -288,6 +308,13 @@ func Decode(r io.Reader) (*broadcast.Bcast, error) {
 		return nil, fmt.Errorf("%w: checksum mismatch %#x != %#x", ErrBadFrame, got, want)
 	}
 	return broadcast.New(model.Cycle(cycle), report, delta, entries, overflow, int(committed), int(totalItems))
+}
+
+// DecodeBytes decodes a single frame held in memory — the fault layer's
+// entry point for checking whether a damaged frame still passes the
+// checksum. Trailing bytes beyond the frame are ignored.
+func DecodeBytes(frame []byte) (*broadcast.Bcast, error) {
+	return Decode(bytes.NewReader(frame))
 }
 
 // frameErr maps a mid-frame EOF to ErrUnexpectedEOF so clean end-of-stream
