@@ -1,0 +1,145 @@
+// Command bpush-lint runs the repository's static-analysis suite — the
+// analyzers in internal/analysis that encode the repo invariants:
+// determinism (no wall clock, no global randomness, no map-order leaks
+// in the deterministic packages), wire-buffer aliasing, goroutine
+// ownership, and error hygiene on the decode/IO paths.
+//
+// Usage:
+//
+//	bpush-lint ./...             # lint the whole module (run at the root)
+//	bpush-lint ./internal/wire   # lint selected packages
+//	bpush-lint -json ./...       # machine-readable findings
+//	bpush-lint -list             # print the analyzers and their invariants
+//
+// Suppress a finding with a justified comment on the same line or the
+// line above:
+//
+//	//lint:allow maprange keys are sorted by the caller before use
+//
+// Suppressions without a reason, and stale suppressions that no longer
+// match a finding, are themselves findings. Exit status: 0 clean, 1
+// findings, 2 usage or load failure.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"strings"
+
+	"bpush/internal/analysis"
+)
+
+func main() {
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}
+
+func run(args []string, out, errOut io.Writer) int {
+	fs := flag.NewFlagSet("bpush-lint", flag.ContinueOnError)
+	fs.SetOutput(errOut)
+	var (
+		jsonOut = fs.Bool("json", false, "emit findings as JSON")
+		list    = fs.Bool("list", false, "list the analyzers and exit")
+	)
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+	suite := analysis.Suite()
+	if *list {
+		for _, a := range suite {
+			fmt.Fprintf(out, "%-12s %s\n", a.Name, a.Doc)
+		}
+		return 0
+	}
+	patterns := fs.Args()
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+
+	pkgs, err := analysis.Load(".")
+	if err != nil {
+		fmt.Fprintln(errOut, "bpush-lint:", err)
+		return 2
+	}
+	selected, err := match(pkgs, patterns)
+	if err != nil {
+		fmt.Fprintln(errOut, "bpush-lint:", err)
+		return 2
+	}
+
+	diags := analysis.RunAnalyzers(suite, selected, analysis.DefaultConfig())
+	if *jsonOut {
+		enc := json.NewEncoder(out)
+		enc.SetIndent("", "  ")
+		if diags == nil {
+			diags = []analysis.Diagnostic{}
+		}
+		if err := enc.Encode(diags); err != nil {
+			fmt.Fprintln(errOut, "bpush-lint:", err)
+			return 2
+		}
+	} else {
+		for _, d := range diags {
+			fmt.Fprintln(out, rel(d))
+		}
+	}
+	if len(diags) > 0 {
+		if !*jsonOut {
+			fmt.Fprintf(out, "%d finding(s)\n", len(diags))
+		}
+		return 1
+	}
+	return 0
+}
+
+// match filters loaded packages by ./dir and ./dir/... patterns,
+// resolved against the current directory.
+func match(pkgs []*analysis.Package, patterns []string) ([]*analysis.Package, error) {
+	cwd, err := os.Getwd()
+	if err != nil {
+		return nil, err
+	}
+	keep := map[string]bool{}
+	for _, pat := range patterns {
+		recursive := false
+		if strings.HasSuffix(pat, "/...") {
+			recursive = true
+			pat = strings.TrimSuffix(pat, "/...")
+		}
+		abs, err := filepath.Abs(filepath.Join(cwd, pat))
+		if err != nil {
+			return nil, err
+		}
+		found := false
+		for _, p := range pkgs {
+			if p.Dir == abs || (recursive && strings.HasPrefix(p.Dir+string(filepath.Separator), abs+string(filepath.Separator))) {
+				keep[p.Path] = true
+				found = true
+			}
+		}
+		if !found {
+			return nil, fmt.Errorf("pattern %q matches no packages", pat)
+		}
+	}
+	var out []*analysis.Package
+	for _, p := range pkgs {
+		if keep[p.Path] {
+			out = append(out, p)
+		}
+	}
+	return out, nil
+}
+
+// rel shortens a diagnostic's file path relative to the working
+// directory for readable terminal output.
+func rel(d analysis.Diagnostic) string {
+	if cwd, err := os.Getwd(); err == nil {
+		if r, err := filepath.Rel(cwd, d.File); err == nil && !strings.HasPrefix(r, "..") {
+			d.File = r
+		}
+	}
+	return d.String()
+}

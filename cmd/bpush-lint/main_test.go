@@ -1,0 +1,82 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"bpush/internal/analysis"
+)
+
+// chdirModuleRoot moves the test into the module root (where go.mod
+// lives), which is where bpush-lint expects to run, and restores the
+// working directory afterwards.
+func chdirModuleRoot(t *testing.T) {
+	t.Helper()
+	wd, err := os.Getwd()
+	if err != nil {
+		t.Fatal(err)
+	}
+	root := filepath.Join(wd, "..", "..")
+	if _, err := os.Stat(filepath.Join(root, "go.mod")); err != nil {
+		t.Fatalf("module root not found from %s: %v", wd, err)
+	}
+	if err := os.Chdir(root); err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { _ = os.Chdir(wd) })
+}
+
+// TestRunRepoClean is the acceptance gate: the CLI over the real module
+// exits 0 with no output.
+func TestRunRepoClean(t *testing.T) {
+	chdirModuleRoot(t)
+	var out, errOut bytes.Buffer
+	if code := run([]string{"./..."}, &out, &errOut); code != 0 {
+		t.Fatalf("exit %d, stderr %q, stdout:\n%s", code, errOut.String(), out.String())
+	}
+	if out.Len() != 0 {
+		t.Fatalf("clean run must print nothing, got:\n%s", out.String())
+	}
+}
+
+func TestRunJSONClean(t *testing.T) {
+	chdirModuleRoot(t)
+	var out, errOut bytes.Buffer
+	if code := run([]string{"-json", "./internal/wire"}, &out, &errOut); code != 0 {
+		t.Fatalf("exit %d, stderr %q", code, errOut.String())
+	}
+	var diags []analysis.Diagnostic
+	if err := json.Unmarshal(out.Bytes(), &diags); err != nil {
+		t.Fatalf("output is not a JSON diagnostic list: %v\n%s", err, out.String())
+	}
+	if len(diags) != 0 {
+		t.Fatalf("expected no findings, got %v", diags)
+	}
+}
+
+func TestRunList(t *testing.T) {
+	var out, errOut bytes.Buffer
+	if code := run([]string{"-list"}, &out, &errOut); code != 0 {
+		t.Fatalf("exit %d, stderr %q", code, errOut.String())
+	}
+	for _, a := range analysis.Suite() {
+		if !strings.Contains(out.String(), a.Name) {
+			t.Errorf("-list output missing analyzer %s:\n%s", a.Name, out.String())
+		}
+	}
+}
+
+func TestRunBadPattern(t *testing.T) {
+	chdirModuleRoot(t)
+	var out, errOut bytes.Buffer
+	if code := run([]string{"./no/such/dir"}, &out, &errOut); code != 2 {
+		t.Fatalf("exit %d for unmatched pattern, want 2 (stderr %q)", code, errOut.String())
+	}
+	if !strings.Contains(errOut.String(), "matches no packages") {
+		t.Errorf("stderr should name the unmatched pattern, got %q", errOut.String())
+	}
+}

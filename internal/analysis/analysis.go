@@ -1,0 +1,288 @@
+// Package analysis is a small static-analysis framework, built on the
+// standard library's go/ast, go/parser, go/token and go/types only, plus
+// the analyzer suite that encodes this repository's engineering
+// invariants (determinism, wire-buffer aliasing, goroutine ownership,
+// error hygiene). The cmd/bpush-lint CLI loads the module, runs every
+// analyzer, and reports findings; CI runs it as a required gate.
+//
+// The framework is deliberately minimal: an Analyzer is a named Run
+// function over one type-checked package (a Pass), diagnostics carry
+// file:line positions, and `//lint:allow <analyzer> <reason>` comments
+// suppress a finding on the same or the following line. Suppressions
+// without a written reason are themselves diagnostics — the policy is
+// that every deviation from an invariant is justified in the code.
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+	"strings"
+
+	"bpush/internal/det"
+)
+
+// An Analyzer checks one invariant over a package.
+type Analyzer struct {
+	// Name identifies the analyzer in reports and in //lint:allow
+	// directives. Lowercase, no spaces.
+	Name string
+	// Doc is a one-line description of the invariant.
+	Doc string
+	// Run reports findings on the pass via pass.Reportf.
+	Run func(*Pass)
+}
+
+// Config scopes the suite's invariants to package sets. Paths are import
+// paths; prefixes end the comparison at a path-segment boundary.
+type Config struct {
+	// Deterministic lists the import paths whose code must be a pure
+	// function of its inputs: no wall-clock reads, no global randomness,
+	// no map-iteration order escaping into results.
+	Deterministic []string
+	// GoroutineScope lists import-path prefixes where naked go
+	// statements are banned (goroutine lifecycle must live in the
+	// packages listed in GoroutineAllow).
+	GoroutineScope []string
+	// GoroutineAllow lists the exact import paths exempt from the
+	// goroutine ban — the packages that own goroutine lifecycle.
+	GoroutineAllow []string
+	// ErrcheckScope lists the exact import paths where silently
+	// discarded error returns are banned.
+	ErrcheckScope []string
+	// AliasingScope lists import-path prefixes subject to the []byte
+	// retention check; empty means every package.
+	AliasingScope []string
+}
+
+// DefaultConfig returns the repository's enforced invariant scopes.
+func DefaultConfig() Config {
+	return Config{
+		Deterministic: []string{
+			"bpush/internal/core",
+			"bpush/internal/sim",
+			"bpush/internal/cyclesource",
+			"bpush/internal/fault",
+			"bpush/internal/server",
+			"bpush/internal/workload",
+			"bpush/internal/zipf",
+			"bpush/internal/stats",
+			"bpush/internal/experiments",
+			"bpush/internal/det",
+			"bpush/internal/analysis",
+		},
+		GoroutineScope: []string{"bpush/internal"},
+		GoroutineAllow: []string{"bpush/internal/pool", "bpush/internal/netcast"},
+		ErrcheckScope:  []string{"bpush/internal/wire", "bpush/internal/netcast"},
+	}
+}
+
+func hasPathPrefix(path, prefix string) bool {
+	return path == prefix || strings.HasPrefix(path, prefix+"/")
+}
+
+func containsPath(paths []string, path string) bool {
+	for _, p := range paths {
+		if p == path {
+			return true
+		}
+	}
+	return false
+}
+
+func containsPrefix(prefixes []string, path string) bool {
+	for _, p := range prefixes {
+		if hasPathPrefix(path, p) {
+			return true
+		}
+	}
+	return false
+}
+
+// IsDeterministic reports whether path carries the determinism invariant.
+func (c Config) IsDeterministic(path string) bool { return containsPath(c.Deterministic, path) }
+
+// GoroutineBanned reports whether naked go statements are banned in path.
+func (c Config) GoroutineBanned(path string) bool {
+	return containsPrefix(c.GoroutineScope, path) && !containsPath(c.GoroutineAllow, path)
+}
+
+// ErrcheckEnforced reports whether discarded errors are banned in path.
+func (c Config) ErrcheckEnforced(path string) bool { return containsPath(c.ErrcheckScope, path) }
+
+// AliasingEnforced reports whether the []byte retention check applies.
+func (c Config) AliasingEnforced(path string) bool {
+	return len(c.AliasingScope) == 0 || containsPrefix(c.AliasingScope, path)
+}
+
+// A Diagnostic is one finding, positioned in the source.
+type Diagnostic struct {
+	Analyzer string `json:"analyzer"`
+	File     string `json:"file"`
+	Line     int    `json:"line"`
+	Col      int    `json:"col"`
+	Message  string `json:"message"`
+}
+
+func (d Diagnostic) String() string {
+	return fmt.Sprintf("%s:%d:%d: %s (%s)", d.File, d.Line, d.Col, d.Message, d.Analyzer)
+}
+
+// A Pass hands one type-checked package to an analyzer's Run.
+type Pass struct {
+	Analyzer *Analyzer
+	Config   Config
+	Fset     *token.FileSet
+	PkgPath  string
+	Pkg      *types.Package
+	Info     *types.Info
+	Files    []*ast.File
+
+	report func(Diagnostic)
+}
+
+// Reportf records a finding at pos.
+func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
+	position := p.Fset.Position(pos)
+	p.report(Diagnostic{
+		Analyzer: p.Analyzer.Name,
+		File:     position.Filename,
+		Line:     position.Line,
+		Col:      position.Column,
+		Message:  fmt.Sprintf(format, args...),
+	})
+}
+
+// allowDirective is one parsed //lint:allow comment.
+type allowDirective struct {
+	line     int // line the directive is written on
+	analyzer string
+	reason   string
+	used     bool
+}
+
+const allowPrefix = "//lint:allow"
+
+// parseAllows collects the //lint:allow directives of a file, keyed
+// nowhere — matching is by line. Directives with a missing analyzer or
+// reason are reported immediately (the suppression policy requires a
+// written reason).
+func parseAllows(fset *token.FileSet, file *ast.File, report func(Diagnostic)) []*allowDirective {
+	var out []*allowDirective
+	for _, cg := range file.Comments {
+		for _, c := range cg.List {
+			if !strings.HasPrefix(c.Text, allowPrefix) {
+				continue
+			}
+			pos := fset.Position(c.Pos())
+			rest := strings.TrimSpace(strings.TrimPrefix(c.Text, allowPrefix))
+			name, reason, _ := strings.Cut(rest, " ")
+			reason = strings.TrimSpace(reason)
+			if name == "" || reason == "" {
+				report(Diagnostic{
+					Analyzer: "lint",
+					File:     pos.Filename,
+					Line:     pos.Line,
+					Col:      pos.Column,
+					Message:  "malformed suppression: want //lint:allow <analyzer> <reason>",
+				})
+				continue
+			}
+			out = append(out, &allowDirective{line: pos.Line, analyzer: name, reason: reason})
+		}
+	}
+	return out
+}
+
+// Suite is the full analyzer set run by bpush-lint.
+func Suite() []*Analyzer {
+	return []*Analyzer{
+		WallclockAnalyzer(),
+		GlobalRandAnalyzer(),
+		MapRangeAnalyzer(),
+		BufAliasAnalyzer(),
+		GoroutineAnalyzer(),
+		ErrcheckAnalyzer(),
+	}
+}
+
+// RunAnalyzers applies the analyzers to every package and returns the
+// surviving diagnostics sorted by (file, line, col, analyzer) — stable
+// output for a tool whose own repo bans nondeterminism. Findings covered
+// by a //lint:allow directive (same line or the line directly above) are
+// dropped; unused directives are reported so stale suppressions cannot
+// accumulate.
+func RunAnalyzers(analyzers []*Analyzer, pkgs []*Package, cfg Config) []Diagnostic {
+	var diags []Diagnostic
+	collect := func(d Diagnostic) { diags = append(diags, d) }
+
+	allowsByFile := map[string][]*allowDirective{}
+	for _, pkg := range pkgs {
+		for _, f := range pkg.Files {
+			pos := pkg.Fset.Position(f.Package)
+			ds := parseAllows(pkg.Fset, f, collect)
+			allowsByFile[pos.Filename] = append(allowsByFile[pos.Filename], ds...)
+		}
+	}
+
+	suppressed := func(d Diagnostic) bool {
+		for _, a := range allowsByFile[d.File] {
+			if a.analyzer == d.Analyzer && (a.line == d.Line || a.line == d.Line-1) {
+				a.used = true
+				return true
+			}
+		}
+		return false
+	}
+
+	for _, pkg := range pkgs {
+		for _, an := range analyzers {
+			pass := &Pass{
+				Analyzer: an,
+				Config:   cfg,
+				Fset:     pkg.Fset,
+				PkgPath:  pkg.Path,
+				Pkg:      pkg.Types,
+				Info:     pkg.Info,
+				Files:    pkg.Files,
+				report: func(d Diagnostic) {
+					if !suppressed(d) {
+						collect(d)
+					}
+				},
+			}
+			an.Run(pass)
+		}
+	}
+
+	for _, file := range det.SortedKeys(allowsByFile) {
+		for _, a := range allowsByFile[file] {
+			if !a.used {
+				collect(Diagnostic{
+					Analyzer: "lint",
+					File:     file,
+					Line:     a.line,
+					Col:      1,
+					Message:  fmt.Sprintf("unused suppression for %q (reason: %s)", a.analyzer, a.reason),
+				})
+			}
+		}
+	}
+
+	sort.Slice(diags, func(i, j int) bool {
+		a, b := diags[i], diags[j]
+		if a.File != b.File {
+			return a.File < b.File
+		}
+		if a.Line != b.Line {
+			return a.Line < b.Line
+		}
+		if a.Col != b.Col {
+			return a.Col < b.Col
+		}
+		return a.Analyzer < b.Analyzer
+	})
+	return diags
+}

@@ -1,0 +1,194 @@
+package analysis
+
+import (
+	"fmt"
+	"path/filepath"
+	"regexp"
+	"strings"
+	"testing"
+)
+
+// Fixture tests: each directory under testdata/src is type-checked as its
+// own package ("fix/<name>") and run through the full Suite with a
+// fixture-specific Config. Expected findings are `// want "substring"`
+// annotations on the line the diagnostic lands on; the harness fails on
+// both unexpected diagnostics and unmet wants.
+
+var wantRe = regexp.MustCompile(`// want "([^"]*)"`)
+
+type wantDiag struct {
+	substr  string
+	matched bool
+}
+
+// collectWants extracts the // want annotations of a fixture package,
+// keyed by file base name and line.
+func collectWants(pkg *Package) map[string]map[int][]*wantDiag {
+	wants := map[string]map[int][]*wantDiag{}
+	for _, f := range pkg.Files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				for _, m := range wantRe.FindAllStringSubmatch(c.Text, -1) {
+					pos := pkg.Fset.Position(c.Pos())
+					file := filepath.Base(pos.Filename)
+					if wants[file] == nil {
+						wants[file] = map[int][]*wantDiag{}
+					}
+					wants[file][pos.Line] = append(wants[file][pos.Line], &wantDiag{substr: m[1]})
+				}
+			}
+		}
+	}
+	return wants
+}
+
+func loadFixture(t *testing.T, name string) *Package {
+	t.Helper()
+	pkg, err := LoadDir(filepath.Join("testdata", "src", name), "fix/"+name)
+	if err != nil {
+		t.Fatalf("load fixture %s: %v", name, err)
+	}
+	return pkg
+}
+
+func runFixture(t *testing.T, name string, cfg Config) {
+	t.Helper()
+	pkg := loadFixture(t, name)
+	diags := RunAnalyzers(Suite(), []*Package{pkg}, cfg)
+	wants := collectWants(pkg)
+	for _, d := range diags {
+		ws := wants[filepath.Base(d.File)][d.Line]
+		found := false
+		for _, w := range ws {
+			if !w.matched && strings.Contains(d.Message, w.substr) {
+				w.matched = true
+				found = true
+				break
+			}
+		}
+		if !found {
+			t.Errorf("unexpected diagnostic: %s", d)
+		}
+	}
+	for file, lines := range wants {
+		for line, ws := range lines {
+			for _, w := range ws {
+				if !w.matched {
+					t.Errorf("%s:%d: want diagnostic containing %q, got none", file, line, w.substr)
+				}
+			}
+		}
+	}
+}
+
+func TestAnalyzerFixtures(t *testing.T) {
+	det := func(name string) Config {
+		return Config{Deterministic: []string{"fix/" + name}}
+	}
+	tests := []struct {
+		name string
+		cfg  Config
+	}{
+		{"wallclock", det("wallclock")},
+		{"globalrand", det("globalrand")},
+		{"maprange", det("maprange")},
+		{"bufalias", Config{}}, // empty AliasingScope: the check applies everywhere
+		{"goroutines", Config{GoroutineScope: []string{"fix/goroutines"}}},
+		{"errcheck", Config{ErrcheckScope: []string{"fix/errcheck"}}},
+		{"clean", Config{
+			Deterministic:  []string{"fix/clean"},
+			GoroutineScope: []string{"fix"},
+			ErrcheckScope:  []string{"fix/clean"},
+		}},
+	}
+	for _, tc := range tests {
+		t.Run(tc.name, func(t *testing.T) { runFixture(t, tc.name, tc.cfg) })
+	}
+}
+
+// TestGoroutineAllowList checks the scope arithmetic: the same fixture
+// that trips the goroutine ban is clean when its path is on the allow
+// list.
+func TestGoroutineAllowList(t *testing.T) {
+	pkg := loadFixture(t, "goroutines")
+	cfg := Config{
+		GoroutineScope: []string{"fix"},
+		GoroutineAllow: []string{"fix/goroutines"},
+	}
+	if diags := RunAnalyzers([]*Analyzer{GoroutineAnalyzer()}, []*Package{pkg}, cfg); len(diags) != 0 {
+		t.Errorf("allow-listed package got %d diagnostics: %v", len(diags), diags)
+	}
+}
+
+// TestSuppressions pins the suppression policy: a justified directive on
+// the same or previous line silences the finding; stale and reason-less
+// directives are themselves findings. Expectations are explicit here
+// because //lint:allow and // want cannot share a comment.
+func TestSuppressions(t *testing.T) {
+	pkg := loadFixture(t, "allow")
+	diags := RunAnalyzers(Suite(), []*Package{pkg}, Config{Deterministic: []string{"fix/allow"}})
+	want := []struct {
+		line     int
+		analyzer string
+		substr   string
+	}{
+		{18, "wallclock", "time.Now in deterministic package"},
+		{21, "lint", "unused suppression for \"maprange\""},
+		{24, "lint", "malformed suppression"},
+	}
+	if len(diags) != len(want) {
+		t.Fatalf("got %d diagnostics, want %d:\n%v", len(diags), len(want), diags)
+	}
+	for i, w := range want {
+		d := diags[i]
+		if d.Line != w.line || d.Analyzer != w.analyzer || !strings.Contains(d.Message, w.substr) {
+			t.Errorf("diag %d = %s; want line %d analyzer %s containing %q", i, d, w.line, w.analyzer, w.substr)
+		}
+	}
+}
+
+// TestLintRepoClean is the gate the CLI enforces in CI, run as a plain
+// test: the full suite over the real module must be silent.
+func TestLintRepoClean(t *testing.T) {
+	pkgs, err := Load(filepath.Join("..", ".."))
+	if err != nil {
+		t.Fatalf("load module: %v", err)
+	}
+	if len(pkgs) == 0 {
+		t.Fatal("no packages loaded")
+	}
+	for _, d := range RunAnalyzers(Suite(), pkgs, DefaultConfig()) {
+		t.Errorf("%s", d)
+	}
+}
+
+// TestDiagnosticOrder pins the deterministic report order the tool
+// promises: (file, line, col, analyzer), regardless of emission order.
+func TestDiagnosticOrder(t *testing.T) {
+	emit := []Diagnostic{
+		{Analyzer: "b", File: "z.go", Line: 3, Col: 1},
+		{Analyzer: "a", File: "a.go", Line: 9, Col: 2},
+		{Analyzer: "a", File: "a.go", Line: 9, Col: 1},
+		{Analyzer: "a", File: "a.go", Line: 2, Col: 5},
+	}
+	an := &Analyzer{Name: "order", Doc: "test", Run: func(p *Pass) {
+		for _, d := range emit {
+			p.report(d)
+		}
+	}}
+	pkg := loadFixture(t, "clean")
+	diags := RunAnalyzers([]*Analyzer{an}, []*Package{pkg}, Config{})
+	var got []string
+	for _, d := range diags {
+		got = append(got, fmt.Sprintf("%s:%d:%d", d.File, d.Line, d.Col))
+	}
+	wantOrder := []string{"a.go:2:5", "a.go:9:1", "a.go:9:2", "z.go:3:1"}
+	if len(got) != len(wantOrder) {
+		t.Fatalf("got %v, want %v", got, wantOrder)
+	}
+	for i := range wantOrder {
+		if got[i] != wantOrder[i] {
+			t.Fatalf("order[%d] = %s, want %s (full: %v)", i, got[i], wantOrder[i], got)
+		}
+	}
+}

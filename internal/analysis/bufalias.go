@@ -1,0 +1,128 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// BufAliasAnalyzer flags retaining a caller-owned []byte: storing a
+// []byte parameter (or a subslice of one) into a struct field or a
+// package-level variable without copying. Wire frames are decoded from
+// reused buffers; a retained subslice silently changes under the holder
+// when the buffer is reused — the exact bug class the broadcast receive
+// path hardening defends against. Returning a subslice or passing one on
+// is fine (ownership stays visible at the call site); retention is not.
+//
+// The blessed fix is an explicit copy: append([]byte(nil), p...),
+// bytes.Clone(p), or slices.Clone(p).
+//
+// The check is a single forward pass per function: local variables
+// assigned from a tracked parameter become tracked themselves;
+// reassignment from a fresh copy is not un-tracked (a variable that ever
+// aliased the parameter stays suspect on at least one path).
+func BufAliasAnalyzer() *Analyzer {
+	a := &Analyzer{
+		Name: "bufalias",
+		Doc:  "forbid retaining []byte parameters in struct fields or package variables without copying",
+	}
+	a.Run = func(pass *Pass) {
+		if !pass.Config.AliasingEnforced(pass.PkgPath) {
+			return
+		}
+		for _, f := range pass.Files {
+			for _, decl := range f.Decls {
+				fd, ok := decl.(*ast.FuncDecl)
+				if !ok || fd.Body == nil {
+					continue
+				}
+				checkFuncAliasing(pass, fd)
+			}
+		}
+	}
+	return a
+}
+
+func isByteSlice(t types.Type) bool {
+	sl, ok := t.Underlying().(*types.Slice)
+	if !ok {
+		return false
+	}
+	b, ok := sl.Elem().Underlying().(*types.Basic)
+	return ok && b.Kind() == types.Byte
+}
+
+func checkFuncAliasing(pass *Pass, fd *ast.FuncDecl) {
+	tracked := map[types.Object]bool{}
+	if fd.Type.Params != nil {
+		for _, field := range fd.Type.Params.List {
+			for _, name := range field.Names {
+				if obj := pass.Info.Defs[name]; obj != nil && isByteSlice(obj.Type()) {
+					tracked[obj] = true
+				}
+			}
+		}
+	}
+	if len(tracked) == 0 {
+		return
+	}
+	// ast.Inspect visits statements in source order, so a simple forward
+	// pass propagates aliases before their retention sites are seen.
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		as, ok := n.(*ast.AssignStmt)
+		if !ok {
+			return true
+		}
+		for i, lhs := range as.Lhs {
+			if i >= len(as.Rhs) {
+				break
+			}
+			rhs := as.Rhs[i]
+			if !aliasesTracked(pass, tracked, rhs) {
+				continue
+			}
+			switch l := lhs.(type) {
+			case *ast.Ident:
+				// Local picks up the alias; package-level var is retention.
+				obj := pass.Info.Defs[l]
+				if obj == nil {
+					obj = pass.Info.Uses[l]
+				}
+				if obj == nil || l.Name == "_" {
+					continue
+				}
+				if v, ok := obj.(*types.Var); ok && v.Parent() == pass.Pkg.Scope() {
+					pass.Reportf(as.Pos(), "caller-owned []byte stored in package variable %s without copying; copy with append([]byte(nil), ...) or bytes.Clone", l.Name)
+					continue
+				}
+				tracked[obj] = true
+			case *ast.SelectorExpr:
+				pass.Reportf(as.Pos(), "caller-owned []byte retained in %s without copying; the buffer can be reused under the holder — copy with append([]byte(nil), ...) or bytes.Clone", types.ExprString(l))
+			case *ast.IndexExpr:
+				pass.Reportf(as.Pos(), "caller-owned []byte retained in element of %s without copying; copy with append([]byte(nil), ...) or bytes.Clone", types.ExprString(l.X))
+			}
+		}
+		return true
+	})
+}
+
+// aliasesTracked reports whether e evaluates to memory shared with a
+// tracked []byte: the variable itself, a subslice of it, or an append
+// that seeds from it without copying (append(p, ...) — growing p in
+// place — as opposed to append([]byte(nil), p...)).
+func aliasesTracked(pass *Pass, tracked map[types.Object]bool, e ast.Expr) bool {
+	switch v := e.(type) {
+	case *ast.Ident:
+		obj := pass.Info.Uses[v]
+		return obj != nil && tracked[obj]
+	case *ast.SliceExpr:
+		return aliasesTracked(pass, tracked, v.X)
+	case *ast.ParenExpr:
+		return aliasesTracked(pass, tracked, v.X)
+	case *ast.CallExpr:
+		// append(p, ...) may return p's backing array.
+		if isBuiltin(pass, v.Fun, "append") && len(v.Args) > 0 {
+			return aliasesTracked(pass, tracked, v.Args[0])
+		}
+	}
+	return false
+}

@@ -1,0 +1,68 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// ErrcheckAnalyzer bans silently discarded error returns in the wire and
+// netcast packages — the decode and I/O paths where a swallowed error
+// turns a detectable channel fault into silent corruption. A call whose
+// error result is neither assigned nor explicitly discarded with `_ =`
+// is a finding; the explicit blank assignment stays visible in review
+// and is allowed (e.g. best-effort Close on an already-failed path).
+func ErrcheckAnalyzer() *Analyzer {
+	a := &Analyzer{
+		Name: "errcheck",
+		Doc:  "forbid silently discarded error returns in the wire/netcast decode and I/O paths",
+	}
+	a.Run = func(pass *Pass) {
+		if !pass.Config.ErrcheckEnforced(pass.PkgPath) {
+			return
+		}
+		check := func(call *ast.CallExpr, how string) {
+			if returnsError(pass, call) {
+				pass.Reportf(call.Pos(), "%s discards an error result; handle it or discard explicitly with _ =", how)
+			}
+		}
+		for _, f := range pass.Files {
+			ast.Inspect(f, func(n ast.Node) bool {
+				switch s := n.(type) {
+				case *ast.ExprStmt:
+					if call, ok := s.X.(*ast.CallExpr); ok {
+						check(call, "call")
+					}
+				case *ast.DeferStmt:
+					check(s.Call, "deferred call")
+				case *ast.GoStmt:
+					check(s.Call, "go call")
+				}
+				return true
+			})
+		}
+	}
+	return a
+}
+
+// returnsError reports whether the call's results include an error.
+func returnsError(pass *Pass, call *ast.CallExpr) bool {
+	tv, ok := pass.Info.Types[call]
+	if !ok || tv.Type == nil {
+		return false
+	}
+	switch t := tv.Type.(type) {
+	case *types.Tuple:
+		for i := 0; i < t.Len(); i++ {
+			if isErrorType(t.At(i).Type()) {
+				return true
+			}
+		}
+		return false
+	default:
+		return isErrorType(t)
+	}
+}
+
+var errorType = types.Universe.Lookup("error").Type()
+
+func isErrorType(t types.Type) bool { return types.Identical(t, errorType) }

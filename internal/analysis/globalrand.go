@@ -1,0 +1,53 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// GlobalRandAnalyzer forbids the top-level math/rand (and math/rand/v2)
+// functions — the ones that draw from the process-global source — inside
+// the deterministic packages. All randomness there must flow from an
+// explicit rand.New(rand.NewSource(seed)) so the same seed replays the
+// same stream. Constructors that only build explicitly-seeded sources
+// (New, NewSource, NewZipf, NewPCG, NewChaCha8) are allowed.
+func GlobalRandAnalyzer() *Analyzer {
+	a := &Analyzer{
+		Name: "globalrand",
+		Doc:  "forbid the global-source math/rand functions in the deterministic packages",
+	}
+	randPkgs := map[string]bool{"math/rand": true, "math/rand/v2": true}
+	allowed := map[string]bool{
+		"New": true, "NewSource": true, "NewZipf": true,
+		"NewPCG": true, "NewChaCha8": true,
+	}
+	a.Run = func(pass *Pass) {
+		if !pass.Config.IsDeterministic(pass.PkgPath) {
+			return
+		}
+		for _, f := range pass.Files {
+			ast.Inspect(f, func(n ast.Node) bool {
+				sel, ok := n.(*ast.SelectorExpr)
+				if !ok {
+					return true
+				}
+				// Only package-qualified references: rand.Intn, not r.Intn.
+				base, ok := sel.X.(*ast.Ident)
+				if !ok {
+					return true
+				}
+				pn, ok := pass.Info.Uses[base].(*types.PkgName)
+				if !ok || !randPkgs[pn.Imported().Path()] {
+					return true
+				}
+				fn, ok := pass.Info.Uses[sel.Sel].(*types.Func)
+				if !ok || allowed[fn.Name()] {
+					return true
+				}
+				pass.Reportf(sel.Pos(), "global-source rand.%s in deterministic package %s: draw from an explicit rand.New(rand.NewSource(seed))", fn.Name(), pass.PkgPath)
+				return true
+			})
+		}
+	}
+	return a
+}

@@ -1,0 +1,32 @@
+package analysis
+
+import (
+	"go/ast"
+)
+
+// GoroutineAnalyzer bans naked go statements outside the packages that
+// own goroutine lifecycle (internal/pool's bounded worker pool and
+// internal/netcast's connection loops). Everywhere else concurrency must
+// be expressed through those packages, so that fan-out is bounded,
+// results are index-addressed (deterministic for any worker count), and
+// shutdown is owned by exactly one place.
+func GoroutineAnalyzer() *Analyzer {
+	a := &Analyzer{
+		Name: "goroutines",
+		Doc:  "forbid naked go statements outside the lifecycle-owning packages (pool, netcast)",
+	}
+	a.Run = func(pass *Pass) {
+		if !pass.Config.GoroutineBanned(pass.PkgPath) {
+			return
+		}
+		for _, f := range pass.Files {
+			ast.Inspect(f, func(n ast.Node) bool {
+				if g, ok := n.(*ast.GoStmt); ok {
+					pass.Reportf(g.Pos(), "naked go statement in %s: run work through internal/pool (bounded, deterministic) or move the lifecycle into an owning package", pass.PkgPath)
+				}
+				return true
+			})
+		}
+	}
+	return a
+}

@@ -1,0 +1,25 @@
+// Fixture for the suppression machinery: a justified //lint:allow on the
+// line above or the same line silences the finding; a directive without a
+// reason and a directive that matches nothing are findings themselves.
+package allow
+
+import "time"
+
+func suppressedAbove() time.Time {
+	//lint:allow wallclock operator-facing timestamps are wall-clock by design
+	return time.Now()
+}
+
+func suppressedSameLine() time.Time {
+	return time.Now() //lint:allow wallclock fixture exercises same-line placement
+}
+
+func unsuppressed() time.Time {
+	return time.Now() // this wallclock finding must survive
+}
+
+//lint:allow maprange nothing on the next line ever triggers maprange
+func stale() {}
+
+//lint:allow wallclock
+func missingReason() {}

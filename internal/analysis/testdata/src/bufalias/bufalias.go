@@ -1,0 +1,40 @@
+// Fixture for the bufalias analyzer: retaining a caller-owned []byte
+// parameter (or a subslice, or a local alias of one) in a struct field,
+// package variable or container element is a finding; explicit copies
+// and pass-through uses are not.
+package bufalias
+
+type holder struct {
+	buf []byte
+}
+
+var last []byte
+
+func (h *holder) retain(frame []byte) {
+	h.buf = frame // want "retained in h.buf"
+}
+
+func (h *holder) retainSub(frame []byte) {
+	h.buf = frame[4:8] // want "retained in h.buf"
+}
+
+func (h *holder) retainViaLocal(frame []byte) {
+	p := frame[1:]
+	h.buf = p // want "retained in h.buf"
+}
+
+func setLast(frame []byte) {
+	last = frame // want "package variable last"
+}
+
+func retainElement(frames map[int][]byte, frame []byte) {
+	frames[0] = frame // want "retained in element of frames"
+}
+
+func (h *holder) copyOK(frame []byte) {
+	h.buf = append([]byte(nil), frame...)
+}
+
+func passThrough(frame []byte) []byte {
+	return frame[4:] // returning a subslice keeps ownership visible at the call site
+}

@@ -1,0 +1,34 @@
+// Fixture for the errcheck analyzer: a call whose error result is
+// neither assigned nor explicitly discarded is a finding; `_ =` stays
+// visible in review and is allowed.
+package errcheck
+
+import "io"
+
+func bad(c io.Closer) {
+	c.Close() // want "call discards an error result"
+}
+
+func badDefer(c io.Closer) int {
+	defer c.Close() // want "deferred call discards an error result"
+	return 1
+}
+
+func okExplicit(c io.Closer) {
+	_ = c.Close()
+}
+
+func okHandled(c io.Closer) error {
+	return c.Close()
+}
+
+func okAssigned(c io.Closer) {
+	err := c.Close()
+	_ = err
+}
+
+func noop() {}
+
+func okNoError() {
+	noop()
+}

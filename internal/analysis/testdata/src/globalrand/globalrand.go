@@ -1,0 +1,25 @@
+// Fixture for the globalrand analyzer: drawing from the process-global
+// math/rand source is a finding in a deterministic package; explicitly
+// seeded sources and their methods are fine.
+package globalrand
+
+import "math/rand"
+
+func badDraw() int {
+	return rand.Intn(10) // want "global-source rand.Intn"
+}
+
+func badShuffle(xs []int) {
+	rand.Shuffle(len(xs), func(i, j int) { xs[i], xs[j] = xs[j], xs[i] }) // want "global-source rand.Shuffle"
+}
+
+func goodDraw(seed int64) int {
+	r := rand.New(rand.NewSource(seed))
+	return r.Intn(10)
+}
+
+func goodZipf(seed int64) uint64 {
+	r := rand.New(rand.NewSource(seed))
+	z := rand.NewZipf(r, 1.2, 1, 1000)
+	return z.Uint64()
+}

@@ -1,0 +1,17 @@
+// Fixture for the goroutines analyzer: naked go statements are findings
+// inside the banned scope.
+package goroutines
+
+func spawn(fn func()) {
+	go fn() // want "naked go statement"
+}
+
+func spawnClosure(n int) {
+	go func() { // want "naked go statement"
+		_ = n * 2
+	}()
+}
+
+func serialOK(fn func()) {
+	fn()
+}

@@ -1,0 +1,75 @@
+// Fixture for the maprange analyzer: map iteration whose order escapes
+// into results is a finding; the order-safe shapes (index-addressed
+// writes, map rebuilds, scalar flags, delete, append-then-sort) are not.
+package maprange
+
+import "sort"
+
+func badAppend(m map[string]int) []string {
+	var out []string
+	for k := range m { // want "map iteration order escapes"
+		out = append(out, k)
+	}
+	return out
+}
+
+func badReturn(m map[string]int) string {
+	for k := range m { // want "map iteration order escapes"
+		return k
+	}
+	return ""
+}
+
+func badConcat(m map[string]int) string {
+	s := ""
+	for k := range m { // want "map iteration order escapes"
+		s += k
+	}
+	return s
+}
+
+func goodSortedAfter(m map[string]int) []string {
+	out := make([]string, 0, len(m))
+	for k := range m {
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return out
+}
+
+func goodRebuild(m map[string]int) map[int]string {
+	inv := make(map[int]string, len(m))
+	for k, v := range m {
+		inv[v] = k
+	}
+	return inv
+}
+
+func goodScalarFlag(m map[string]int) bool {
+	found := false
+	for _, v := range m {
+		if v > 10 {
+			found = true
+			break
+		}
+	}
+	return found
+}
+
+func goodCount(m map[string]int) int {
+	n := 0
+	for _, v := range m {
+		if v > 0 {
+			n++
+		}
+	}
+	return n
+}
+
+func goodDelete(m map[string]int) {
+	for k, v := range m {
+		if v == 0 {
+			delete(m, k)
+		}
+	}
+}

@@ -1,0 +1,23 @@
+// Fixture for the wallclock analyzer: wall-clock reads are findings in a
+// deterministic package; durations, sleeps and timers are not.
+package wallclock
+
+import "time"
+
+func stamp() time.Time {
+	return time.Now() // want "time.Now in deterministic package"
+}
+
+func elapsed(start time.Time) time.Duration {
+	return time.Since(start) // want "time.Since in deterministic package"
+}
+
+func deadline(t time.Time) time.Duration {
+	return time.Until(t) // want "time.Until in deterministic package"
+}
+
+func pace() {
+	time.Sleep(10 * time.Millisecond) // pacing is fine: it changes when, not what
+}
+
+const tick = 250 * time.Millisecond

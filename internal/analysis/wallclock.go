@@ -1,0 +1,42 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// WallclockAnalyzer forbids reading the wall clock inside the
+// deterministic packages. Results there must be a pure function of
+// (seed, plan): a single time.Now or time.Since sneaking into a decision
+// or a metric silently breaks byte-identical replay, serial vs parallel.
+// time.Sleep and timers are not flagged — pacing affects when work
+// happens, not what it computes.
+func WallclockAnalyzer() *Analyzer {
+	a := &Analyzer{
+		Name: "wallclock",
+		Doc:  "forbid time.Now/time.Since in the deterministic packages",
+	}
+	banned := map[string]bool{"Now": true, "Since": true, "Until": true}
+	a.Run = func(pass *Pass) {
+		if !pass.Config.IsDeterministic(pass.PkgPath) {
+			return
+		}
+		for _, f := range pass.Files {
+			ast.Inspect(f, func(n ast.Node) bool {
+				sel, ok := n.(*ast.SelectorExpr)
+				if !ok {
+					return true
+				}
+				fn, ok := pass.Info.Uses[sel.Sel].(*types.Func)
+				if !ok || fn.Pkg() == nil || fn.Pkg().Path() != "time" {
+					return true
+				}
+				if banned[fn.Name()] {
+					pass.Reportf(sel.Pos(), "time.%s in deterministic package %s: results must be a function of (seed, plan), not the wall clock", fn.Name(), pass.PkgPath)
+				}
+				return true
+			})
+		}
+	}
+	return a
+}

@@ -5,6 +5,7 @@ import (
 
 	"bpush/internal/broadcast"
 	"bpush/internal/cache"
+	"bpush/internal/det"
 	"bpush/internal/model"
 )
 
@@ -118,7 +119,9 @@ func (s *invOnly) NewCycle(b *broadcast.Bcast) error {
 		})
 	}
 	if s.t.active && s.t.doomed == nil {
-		for item := range s.t.readset {
+		// Sorted readset walk: the abort reason names the first invalidated
+		// item, which must not depend on map-iteration order.
+		for _, item := range det.SortedKeys(s.t.readset) {
 			if view.invalidates(item) {
 				if s.versioned {
 					if s.marked == 0 {
@@ -175,7 +178,9 @@ func (s *invOnly) resync(b *broadcast.Bcast) {
 		}
 	}
 	if s.t.active && s.t.doomed == nil && s.lastHeard > 0 {
-		for item := range s.t.readset {
+		// Sorted for the same reason as NewCycle: deterministic abort
+		// attribution.
+		for _, item := range det.SortedKeys(s.t.readset) {
 			v, err := b.ReadCurrent(item)
 			if err != nil {
 				// Chunked (h-interval) becast without the item: its gap

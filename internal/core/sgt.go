@@ -5,6 +5,7 @@ import (
 
 	"bpush/internal/broadcast"
 	"bpush/internal/cache"
+	"bpush/internal/det"
 	"bpush/internal/model"
 	"bpush/internal/sg"
 )
@@ -135,7 +136,9 @@ func (s *sgt) NewCycle(b *broadcast.Bcast) error {
 		}
 	}
 	if s.t.active && s.t.doomed == nil {
-		for item := range s.t.readset {
+		// Sorted readset walk: the precedence-target list (and with it any
+		// downstream ordering) must not inherit map-iteration order.
+		for _, item := range det.SortedKeys(s.t.readset) {
 			if !view.invalidates(item) {
 				continue
 			}

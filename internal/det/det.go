@@ -1,0 +1,37 @@
+// Package det provides deterministic accessors for Go maps. Map iteration
+// order is randomized per run, so any place where iteration order can
+// escape into a slice, an error message, or any other output breaks the
+// repo's replayability invariant: same (seed, plan) ⇒ byte-identical
+// results. These helpers are the blessed way for the deterministic
+// packages to walk a map — they extract the keys and sort them before the
+// order can be observed. The bpush-lint maprange analyzer enforces their
+// use (see DESIGN.md, "Enforced invariants").
+package det
+
+import (
+	"cmp"
+	"sort"
+)
+
+// SortedKeys returns m's keys in ascending order. The result is a fresh
+// slice; m is not modified.
+func SortedKeys[M ~map[K]V, K cmp.Ordered, V any](m M) []K {
+	keys := make([]K, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Slice(keys, func(i, j int) bool { return keys[i] < keys[j] })
+	return keys
+}
+
+// SortedKeysFunc returns m's keys sorted by less, for key types without a
+// natural order. less must be a strict weak ordering; with equal keys
+// impossible in a map, the order is total and the result deterministic.
+func SortedKeysFunc[M ~map[K]V, K comparable, V any](m M, less func(a, b K) bool) []K {
+	keys := make([]K, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Slice(keys, func(i, j int) bool { return less(keys[i], keys[j]) })
+	return keys
+}

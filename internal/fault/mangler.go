@@ -39,8 +39,9 @@ func (m *Mangler) Stats() Stats { return m.stats }
 // back by a reorder), two for a duplicate. A reorder swaps the frame with
 // its successor: the successor jumps ahead unfaulted (the swap consumed
 // its budget) and the held frame follows it, late. Returned slices are
-// copies whenever they were damaged; an undamaged frame is passed through
-// unaliased and uncopied.
+// copies whenever they were damaged or held across calls (a held frame
+// must not alias the caller's reusable buffer); an undamaged frame that
+// goes straight out is passed through unaliased and uncopied.
 func (m *Mangler) Mangle(frame []byte) [][]byte {
 	if frame == nil {
 		return nil
@@ -94,7 +95,9 @@ func (m *Mangler) mangleOne(frame []byte) [][]byte {
 	}
 	if m.plan.Reorder > 0 && m.rng.Float64() < m.plan.Reorder {
 		m.stats.Reordered++
-		m.held = frame
+		// Copy before holding: the held frame outlives this call, and the
+		// caller owns (and may reuse) the buffer it passed in.
+		m.held = append([]byte(nil), frame...)
 		return nil
 	}
 	m.stats.Delivered++

@@ -147,7 +147,10 @@ func (b *Broadcaster) BroadcastRaw(frame []byte) error {
 		b.mu.Unlock()
 		return fmt.Errorf("netcast: broadcaster closed")
 	}
-	b.last = frame
+	// Copy before retaining: the frame buffer is caller-owned (the
+	// fault-injecting station may reuse or mutate it after we return),
+	// and b.last outlives this call — it greets late subscribers.
+	b.last = append([]byte(nil), frame...)
 	conns := make([]net.Conn, 0, len(b.conns))
 	for c := range b.conns {
 		conns = append(conns, c)

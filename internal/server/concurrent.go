@@ -7,8 +7,10 @@ import (
 	"sync"
 	"time"
 
+	"bpush/internal/det"
 	"bpush/internal/lockmgr"
 	"bpush/internal/model"
+	"bpush/internal/pool"
 	"bpush/internal/sg"
 )
 
@@ -60,34 +62,23 @@ func (s *Server) CommitConcurrentAndAdvance(txs []model.ServerTx, workers int) (
 		}
 	}
 
+	// The bounded worker pool claims transactions in index order and
+	// returns the lowest-index error; each transaction's backoff RNG is
+	// seeded by its own index, so the retry schedule is independent of
+	// which worker happens to run it.
 	lm := lockmgr.New()
 	var (
 		commitMu sync.Mutex
 		nextSeq  uint32
-		firstErr error
-		errOnce  sync.Once
 	)
-	work := make(chan int)
-	var wg sync.WaitGroup
-	for w := 0; w < workers; w++ {
-		wg.Add(1)
-		go func(worker int) {
-			defer wg.Done()
-			rng := rand.New(rand.NewSource(int64(worker + 1)))
-			for i := range work {
-				if err := s.runLocked(txs[i], lockmgr.TxHandle(i+1), lm, rng, &commitMu, &nextSeq, next, log); err != nil {
-					errOnce.Do(func() { firstErr = fmt.Errorf("tx %d: %w", i, err) })
-				}
-			}
-		}(w)
-	}
-	for i := range txs {
-		work <- i
-	}
-	close(work)
-	wg.Wait()
-	if firstErr != nil {
-		return nil, firstErr
+	if err := pool.For(workers, len(txs), func(i int) error {
+		rng := rand.New(rand.NewSource(int64(i + 1)))
+		if err := s.runLocked(txs[i], lockmgr.TxHandle(i+1), lm, rng, &commitMu, &nextSeq, next, log); err != nil {
+			return fmt.Errorf("tx %d: %w", i, err)
+		}
+		return nil
+	}); err != nil {
+		return nil, err
 	}
 
 	sort.Slice(log.Delta.Nodes, func(i, j int) bool { return log.Delta.Nodes[i].Before(log.Delta.Nodes[j]) })
@@ -98,10 +89,7 @@ func (s *Server) CommitConcurrentAndAdvance(txs []model.ServerTx, workers int) (
 		}
 		return a.From.Before(b.From)
 	})
-	for item := range log.FirstWriter {
-		log.Updated = append(log.Updated, item)
-	}
-	sort.Slice(log.Updated, func(i, j int) bool { return log.Updated[i] < log.Updated[j] })
+	log.Updated = det.SortedKeys(log.FirstWriter)
 	log.NumCommitted = len(txs)
 	s.trimVersions(next)
 	s.cycle = next
@@ -151,9 +139,7 @@ func (s *Server) runLocked(tx model.ServerTx, h lockmgr.TxHandle, lm *lockmgr.Ma
 			}
 		}
 		log.Delta.Nodes = append(log.Delta.Nodes, id)
-		for e := range edges {
-			log.Delta.Edges = append(log.Delta.Edges, e)
-		}
+		log.Delta.Edges = append(log.Delta.Edges, sortedEdges(edges)...)
 		commitMu.Unlock()
 		lm.Release(h)
 		return nil

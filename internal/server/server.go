@@ -16,9 +16,22 @@ import (
 	"fmt"
 	"sort"
 
+	"bpush/internal/det"
 	"bpush/internal/model"
 	"bpush/internal/sg"
 )
+
+// sortedEdges extracts a transaction's deduplicated conflict edges from
+// their accumulation set in the canonical (To, From) order, so the edge
+// list never carries map-iteration order into the cycle log.
+func sortedEdges(edges map[sg.Edge]struct{}) []sg.Edge {
+	return det.SortedKeysFunc(edges, func(a, b sg.Edge) bool {
+		if a.To != b.To {
+			return a.To.Before(b.To)
+		}
+		return a.From.Before(b.From)
+	})
+}
 
 // Config configures a Server.
 type Config struct {
@@ -207,9 +220,7 @@ func (s *Server) CommitAndAdvance(txs []model.ServerTx) (*CycleLog, error) {
 			}
 		}
 		log.Delta.Nodes = append(log.Delta.Nodes, id)
-		for e := range edges {
-			log.Delta.Edges = append(log.Delta.Edges, e)
-		}
+		log.Delta.Edges = append(log.Delta.Edges, sortedEdges(edges)...)
 		log.NumCommitted++
 	}
 	sort.Slice(log.Delta.Edges, func(i, j int) bool {
@@ -219,10 +230,7 @@ func (s *Server) CommitAndAdvance(txs []model.ServerTx) (*CycleLog, error) {
 		}
 		return a.From.Before(b.From)
 	})
-	for item := range log.FirstWriter {
-		log.Updated = append(log.Updated, item)
-	}
-	sort.Slice(log.Updated, func(i, j int) bool { return log.Updated[i] < log.Updated[j] })
+	log.Updated = det.SortedKeys(log.FirstWriter)
 	s.trimVersions(next)
 	s.cycle = next
 	return log, nil
