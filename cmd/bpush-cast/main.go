@@ -38,6 +38,9 @@ func run(args []string) error {
 	}
 	defer func() { _ = st.Close() }()
 	fmt.Printf("broadcasting %d items every %v on %s (S=%d)\n", cfg.DBSize, cfg.Interval, st.Addr(), cfg.Versions)
+	if a := st.MetricsAddr(); a != "" {
+		fmt.Printf("metrics on http://%s/metricsz, trace on http://%s/tracez\n", a, a)
+	}
 	fmt.Println("press Ctrl-C to stop")
 
 	sigc := make(chan os.Signal, 1)
@@ -72,6 +75,7 @@ func buildConfig(args []string) (netcast.StationConfig, error) {
 		seed      = fs.Int64("seed", 1, "workload seed")
 		faultSpec = fs.String("fault", "none", "channel-side fault plan: none, a named plan, or a spec like drop=0.05,corrupt=0.01")
 		faultSeed = fs.Int64("fault-seed", 0, "fault RNG seed (0 = derive from the workload seed)")
+		httpAddr  = fs.String("http", "", "serve /metricsz and /tracez on this address (empty = off)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return netcast.StationConfig{}, err
@@ -98,5 +102,6 @@ func buildConfig(args []string) (netcast.StationConfig, error) {
 		Seed:      *seed,
 		Fault:     plan,
 		FaultSeed: *faultSeed,
+		HTTPAddr:  *httpAddr,
 	}, nil
 }

@@ -6,6 +6,12 @@
 //
 //	bpush-inspect -db 20 -versions 3 -updates 4 -cycles 5
 //	bpush-inspect -sizing -updates 50 -span 3
+//	bpush-inspect trace run.jsonl
+//
+// The trace subcommand renders a JSONL event trace (written by the obs
+// package's JSONL sink, e.g. via bpush-sim -trace): per-method summaries,
+// read-source and abort breakdowns, span/latency quantiles, and an abort
+// timeline.
 package main
 
 import (
@@ -29,6 +35,9 @@ func main() {
 }
 
 func run(args []string, out io.Writer) error {
+	if len(args) > 0 && args[0] == "trace" {
+		return runTrace(args[1:], out)
+	}
 	fs := flag.NewFlagSet("bpush-inspect", flag.ContinueOnError)
 	var (
 		dbSize   = fs.Int("db", 20, "broadcast size D in items")

@@ -1,0 +1,111 @@
+package main
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"bpush/internal/core"
+	"bpush/internal/obs"
+	"bpush/internal/sim"
+)
+
+// writeTrace runs a small simulation with a JSONL recorder and writes the
+// trace to a temp file — the same round trip bpush-sim -trace performs.
+func writeTrace(t *testing.T, scheme core.Options) string {
+	t.Helper()
+	cfg := sim.DefaultConfig()
+	cfg.Queries = 120
+	cfg.Warmup = 0
+	cfg.Scheme = scheme
+	cfg.DisconnectProb = 0.05
+	var buf bytes.Buffer
+	w := obs.NewJSONL(&buf)
+	cfg.Recorder = w
+	if _, err := sim.Run(cfg); err != nil {
+		t.Fatal(err)
+	}
+	if w.Err() != nil {
+		t.Fatal(w.Err())
+	}
+	path := filepath.Join(t.TempDir(), "trace.jsonl")
+	if err := os.WriteFile(path, buf.Bytes(), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+func TestTraceSubcommand(t *testing.T) {
+	path := writeTrace(t, core.Options{Kind: core.KindInvOnly, CacheSize: 100})
+	var out strings.Builder
+	if err := run([]string{"trace", path}, &out); err != nil {
+		t.Fatal(err)
+	}
+	got := out.String()
+	for _, want := range []string{
+		"method", "invalidation-only", "read sources:",
+		"query spans and latencies", "lat p50",
+	} {
+		if !strings.Contains(got, want) {
+			t.Errorf("trace output missing %q:\n%s", want, got)
+		}
+	}
+	// A 5% disconnect rate over 120 inv-only queries reliably aborts some
+	// of them, so the abort sections must render.
+	if !strings.Contains(got, "aborts by reason:") || !strings.Contains(got, "abort timeline") {
+		t.Errorf("abort sections missing:\n%s", got)
+	}
+}
+
+func TestTraceSubcommandDeterministic(t *testing.T) {
+	path := writeTrace(t, core.Options{Kind: core.KindSGT, CacheSize: 100})
+	render := func() string {
+		var out strings.Builder
+		if err := run([]string{"trace", path}, &out); err != nil {
+			t.Fatal(err)
+		}
+		return out.String()
+	}
+	if render() != render() {
+		t.Error("trace rendering not deterministic over the same file")
+	}
+}
+
+func TestTraceSubcommandErrors(t *testing.T) {
+	var out strings.Builder
+	if err := run([]string{"trace"}, &out); err == nil {
+		t.Error("missing file accepted")
+	}
+	if err := run([]string{"trace", filepath.Join(t.TempDir(), "nope.jsonl")}, &out); err == nil {
+		t.Error("nonexistent file accepted")
+	}
+	bad := filepath.Join(t.TempDir(), "bad.jsonl")
+	if err := os.WriteFile(bad, []byte("{\"type\":\"read\"}\nnot json\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := run([]string{"trace", bad}, &out); err == nil {
+		t.Error("malformed trace accepted")
+	} else if !strings.Contains(err.Error(), "line 2") {
+		t.Errorf("error does not name the offending line: %v", err)
+	}
+	empty := filepath.Join(t.TempDir(), "empty.jsonl")
+	if err := os.WriteFile(empty, nil, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := run([]string{"trace", empty}, &out); err == nil {
+		t.Error("empty trace accepted")
+	}
+}
+
+func TestAbortKeyNormalization(t *testing.T) {
+	a := abortKey("item#17 invalidated at cycle42")
+	b := abortKey("item#3 invalidated at cycle7")
+	if a != b {
+		t.Errorf("digit runs not normalized: %q vs %q", a, b)
+	}
+	if a != "item## invalidated at cycle#" {
+		t.Errorf("unexpected normalization: %q", a)
+	}
+}

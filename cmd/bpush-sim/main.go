@@ -13,6 +13,7 @@
 package main
 
 import (
+	"bytes"
 	"flag"
 	"fmt"
 	"io"
@@ -20,6 +21,7 @@ import (
 
 	"bpush/internal/core"
 	"bpush/internal/fault"
+	"bpush/internal/obs"
 	"bpush/internal/sim"
 )
 
@@ -58,6 +60,7 @@ func run(args []string, out io.Writer) error {
 		parallel   = fs.Int("parallel", 0, "fleet worker-pool size (0 = one per CPU, 1 = serial)")
 		faultSpec  = fs.String("fault", "none", "fault plan: none | "+faultNames()+" | spec like drop=0.05,corrupt=0.01")
 		faultSeed  = fs.Int64("fault-seed", 0, "fault RNG seed (0 = derive from the client seed)")
+		tracePath  = fs.String("trace", "", "write the run's JSONL event trace to this file (inspect with: bpush-inspect trace)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -94,6 +97,30 @@ func run(args []string, out io.Writer) error {
 	cfg.Fault = plan
 	cfg.FaultSeed = *faultSeed
 
+	// The trace is assembled deterministically: the producer stream first,
+	// then each client's stream in index order. Per-client recorders keep a
+	// parallel fleet's trace identical to a serial one.
+	var tr *traceCapture
+	if *tracePath != "" {
+		tr = newTraceCapture(*clients)
+		cfg.SourceRecorder = tr.source()
+		if *clients > 1 {
+			cfg.RecorderFor = tr.client
+		} else {
+			cfg.Recorder = tr.client(0)
+		}
+	}
+	flush := func() error {
+		if tr == nil {
+			return nil
+		}
+		if err := tr.writeFile(*tracePath); err != nil {
+			return err
+		}
+		fmt.Fprintf(out, "trace             %s (producer + %d client stream(s))\n", *tracePath, *clients)
+		return nil
+	}
+
 	if *clients > 1 {
 		fm, err := sim.RunFleet(cfg, *clients)
 		if err != nil {
@@ -116,7 +143,7 @@ func run(args []string, out io.Writer) error {
 		if *check {
 			fmt.Fprintf(out, "oracle            %d commits checked, %d outside window\n", checked, skipped)
 		}
-		return nil
+		return flush()
 	}
 
 	m, err := sim.Run(cfg)
@@ -140,7 +167,46 @@ func run(args []string, out io.Writer) error {
 	if *check {
 		fmt.Fprintf(out, "oracle            %d commits checked, %d outside window\n", m.OracleChecked, m.OracleSkipped)
 	}
-	return nil
+	return flush()
+}
+
+// traceCapture buffers the producer's and every client's JSONL stream
+// separately so the assembled file does not depend on fleet scheduling.
+type traceCapture struct {
+	sbuf bytes.Buffer
+	sw   *obs.JSONL
+	bufs []bytes.Buffer
+	recs []*obs.JSONL
+}
+
+func newTraceCapture(clients int) *traceCapture {
+	t := &traceCapture{bufs: make([]bytes.Buffer, clients), recs: make([]*obs.JSONL, clients)}
+	t.sw = obs.NewJSONL(&t.sbuf)
+	for i := range t.recs {
+		t.recs[i] = obs.NewJSONL(&t.bufs[i])
+	}
+	return t
+}
+
+func (t *traceCapture) source() obs.Recorder { return t.sw }
+
+// client hands out the pre-built recorder for one fleet client; safe to
+// call from pool workers.
+func (t *traceCapture) client(i int) obs.Recorder { return t.recs[i] }
+
+func (t *traceCapture) writeFile(path string) error {
+	if err := t.sw.Err(); err != nil {
+		return fmt.Errorf("trace: producer stream: %w", err)
+	}
+	var all bytes.Buffer
+	all.Write(t.sbuf.Bytes())
+	for i := range t.recs {
+		if err := t.recs[i].Err(); err != nil {
+			return fmt.Errorf("trace: client %d stream: %w", i, err)
+		}
+		all.Write(t.bufs[i].Bytes())
+	}
+	return os.WriteFile(path, all.Bytes(), 0o644)
 }
 
 // faultNames lists the shipped fault plans for the flag help text.

@@ -1,10 +1,14 @@
 package main
 
 import (
+	"bytes"
+	"os"
+	"path/filepath"
 	"strings"
 	"testing"
 
 	"bpush/internal/core"
+	"bpush/internal/obs"
 )
 
 func TestParseScheme(t *testing.T) {
@@ -100,5 +104,54 @@ func TestRunRejectsBadFlags(t *testing.T) {
 	}
 	if err := run([]string{"-no-such-flag"}, &out); err == nil {
 		t.Error("unknown flag accepted")
+	}
+}
+
+func TestTraceFlagWritesReadableTrace(t *testing.T) {
+	runTraced := func(path string, extra ...string) []byte {
+		t.Helper()
+		args := append([]string{
+			"-scheme", "inv-only", "-cache", "20", "-db", "120", "-update-range", "60",
+			"-read-range", "120", "-updates", "6", "-queries", "40", "-warmup", "5",
+			"-trace", path,
+		}, extra...)
+		var out strings.Builder
+		if err := run(args, &out); err != nil {
+			t.Fatal(err)
+		}
+		if !strings.Contains(out.String(), "trace             "+path) {
+			t.Fatalf("trace path not reported:\n%s", out.String())
+		}
+		data, err := os.ReadFile(path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return data
+	}
+
+	dir := t.TempDir()
+	single := runTraced(filepath.Join(dir, "single.jsonl"))
+	events, err := obs.ReadJSONL(bytes.NewReader(single))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(events) == 0 {
+		t.Fatal("empty trace")
+	}
+	// The producer stream leads; the client stream opens with run-begin.
+	if events[0].Type != obs.TypeCycleBegin {
+		t.Errorf("first event = %q, want producer cycle-begin", events[0].Type)
+	}
+
+	// Same seed, same flags: byte-identical files; a parallel fleet trace
+	// is identical to a serial one.
+	again := runTraced(filepath.Join(dir, "again.jsonl"))
+	if !bytes.Equal(single, again) {
+		t.Error("same-seed traces differ")
+	}
+	serial := runTraced(filepath.Join(dir, "serial.jsonl"), "-clients", "3", "-parallel", "1")
+	parallel := runTraced(filepath.Join(dir, "parallel.jsonl"), "-clients", "3", "-parallel", "4")
+	if !bytes.Equal(serial, parallel) {
+		t.Error("fleet trace depends on worker count")
 	}
 }

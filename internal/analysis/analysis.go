@@ -72,6 +72,11 @@ func DefaultConfig() Config {
 			"bpush/internal/experiments",
 			"bpush/internal/det",
 			"bpush/internal/analysis",
+			// obs carries the determinism invariant for a reason beyond
+			// reproducibility: traces are *specified* to be byte-identical
+			// across same-seed runs, so a wall-clock stamp or a sampled
+			// (rand-thinned) sink would silently break the contract.
+			"bpush/internal/obs",
 		},
 		GoroutineScope: []string{"bpush/internal"},
 		GoroutineAllow: []string{"bpush/internal/pool", "bpush/internal/netcast"},

@@ -91,6 +91,7 @@ func TestAnalyzerFixtures(t *testing.T) {
 	}{
 		{"wallclock", det("wallclock")},
 		{"globalrand", det("globalrand")},
+		{"obsvirtual", det("obsvirtual")},
 		{"maprange", det("maprange")},
 		{"bufalias", Config{}}, // empty AliasingScope: the check applies everywhere
 		{"goroutines", Config{GoroutineScope: []string{"fix/goroutines"}}},
@@ -144,6 +145,21 @@ func TestSuppressions(t *testing.T) {
 		if d.Line != w.line || d.Analyzer != w.analyzer || !strings.Contains(d.Message, w.substr) {
 			t.Errorf("diag %d = %s; want line %d analyzer %s containing %q", i, d, w.line, w.analyzer, w.substr)
 		}
+	}
+}
+
+// TestDefaultScopeCoversObs pins the observability package into the
+// determinism scope: traces are specified to be byte-identical across
+// same-seed runs, which the wallclock/globalrand/maprange analyzers
+// enforce statically.
+func TestDefaultScopeCoversObs(t *testing.T) {
+	cfg := DefaultConfig()
+	if !cfg.IsDeterministic("bpush/internal/obs") {
+		t.Error("bpush/internal/obs not in the deterministic scope")
+	}
+	// Prefixes must not leak: only the exact path carries the invariant.
+	if cfg.IsDeterministic("bpush/internal/obsolete") {
+		t.Error("path matching is not exact")
 	}
 }
 

@@ -1,0 +1,39 @@
+// Fixture mirroring the internal/obs determinism contract: an event sink
+// must stamp virtual (cycle, offset) time and never thin its stream with
+// global randomness — wall-clock stamps and rand-sampled recording are
+// exactly the two mistakes that would make same-seed traces diverge.
+package obsvirtual
+
+import (
+	"math/rand"
+	"time"
+)
+
+// event is a stand-in for obs.Event: virtual-timed, no wall-clock field.
+type event struct {
+	Cycle  uint64
+	Offset int64
+}
+
+// badStamp is the forbidden pattern: annotating an event with the host
+// clock.
+func badStamp(e event) (event, time.Time) {
+	return e, time.Now() // want "time.Now in deterministic package"
+}
+
+// badSample is the other forbidden pattern: probabilistic trace thinning
+// from the process-global source.
+func badSample(e event) bool {
+	return rand.Float64() < 0.1 // want "global-source rand.Float64"
+}
+
+// goodStamp derives the timestamp from broadcast progress only.
+func goodStamp(cycle uint64, slot int64) event {
+	return event{Cycle: cycle, Offset: slot}
+}
+
+// goodSample thins deterministically from an explicitly seeded source.
+func goodSample(seed int64) bool {
+	r := rand.New(rand.NewSource(seed))
+	return r.Float64() < 0.1
+}

@@ -15,6 +15,7 @@ import (
 	"bpush/internal/broadcast"
 	"bpush/internal/core"
 	"bpush/internal/model"
+	"bpush/internal/obs"
 )
 
 // Feed supplies consecutive becasts: the client's view of the channel. The
@@ -71,6 +72,10 @@ type Config struct {
 	DisconnectProb float64
 	// Seed feeds the disconnection RNG.
 	Seed int64
+	// Recorder, when non-nil, receives the client's trace events: the run
+	// beginning, every cycle heard or missed, read-loop restarts, and the
+	// commit/abort outcome of each query. Nil means not observed.
+	Recorder obs.Recorder
 }
 
 func (c Config) validate() error {
@@ -151,10 +156,18 @@ func NewFromEvents(scheme core.Scheme, events EventFeed, cfg Config) (*Client, e
 	if cfg.DisconnectProb > 0 {
 		c.rng = rand.New(rand.NewSource(cfg.Seed))
 	}
+	c.record(obs.Event{Type: obs.TypeRunBegin, Method: scheme.Name()})
 	if err := c.nextCycle(); err != nil {
 		return nil, fmt.Errorf("client: tune in: %w", err)
 	}
 	return c, nil
+}
+
+// record emits e when a recorder is attached.
+func (c *Client) record(e obs.Event) {
+	if c.cfg.Recorder != nil {
+		c.cfg.Recorder.Record(e)
+	}
 }
 
 // Cycle returns the cycle the client is currently listening to.
@@ -193,6 +206,7 @@ func (c *Client) nextCycle() error {
 			if ev.Cycle > c.last {
 				c.last = ev.Cycle
 			}
+			c.record(obs.Event{Type: obs.TypeCycleMissed, T: obs.At(ev.Cycle, 0), Reason: "lost"})
 			if err := c.scheme.MissCycle(ev.Cycle); err != nil {
 				return err
 			}
@@ -215,6 +229,7 @@ func (c *Client) nextCycle() error {
 				c.slotBase += int64(c.curLen)
 				c.curLen = b.Len()
 				c.missed++
+				c.record(obs.Event{Type: obs.TypeCycleMissed, T: obs.At(gap, 0), Reason: "gap"})
 				if err := c.scheme.MissCycle(gap); err != nil {
 					return err
 				}
@@ -225,11 +240,13 @@ func (c *Client) nextCycle() error {
 		c.last = b.Cycle
 		if c.rng != nil && c.rng.Float64() < c.cfg.DisconnectProb {
 			c.missed++
+			c.record(obs.Event{Type: obs.TypeCycleMissed, T: obs.At(b.Cycle, 0), Reason: "disconnected"})
 			if err := c.scheme.MissCycle(b.Cycle); err != nil {
 				return err
 			}
 			continue
 		}
+		c.record(obs.Event{Type: obs.TypeCycleBegin, T: obs.At(b.Cycle, 0), Slots: int64(b.Len())})
 		if err := c.scheme.NewCycle(b); err != nil {
 			return err
 		}
@@ -290,7 +307,16 @@ func (c *Client) RunQuery(items []model.ItemID) (QueryResult, error) {
 			res.AbortReason = err.Error()
 		}
 		c.scheme.Abort()
-		return finish()
+		r := finish()
+		c.record(obs.Event{
+			Type:   obs.TypeAbort,
+			T:      obs.At(c.cur.Cycle, int64(c.pos)),
+			Reason: r.AbortReason,
+			Span:   r.Span,
+			Cycles: r.LatencyCycles,
+			Slots:  r.LatencySlots,
+		})
+		return r
 	}
 
 	for _, item := range items {
@@ -315,6 +341,14 @@ func (c *Client) RunQuery(items []model.ItemID) (QueryResult, error) {
 			}
 			r, slot, err := c.scheme.ServeChannel(item, c.pos)
 			if errors.Is(err, core.ErrNextCycle) {
+				// The slot has gone by (or the item is in a later chunk):
+				// the read attempt restarts on the next cycle.
+				c.record(obs.Event{
+					Type:   obs.TypeRestart,
+					T:      obs.At(c.cur.Cycle, int64(c.pos)),
+					Item:   uint32(item),
+					Reason: "next-cycle",
+				})
 				if err := c.nextCycle(); err != nil {
 					c.scheme.Abort()
 					return QueryResult{}, err
@@ -349,5 +383,14 @@ func (c *Client) RunQuery(items []model.ItemID) (QueryResult, error) {
 	}
 	res.Committed = true
 	res.Info = info
-	return finish(), nil
+	r := finish()
+	c.record(obs.Event{
+		Type:   obs.TypeCommit,
+		T:      obs.At(info.CommitCycle, int64(c.pos)),
+		Span:   r.Span,
+		Cycles: r.LatencyCycles,
+		Slots:  r.LatencySlots,
+		Ser:    uint64(info.SerializationCycle),
+	})
+	return r, nil
 }

@@ -36,6 +36,7 @@ import (
 
 	"bpush/internal/broadcast"
 	"bpush/internal/model"
+	"bpush/internal/obs"
 )
 
 // ErrAborted is returned (possibly wrapped in an *AbortError carrying the
@@ -97,6 +98,52 @@ func (s ReadSource) String() string {
 	default:
 		return fmt.Sprintf("source(%d)", int(s))
 	}
+}
+
+// obsSource maps the read source onto the trace vocabulary: the data
+// segment is "air", client-local state is "cache", and the overflow
+// segment's old versions are "version".
+func (s ReadSource) obsSource() string {
+	switch s {
+	case SourceCache:
+		return obs.SourceCache
+	case SourceOverflow:
+		return obs.SourceVersion
+	default:
+		return obs.SourceAir
+	}
+}
+
+// recordRead emits the read-served trace event every scheme's deliver
+// path shares: the item, where it was served from, the version cycle
+// observed, stamped at (cycle, slot).
+func recordRead(rec obs.Recorder, cycle model.Cycle, slot int, item model.ItemID, v model.Version, src ReadSource) {
+	if rec == nil {
+		return
+	}
+	rec.Record(obs.Event{
+		Type:   obs.TypeRead,
+		T:      obs.At(cycle, int64(slot)),
+		Item:   uint32(item),
+		Source: src.obsSource(),
+		Ser:    uint64(v.Cycle),
+	})
+}
+
+// recordInvHit emits the invalidation-hit trace event: an item of the
+// active readset was (or may have been) updated, with the reason naming
+// what the scheme did about it ("fatal", "marked", "degraded", the
+// resync variants, ...).
+func recordInvHit(rec obs.Recorder, cycle model.Cycle, item model.ItemID, reason string) {
+	if rec == nil {
+		return
+	}
+	rec.Record(obs.Event{
+		Type:   obs.TypeInvHit,
+		T:      obs.At(cycle, 0),
+		Item:   uint32(item),
+		Reason: reason,
+	})
 }
 
 // Read is one served read operation.
@@ -237,6 +284,14 @@ type Options struct {
 	// becast heard). This subsumes the paper's w-window invalidation
 	// reports: the data segment itself is a full-window report.
 	ResyncOnReconnect bool
+	// Recorder, when non-nil, receives the scheme's trace events: every
+	// read served (with its {air|cache|version} source), invalidation
+	// hits against the active readset, and the SGT method's graph edges
+	// and cycle tests. Timestamps are virtual (cycle, offset) pairs, so
+	// the event stream is a pure function of the becast stream and the
+	// reads issued. Nil means not observed (zero overhead beyond a nil
+	// check).
+	Recorder obs.Recorder
 }
 
 // New constructs the scheme selected by opts.

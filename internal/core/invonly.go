@@ -124,10 +124,12 @@ func (s *invOnly) NewCycle(b *broadcast.Bcast) error {
 		for _, item := range det.SortedKeys(s.t.readset) {
 			if view.invalidates(item) {
 				if s.versioned {
+					recordInvHit(s.opts.Recorder, b.Cycle, item, "marked")
 					if s.marked == 0 {
 						s.marked = b.Cycle
 					}
 				} else {
+					recordInvHit(s.opts.Recorder, b.Cycle, item, "fatal")
 					s.t.doomed = abortErr("%v invalidated at %v (invalidation-only)", item, b.Cycle)
 				}
 				break
@@ -185,11 +187,13 @@ func (s *invOnly) resync(b *broadcast.Bcast) {
 			if err != nil {
 				// Chunked (h-interval) becast without the item: its gap
 				// history cannot be verified now; abort conservatively.
+				recordInvHit(s.opts.Recorder, b.Cycle, item, "resync-unverifiable")
 				s.t.doomed = abortErr("%v not on this becast; gap history unverifiable", item)
 				break
 			}
 			if v.Cycle > s.lastHeard {
 				if s.versioned {
+					recordInvHit(s.opts.Recorder, b.Cycle, item, "resync-marked")
 					// The first invalidation happened at some missed
 					// cycle; the earliest possibility is the most
 					// conservative marking (Theorem 4 still applies:
@@ -199,6 +203,7 @@ func (s *invOnly) resync(b *broadcast.Bcast) {
 						s.marked = s.lastHeard + 1
 					}
 				} else {
+					recordInvHit(s.opts.Recorder, b.Cycle, item, "resync-fatal")
 					s.t.doomed = abortErr("%v updated during connectivity gap (version %v > last heard %v)",
 						item, v.Cycle, s.lastHeard)
 				}
@@ -224,7 +229,7 @@ func (s *invOnly) ServeLocal(item model.ItemID) (Read, bool, error) {
 	if !ok {
 		return Read{}, false, nil
 	}
-	return s.deliver(item, v, SourceCache), true, nil
+	return s.deliver(item, v, SourceCache, 0), true, nil
 }
 
 // serveMarked serves a read of a marked transaction (§4.1): only versions
@@ -232,7 +237,7 @@ func (s *invOnly) ServeLocal(item model.ItemID) (Read, bool, error) {
 // is still valid or already invalidated-but-not-yet-autoprefetched.
 func (s *invOnly) serveMarked(item model.ItemID) (Read, bool, error) {
 	if e, ok := s.cache.Peek(item); ok && e.Version.Cycle < s.marked {
-		return s.deliver(item, e.Version, SourceCache), true, nil
+		return s.deliver(item, e.Version, SourceCache, 0), true, nil
 	}
 	if s.opts.AllowChannelOldReads {
 		if v, err := s.cur.ReadCurrent(item); err == nil && v.Cycle < s.marked {
@@ -272,13 +277,14 @@ func (s *invOnly) ServeChannel(item model.ItemID, pos int) (Read, int, error) {
 	if s.cache != nil && (s.marked == 0 || v.Cycle < s.marked) {
 		s.cache.Put(item, v)
 	}
-	return s.deliver(item, v, SourceBroadcast), slot, nil
+	return s.deliver(item, v, SourceBroadcast, slot), slot, nil
 }
 
-func (s *invOnly) deliver(item model.ItemID, v model.Version, src ReadSource) Read {
-	obs := model.ReadObservation{Item: item, Value: v.Value, Version: v.Cycle, Writer: v.Writer}
-	s.t.record(obs, s.cur.Cycle)
-	return Read{Obs: obs, Source: src}
+func (s *invOnly) deliver(item model.ItemID, v model.Version, src ReadSource, slot int) Read {
+	ro := model.ReadObservation{Item: item, Value: v.Value, Version: v.Cycle, Writer: v.Writer}
+	s.t.record(ro, s.cur.Cycle)
+	recordRead(s.opts.Recorder, s.cur.Cycle, slot, item, v, src)
+	return Read{Obs: ro, Source: src}
 }
 
 // Commit implements Scheme.

@@ -121,7 +121,7 @@ func (s *mvBroadcast) ServeLocal(item model.ItemID) (Read, bool, error) {
 	if s.t.start != 0 && v.Cycle > s.t.start {
 		return Read{}, false, nil // need an older version from the air
 	}
-	return s.deliver(item, v, SourceCache), true, nil
+	return s.deliver(item, v, SourceCache, 0), true, nil
 }
 
 // ServeChannel implements Scheme.
@@ -150,7 +150,7 @@ func (s *mvBroadcast) ServeChannel(item model.ItemID, pos int) (Read, int, error
 		if s.cache != nil {
 			s.cache.Put(item, entry.Version)
 		}
-		return s.deliver(item, entry.Version, SourceBroadcast), slot, nil
+		return s.deliver(item, entry.Version, SourceBroadcast, slot), slot, nil
 	}
 	// Walk the overflow chain for the newest version at or before c0
 	// (versions are stored newest-first).
@@ -161,17 +161,18 @@ func (s *mvBroadcast) ServeChannel(item model.ItemID, pos int) (Read, int, error
 			if ovSlot < pos {
 				return Read{}, 0, ErrNextCycle
 			}
-			return s.deliver(item, ov.Version, SourceOverflow), ovSlot, nil
+			return s.deliver(item, ov.Version, SourceOverflow, ovSlot), ovSlot, nil
 		}
 	}
 	s.t.doomed = abortErr("%v has no on-air version at or before %v (span exceeds retained versions)", item, s.t.start)
 	return Read{}, 0, s.t.doomed
 }
 
-func (s *mvBroadcast) deliver(item model.ItemID, v model.Version, src ReadSource) Read {
-	obs := model.ReadObservation{Item: item, Value: v.Value, Version: v.Cycle, Writer: v.Writer}
-	s.t.record(obs, s.cur.Cycle)
-	return Read{Obs: obs, Source: src}
+func (s *mvBroadcast) deliver(item model.ItemID, v model.Version, src ReadSource, slot int) Read {
+	ro := model.ReadObservation{Item: item, Value: v.Value, Version: v.Cycle, Writer: v.Writer}
+	s.t.record(ro, s.cur.Cycle)
+	recordRead(s.opts.Recorder, s.cur.Cycle, slot, item, v, src)
+	return Read{Obs: ro, Source: src}
 }
 
 // Commit implements Scheme. Theorem 2: the readset corresponds to the

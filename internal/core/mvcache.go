@@ -6,6 +6,7 @@ import (
 
 	"bpush/internal/broadcast"
 	"bpush/internal/cache"
+	"bpush/internal/det"
 	"bpush/internal/model"
 )
 
@@ -103,8 +104,11 @@ func (s *mvCache) NewCycle(b *broadcast.Bcast) error {
 		s.multi.Invalidate(item, b.Cycle)
 	})
 	if s.t.active && s.t.doomed == nil && s.cu == 0 {
-		for item := range s.t.readset {
+		// Sorted readset walk: the degradation event names the first
+		// invalidated item, which must not depend on map-iteration order.
+		for _, item := range det.SortedKeys(s.t.readset) {
 			if view.invalidates(item) {
+				recordInvHit(s.opts.Recorder, b.Cycle, item, "degraded")
 				s.cu = b.Cycle
 				break
 			}
@@ -134,7 +138,7 @@ func (s *mvCache) ServeLocal(item model.ItemID) (Read, bool, error) {
 	}
 	if s.cu == 0 {
 		if v, ok := s.multi.GetCurrent(item); ok {
-			return s.deliver(item, v, SourceCache), true, nil
+			return s.deliver(item, v, SourceCache, 0), true, nil
 		}
 		return Read{}, false, nil
 	}
@@ -142,7 +146,7 @@ func (s *mvCache) ServeLocal(item model.ItemID) (Read, bool, error) {
 	// only ("if such a version is found in cache, then it is read from
 	// the cache, otherwise the transaction is aborted").
 	if v, ok := s.multi.GetAtOrBefore(item, s.cu-1); ok {
-		return s.deliver(item, v, SourceCache), true, nil
+		return s.deliver(item, v, SourceCache, 0), true, nil
 	}
 	if s.opts.AllowChannelOldReads {
 		if v, err := s.cur.ReadCurrent(item); err == nil && v.Cycle < s.cu {
@@ -179,16 +183,17 @@ func (s *mvCache) ServeChannel(item model.ItemID, pos int) (Read, int, error) {
 			s.t.doomed = abortErr("%v must come from cache for a degraded transaction (cu=%v)", item, s.cu)
 			return Read{}, 0, s.t.doomed
 		}
-		return s.deliver(item, v, SourceBroadcast), slot, nil
+		return s.deliver(item, v, SourceBroadcast, slot), slot, nil
 	}
 	s.multi.Put(item, v)
-	return s.deliver(item, v, SourceBroadcast), slot, nil
+	return s.deliver(item, v, SourceBroadcast, slot), slot, nil
 }
 
-func (s *mvCache) deliver(item model.ItemID, v model.Version, src ReadSource) Read {
-	obs := model.ReadObservation{Item: item, Value: v.Value, Version: v.Cycle, Writer: v.Writer}
-	s.t.record(obs, s.cur.Cycle)
-	return Read{Obs: obs, Source: src}
+func (s *mvCache) deliver(item model.ItemID, v model.Version, src ReadSource, slot int) Read {
+	ro := model.ReadObservation{Item: item, Value: v.Value, Version: v.Cycle, Writer: v.Writer}
+	s.t.record(ro, s.cur.Cycle)
+	recordRead(s.opts.Recorder, s.cur.Cycle, slot, item, v, src)
+	return Read{Obs: ro, Source: src}
 }
 
 // Commit implements Scheme. Theorem 5: a degraded transaction's readset

@@ -7,6 +7,7 @@ import (
 	"bpush/internal/cache"
 	"bpush/internal/det"
 	"bpush/internal/model"
+	"bpush/internal/obs"
 	"bpush/internal/sg"
 )
 
@@ -154,6 +155,16 @@ func (s *sgt) NewCycle(b *broadcast.Bcast) error {
 			if s.invalidFrom == 0 {
 				s.invalidFrom = b.Cycle
 			}
+			if rec := s.opts.Recorder; rec != nil {
+				// R's outgoing precedence edge R -> T_f (Claim 2).
+				rec.Record(obs.Event{
+					Type: obs.TypeSGEdge,
+					T:    obs.At(b.Cycle, 0),
+					Item: uint32(item),
+					From: "R",
+					To:   tf.String(),
+				})
+			}
 		}
 	}
 	return nil
@@ -196,7 +207,7 @@ func (s *sgt) ServeLocal(item model.ItemID) (Read, bool, error) {
 	if err := s.accept(item, v); err != nil {
 		return Read{}, false, err
 	}
-	return s.deliver(item, v, SourceCache), true, nil
+	return s.deliver(item, v, SourceCache, 0), true, nil
 }
 
 // ServeChannel implements Scheme.
@@ -226,7 +237,7 @@ func (s *sgt) ServeChannel(item model.ItemID, pos int) (Read, int, error) {
 	if s.cache != nil {
 		s.cache.Put(item, v)
 	}
-	return s.deliver(item, v, SourceBroadcast), slot, nil
+	return s.deliver(item, v, SourceBroadcast, slot), slot, nil
 }
 
 // accept runs the SGT read test: the read of a value last written by
@@ -237,18 +248,30 @@ func (s *sgt) accept(item model.ItemID, v model.Version) error {
 		s.t.doomed = abortErr("%v version %v postdates disconnection ceiling %v", item, v.Cycle, s.ceiling)
 		return s.t.doomed
 	}
-	if len(s.targets) > 0 && !v.Writer.IsZero() &&
-		s.graph.ReachableFromAny(s.targets, v.Writer) {
-		s.t.doomed = abortErr("reading %v from %v closes a serialization cycle", item, v.Writer)
-		return s.t.doomed
+	if len(s.targets) > 0 && !v.Writer.IsZero() {
+		hit := s.graph.ReachableFromAny(s.targets, v.Writer)
+		if rec := s.opts.Recorder; rec != nil {
+			rec.Record(obs.Event{
+				Type: obs.TypeSGCycleTest,
+				T:    obs.At(s.cur.Cycle, 0),
+				Item: uint32(item),
+				To:   v.Writer.String(),
+				Hit:  hit,
+			})
+		}
+		if hit {
+			s.t.doomed = abortErr("reading %v from %v closes a serialization cycle", item, v.Writer)
+			return s.t.doomed
+		}
 	}
 	return nil
 }
 
-func (s *sgt) deliver(item model.ItemID, v model.Version, src ReadSource) Read {
-	obs := model.ReadObservation{Item: item, Value: v.Value, Version: v.Cycle, Writer: v.Writer}
-	s.t.record(obs, s.cur.Cycle)
-	return Read{Obs: obs, Source: src}
+func (s *sgt) deliver(item model.ItemID, v model.Version, src ReadSource, slot int) Read {
+	ro := model.ReadObservation{Item: item, Value: v.Value, Version: v.Cycle, Writer: v.Writer}
+	s.t.record(ro, s.cur.Cycle)
+	recordRead(s.opts.Recorder, s.cur.Cycle, slot, item, v, src)
+	return Read{Obs: ro, Source: src}
 }
 
 // Commit implements Scheme. SGT serializes R against a state produced by a

@@ -26,6 +26,7 @@ import (
 
 	"bpush/internal/broadcast"
 	"bpush/internal/core"
+	"bpush/internal/obs"
 	"bpush/internal/server"
 	"bpush/internal/workload"
 )
@@ -65,6 +66,14 @@ type Config struct {
 	// reported as outside the window (default 512).
 	Check        bool
 	OracleWindow int
+
+	// Recorder, when non-nil, receives the producer-side trace events:
+	// one cycle-begin/cycle-end pair per produced cycle (with the becast
+	// length in slots) and the serialization-graph edges each cycle's
+	// commits contributed. Production is serialized under the source's
+	// lock, so the event stream is deterministic no matter how many
+	// consumers race to trigger production.
+	Recorder obs.Recorder
 }
 
 func (c Config) validate() error {
@@ -110,7 +119,7 @@ func New(cfg Config) (*Source, error) {
 	if err := cfg.validate(); err != nil {
 		return nil, err
 	}
-	srv, err := server.New(server.Config{DBSize: cfg.DBSize, MaxVersions: cfg.Versions})
+	srv, err := server.New(server.Config{DBSize: cfg.DBSize, MaxVersions: cfg.Versions, Recorder: cfg.Recorder})
 	if err != nil {
 		return nil, err
 	}
@@ -166,8 +175,9 @@ func (s *Source) Get(i int) (*broadcast.Bcast, error) {
 // holds the write lock.
 func (s *Source) produce() error {
 	var (
-		b   *broadcast.Bcast
-		err error
+		b         *broadcast.Bcast
+		err       error
+		committed int
 	)
 	if len(s.log) == 0 {
 		if s.arch != nil {
@@ -188,10 +198,15 @@ func (s *Source) produce() error {
 			s.arch.addLog(log)
 			s.arch.addState(log.Cycle, s.srv.Snapshot())
 		}
+		committed = log.NumCommitted
 		b, err = s.assemble(log)
 	}
 	if err != nil {
 		return err
+	}
+	if rec := s.cfg.Recorder; rec != nil {
+		rec.Record(obs.Event{Type: obs.TypeCycleBegin, T: obs.At(b.Cycle, 0)})
+		rec.Record(obs.Event{Type: obs.TypeCycleEnd, T: obs.At(b.Cycle, int64(b.Len())), Slots: int64(b.Len()), N: int64(committed)})
 	}
 	s.log = append(s.log, b)
 	return nil

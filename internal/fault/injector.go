@@ -6,6 +6,8 @@ import (
 
 	"bpush/internal/broadcast"
 	"bpush/internal/client"
+	"bpush/internal/model"
+	"bpush/internal/obs"
 	"bpush/internal/wire"
 )
 
@@ -28,6 +30,7 @@ type Injector struct {
 	inner client.Feed
 	plan  Plan
 	rng   *rand.Rand
+	rec   obs.Recorder
 
 	queue     []client.Event // deliveries owed before pulling the inner feed
 	burstLeft int            // remaining cycles of the active burst outage
@@ -53,6 +56,18 @@ func New(feed client.Feed, plan Plan, seed int64) (*Injector, error) {
 // Stats returns what the injector has done to the stream so far.
 func (in *Injector) Stats() Stats { return in.stats }
 
+// Observe attaches a trace recorder: every fault the injector applies is
+// recorded as a fault event naming the fault kind, stamped with the cycle
+// of the frame it hit. Nil detaches.
+func (in *Injector) Observe(rec obs.Recorder) { in.rec = rec }
+
+// recordFault emits one fault event for the frame of cycle c.
+func (in *Injector) recordFault(c model.Cycle, kind string) {
+	if in.rec != nil {
+		in.rec.Record(obs.Event{Type: obs.TypeFault, T: obs.At(c, 0), Reason: kind})
+	}
+}
+
 // NextEvent implements client.EventFeed.
 func (in *Injector) NextEvent() (client.Event, error) {
 	if len(in.queue) > 0 {
@@ -70,21 +85,25 @@ func (in *Injector) NextEvent() (client.Event, error) {
 	if in.burstLeft > 0 {
 		in.burstLeft--
 		in.stats.Burst++
+		in.recordFault(b.Cycle, "burst")
 		return lost(b), nil
 	}
 	if in.plan.Burst > 0 && in.rng.Float64() < in.plan.Burst {
 		in.burstLeft = in.plan.burstLen() - 1
 		in.stats.Burst++
+		in.recordFault(b.Cycle, "burst")
 		return lost(b), nil
 	}
 	if in.plan.Drop > 0 && in.rng.Float64() < in.plan.Drop {
 		in.stats.Dropped++
+		in.recordFault(b.Cycle, "drop")
 		return lost(b), nil
 	}
 	if in.plan.Corrupt > 0 && in.rng.Float64() < in.plan.Corrupt {
 		got, ok := in.corrupt(b)
 		if !ok {
 			in.stats.Corrupted++
+			in.recordFault(b.Cycle, "corrupt")
 			return lost(b), nil
 		}
 		// The flips cancelled out and the checksum still holds — the
@@ -95,12 +114,14 @@ func (in *Injector) NextEvent() (client.Event, error) {
 		got, ok := in.truncate(b)
 		if !ok {
 			in.stats.Truncated++
+			in.recordFault(b.Cycle, "truncate")
 			return lost(b), nil
 		}
 		b = got
 	}
 	if in.plan.Duplicate > 0 && in.rng.Float64() < in.plan.Duplicate {
 		in.stats.Duplicated++
+		in.recordFault(b.Cycle, "duplicate")
 		in.queue = append(in.queue, heard(b))
 	}
 	if in.plan.Reorder > 0 && in.rng.Float64() < in.plan.Reorder {
@@ -108,6 +129,7 @@ func (in *Injector) NextEvent() (client.Event, error) {
 			// The successor jumps ahead; b arrives late. The successor is
 			// delivered as-is — the swap consumed its fault budget.
 			in.stats.Reordered++
+			in.recordFault(b.Cycle, "reorder")
 			in.queue = append(in.queue, heard(b))
 			in.stats.Delivered++
 			return heard(nb), nil

@@ -3,6 +3,8 @@ package fault
 import (
 	"fmt"
 	"math/rand"
+
+	"bpush/internal/obs"
 )
 
 // Mangler applies a Plan to raw encoded frames before they go on air —
@@ -17,8 +19,10 @@ import (
 type Mangler struct {
 	plan Plan
 	rng  *rand.Rand
+	rec  obs.Recorder
 
 	burstLeft int
+	frames    int64  // frames seen, the virtual clock of the channel side
 	held      []byte // frame delayed by a reorder, owed after the next one
 	stats     Stats
 }
@@ -33,6 +37,19 @@ func NewMangler(plan Plan, seed int64) (*Mangler, error) {
 
 // Stats returns what the mangler has done to the stream so far.
 func (m *Mangler) Stats() Stats { return m.stats }
+
+// Observe attaches a trace recorder: every fault the mangler applies is
+// recorded as a fault event naming the fault kind. The mangler never
+// decodes frames, so events are stamped with the frame sequence number
+// (as the virtual-time offset) rather than a cycle. Nil detaches.
+func (m *Mangler) Observe(rec obs.Recorder) { m.rec = rec }
+
+// recordFault emits one fault event for the current frame.
+func (m *Mangler) recordFault(kind string) {
+	if m.rec != nil {
+		m.rec.Record(obs.Event{Type: obs.TypeFault, T: obs.Time{Offset: m.frames}, Reason: kind})
+	}
+}
 
 // Mangle applies the plan to one encoded frame and returns the byte
 // sequences to transmit, in order — zero when the frame is lost (or held
@@ -55,18 +72,22 @@ func (m *Mangler) Mangle(frame []byte) [][]byte {
 }
 
 func (m *Mangler) mangleOne(frame []byte) [][]byte {
+	m.frames++
 	if m.burstLeft > 0 {
 		m.burstLeft--
 		m.stats.Burst++
+		m.recordFault("burst")
 		return nil
 	}
 	if m.plan.Burst > 0 && m.rng.Float64() < m.plan.Burst {
 		m.burstLeft = m.plan.burstLen() - 1
 		m.stats.Burst++
+		m.recordFault("burst")
 		return nil
 	}
 	if m.plan.Drop > 0 && m.rng.Float64() < m.plan.Drop {
 		m.stats.Dropped++
+		m.recordFault("drop")
 		return nil
 	}
 	if m.plan.Corrupt > 0 && m.rng.Float64() < m.plan.Corrupt {
@@ -81,20 +102,24 @@ func (m *Mangler) mangleOne(frame []byte) [][]byte {
 			damaged[pos] ^= 1 << uint(m.rng.Intn(8))
 		}
 		m.stats.Corrupted++
+		m.recordFault("corrupt")
 		frame = damaged
 	}
 	if m.plan.Truncate > 0 && m.rng.Float64() < m.plan.Truncate {
 		cut := m.rng.Intn(len(frame))
 		m.stats.Truncated++
+		m.recordFault("truncate")
 		frame = frame[:cut]
 	}
 	if m.plan.Duplicate > 0 && m.rng.Float64() < m.plan.Duplicate {
 		m.stats.Duplicated++
 		m.stats.Delivered += 2
+		m.recordFault("duplicate")
 		return [][]byte{frame, frame}
 	}
 	if m.plan.Reorder > 0 && m.rng.Float64() < m.plan.Reorder {
 		m.stats.Reordered++
+		m.recordFault("reorder")
 		// Copy before holding: the held frame outlives this call, and the
 		// caller owns (and may reuse) the buffer it passed in.
 		m.held = append([]byte(nil), frame...)

@@ -71,8 +71,18 @@ func (t TxID) Before(u TxID) bool {
 	return t.Seq < u.Seq
 }
 
-// String implements fmt.Stringer.
-func (t TxID) String() string { return fmt.Sprintf("tx(%d.%d)", t.Cycle, t.Seq) }
+// String implements fmt.Stringer. Built with strconv rather than fmt:
+// trace recording stamps a TxID string on every serialization-graph event,
+// so this sits on the observed hot path.
+func (t TxID) String() string {
+	buf := make([]byte, 0, 16)
+	buf = append(buf, "tx("...)
+	buf = strconv.AppendUint(buf, uint64(t.Cycle), 10)
+	buf = append(buf, '.')
+	buf = strconv.AppendUint(buf, uint64(t.Seq), 10)
+	buf = append(buf, ')')
+	return string(buf)
+}
 
 // Version is one version of an item: the value together with the cycle at
 // which the value became current and the transaction that wrote it. The

@@ -1,0 +1,54 @@
+package netcast
+
+import (
+	"encoding/json"
+	"fmt"
+	"net"
+	"net/http"
+	"time"
+)
+
+// metricsServer serves a station's live observability endpoints:
+//
+//	GET /metricsz  — the metric registry as JSON (counters, gauges,
+//	                 histograms with quantile estimates)
+//	GET /tracez    — the most recent trace events, oldest first
+//
+// Both render point-in-time snapshots; neither blocks the broadcast path.
+type metricsServer struct {
+	ln  net.Listener
+	srv *http.Server
+}
+
+// serveMetrics starts the HTTP endpoint for the station on addr.
+func serveMetrics(addr string, s *Station) (*metricsServer, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("netcast: metrics listen: %w", err)
+	}
+	mux := http.NewServeMux()
+	mux.HandleFunc("/metricsz", func(w http.ResponseWriter, r *http.Request) {
+		s.refreshGauges()
+		w.Header().Set("Content-Type", "application/json")
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", "  ")
+		_ = enc.Encode(s.reg.Snapshot())
+	})
+	mux.HandleFunc("/tracez", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", "  ")
+		_ = enc.Encode(struct {
+			Dropped uint64      `json:"dropped"`
+			Events  interface{} `json:"events"`
+		}{Dropped: s.ring.Dropped(), Events: s.ring.Events()})
+	})
+	srv := &http.Server{Handler: mux, ReadHeaderTimeout: 5 * time.Second}
+	m := &metricsServer{ln: ln, srv: srv}
+	go func() { _ = srv.Serve(ln) }()
+	return m, nil
+}
+
+func (m *metricsServer) addr() string { return m.ln.Addr().String() }
+
+func (m *metricsServer) close() error { return m.srv.Close() }

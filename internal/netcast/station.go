@@ -7,6 +7,7 @@ import (
 
 	"bpush/internal/cyclesource"
 	"bpush/internal/fault"
+	"bpush/internal/obs"
 	"bpush/internal/wire"
 	"bpush/internal/workload"
 )
@@ -40,6 +41,13 @@ type StationConfig struct {
 	Fault fault.Plan
 	// FaultSeed seeds the fault RNG; 0 derives it from Seed.
 	FaultSeed int64
+	// HTTPAddr, when non-empty, serves the station's live metrics over
+	// HTTP (e.g. "127.0.0.1:0"): GET /metricsz renders the metric
+	// registry as JSON and GET /tracez the most recent trace events.
+	HTTPAddr string
+	// TraceRing bounds the in-memory trace buffer behind /tracez
+	// (default 1024 events).
+	TraceRing int
 }
 
 // Station periodically takes the next cycle from a shared cyclesource
@@ -48,9 +56,12 @@ type StationConfig struct {
 // subscribers are connected — the Broadcaster fans the one frame out —
 // so station cost per cycle is independent of the audience size.
 type Station struct {
-	cfg StationConfig
-	src *cyclesource.Source
-	bc  *Broadcaster
+	cfg  StationConfig
+	src  *cyclesource.Source
+	bc   *Broadcaster
+	reg  *obs.Registry
+	ring *obs.Ring
+	http *metricsServer // nil unless cfg.HTTPAddr
 
 	mu      sync.Mutex
 	next    int // index of the next cycle to put on air
@@ -58,6 +69,24 @@ type Station struct {
 
 	stop chan struct{}
 	done chan struct{}
+}
+
+// regRecorder folds trace events into the station's metric registry: one
+// counter per event type, per-kind fault counters, and a cycle-length
+// histogram.
+type regRecorder struct{ reg *obs.Registry }
+
+// cycleSlotBounds buckets becast lengths (data + overflow slots).
+var cycleSlotBounds = []float64{64, 128, 256, 512, 1024, 2048, 4096, 8192, 16384}
+
+func (r regRecorder) Record(e obs.Event) {
+	r.reg.Counter("events." + string(e.Type)).Inc()
+	switch e.Type {
+	case obs.TypeCycleEnd:
+		r.reg.Histogram("cycle.slots", cycleSlotBounds).Observe(float64(e.Slots))
+	case obs.TypeFault:
+		r.reg.Counter("faults." + e.Reason).Inc()
+	}
 }
 
 // NewStation builds and starts a station. With a non-zero interval a
@@ -69,12 +98,20 @@ func NewStation(cfg StationConfig) (*Station, error) {
 	if cfg.Workload.DBSize != cfg.DBSize {
 		return nil, fmt.Errorf("netcast: workload DBSize %d != station DBSize %d", cfg.Workload.DBSize, cfg.DBSize)
 	}
+	ringSize := cfg.TraceRing
+	if ringSize <= 0 {
+		ringSize = 1024
+	}
+	reg := obs.NewRegistry()
+	ring := obs.NewRing(ringSize)
+	rec := obs.Tee(ring, regRecorder{reg})
 	src, err := cyclesource.New(cyclesource.Config{
 		DBSize:   cfg.DBSize,
 		Versions: cfg.Versions,
 		Workload: cfg.Workload,
 		Seed:     cfg.Seed,
 		Workers:  cfg.Workers,
+		Recorder: rec,
 	})
 	if err != nil {
 		return nil, err
@@ -89,6 +126,7 @@ func NewStation(cfg StationConfig) (*Station, error) {
 		if err != nil {
 			return nil, err
 		}
+		mangler.Observe(rec)
 	}
 	bc, err := Listen(cfg.Addr)
 	if err != nil {
@@ -98,9 +136,18 @@ func NewStation(cfg StationConfig) (*Station, error) {
 		cfg:     cfg,
 		src:     src,
 		bc:      bc,
+		reg:     reg,
+		ring:    ring,
 		mangler: mangler,
 		stop:    make(chan struct{}),
 		done:    make(chan struct{}),
+	}
+	if cfg.HTTPAddr != "" {
+		s.http, err = serveMetrics(cfg.HTTPAddr, s)
+		if err != nil {
+			_ = bc.Close()
+			return nil, err
+		}
 	}
 	go s.run()
 	return s, nil
@@ -115,6 +162,35 @@ func (s *Station) Subscribers() int { return s.bc.Subscribers() }
 // Source returns the station's cycle producer, e.g. to attach in-process
 // consumers to the same stream the network subscribers hear.
 func (s *Station) Source() *cyclesource.Source { return s.src }
+
+// Registry returns the station's live metric registry — the object the
+// /metricsz endpoint renders.
+func (s *Station) Registry() *obs.Registry { return s.reg }
+
+// Trace returns the station's bounded trace ring — the buffer behind the
+// /tracez endpoint.
+func (s *Station) Trace() *obs.Ring { return s.ring }
+
+// MetricsAddr returns the HTTP metrics listening address, or "" when
+// StationConfig.HTTPAddr was empty.
+func (s *Station) MetricsAddr() string {
+	if s.http == nil {
+		return ""
+	}
+	return s.http.addr()
+}
+
+// refreshGauges copies the broadcaster's live traffic counters into the
+// registry; called when a snapshot is about to be rendered, so the gauges
+// are current without a per-frame update cost.
+func (s *Station) refreshGauges() {
+	t := s.bc.Traffic()
+	s.reg.Gauge("net.frames_sent").Set(float64(t.FramesSent))
+	s.reg.Gauge("net.bytes_sent").Set(float64(t.BytesSent))
+	s.reg.Gauge("net.drops").Set(float64(t.Drops))
+	s.reg.Gauge("net.bytes_received").Set(float64(t.BytesReceived))
+	s.reg.Gauge("net.subscribers").Set(float64(s.bc.Subscribers()))
+}
 
 func (s *Station) run() {
 	defer close(s.done)
@@ -178,7 +254,7 @@ func (s *Station) FaultStats() fault.Stats {
 	return s.mangler.Stats()
 }
 
-// Close stops the ticker and shuts the broadcaster down.
+// Close stops the ticker, the metrics endpoint, and the broadcaster.
 func (s *Station) Close() error {
 	select {
 	case <-s.stop:
@@ -186,5 +262,8 @@ func (s *Station) Close() error {
 		close(s.stop)
 	}
 	<-s.done
+	if s.http != nil {
+		_ = s.http.close()
+	}
 	return s.bc.Close()
 }

@@ -91,6 +91,7 @@ func (s *Server) CommitConcurrentAndAdvance(txs []model.ServerTx, workers int) (
 	})
 	log.Updated = det.SortedKeys(log.FirstWriter)
 	log.NumCommitted = len(txs)
+	s.recordDelta(log)
 	s.trimVersions(next)
 	s.cycle = next
 	return log, nil

@@ -18,6 +18,7 @@ import (
 
 	"bpush/internal/det"
 	"bpush/internal/model"
+	"bpush/internal/obs"
 	"bpush/internal/sg"
 )
 
@@ -42,6 +43,12 @@ type Config struct {
 	// the current version (the invalidation-only and SGT configurations);
 	// S>1 enables multiversion broadcast.
 	MaxVersions int
+	// Recorder, when non-nil, receives one sg-edge trace event per edge of
+	// each cycle's serialization-graph delta. Events are emitted from the
+	// final sorted delta, after all of the cycle's transactions committed,
+	// so the stream is identical under the serial and the concurrent (2PL)
+	// execution paths. Nil means not observed.
+	Recorder obs.Recorder
 }
 
 func (c Config) validate() error {
@@ -231,9 +238,28 @@ func (s *Server) CommitAndAdvance(txs []model.ServerTx) (*CycleLog, error) {
 		return a.From.Before(b.From)
 	})
 	log.Updated = det.SortedKeys(log.FirstWriter)
+	s.recordDelta(log)
 	s.trimVersions(next)
 	s.cycle = next
 	return log, nil
+}
+
+// recordDelta emits one sg-edge event per edge of the cycle's final sorted
+// delta. Sorting has already canonicalized the order, so the event stream
+// does not depend on the execution path that produced the log.
+func (s *Server) recordDelta(log *CycleLog) {
+	rec := s.cfg.Recorder
+	if rec == nil {
+		return
+	}
+	for _, e := range log.Delta.Edges {
+		rec.Record(obs.Event{
+			Type: obs.TypeSGEdge,
+			T:    obs.At(log.Cycle, 0),
+			From: e.From.String(),
+			To:   e.To.String(),
+		})
+	}
 }
 
 func (s *Server) applyRead(id model.TxID, item model.ItemID, edges map[sg.Edge]struct{}) {

@@ -49,6 +49,14 @@ func RunFleet(cfg Config, clients int) (*FleetMetrics, error) {
 	err = pool.For(cfg.Parallel, clients, func(i int) error {
 		c := cfg
 		c.ClientSeed = cfg.Seed + 1000*int64(i+1)
+		if cfg.RecorderFor != nil {
+			// One recorder per client: each stream stays private to its
+			// (single-threaded) client, so traces do not depend on how the
+			// pool interleaves workers. The factory is consumed here; a nil
+			// recorder for a client means that client is unobserved.
+			c.Recorder = cfg.RecorderFor(i)
+			c.RecorderFor = nil
+		}
 		m, err := runClient(c, src)
 		if err != nil {
 			return fmt.Errorf("client %d: %w", i, err)

@@ -32,6 +32,7 @@ import (
 	"bpush/internal/core"
 	"bpush/internal/cyclesource"
 	"bpush/internal/fault"
+	"bpush/internal/obs"
 	"bpush/internal/stats"
 	"bpush/internal/workload"
 )
@@ -98,6 +99,25 @@ type Config struct {
 	// each client's execution is a pure function of the config, its seed,
 	// and the (deterministic) shared stream.
 	Parallel int
+
+	// Recorder, when non-nil, receives the client-side trace events of a
+	// single-client Run: the scheme's reads/invalidations/SG tests and the
+	// client runtime's cycle and query outcomes, interleaved in execution
+	// order. The stream is single-threaded and virtual-timed, so it is
+	// byte-identical across same-seed runs.
+	Recorder obs.Recorder
+	// RecorderFor, when non-nil, supplies one recorder per fleet client
+	// (index 0..clients-1). Per-client recorders are what keep parallel
+	// fleet traces deterministic: each client's stream is recorded
+	// separately (a shared sink would interleave by worker scheduling),
+	// and callers concatenate the buffers in client index order. Run uses
+	// RecorderFor(0) when Recorder is nil.
+	RecorderFor func(client int) obs.Recorder
+	// SourceRecorder, when non-nil, receives the producer-side trace
+	// events (cycle production, SG deltas). Production is serialized
+	// under the source's lock, so this stream is deterministic even with
+	// a parallel fleet racing to trigger production.
+	SourceRecorder obs.Recorder
 }
 
 // DefaultConfig returns the paper's default operating point: D=1000,
@@ -217,6 +237,7 @@ func (c Config) NewSource() (*cyclesource.Source, error) {
 	return cyclesource.New(cyclesource.Config{
 		DBSize:   c.DBSize,
 		Versions: c.ServerVersions,
+		Recorder: c.SourceRecorder,
 		Workload: workload.ServerConfig{
 			DBSize:          c.DBSize,
 			UpdateRange:     c.UpdateRange,
@@ -259,7 +280,13 @@ func runClient(cfg Config, src *cyclesource.Source) (*Metrics, error) {
 	if err != nil {
 		return nil, err
 	}
-	scheme, err := core.New(cfg.Scheme)
+	rec := cfg.Recorder
+	if rec == nil && cfg.RecorderFor != nil {
+		rec = cfg.RecorderFor(0)
+	}
+	sopts := cfg.Scheme
+	sopts.Recorder = rec
+	scheme, err := core.New(sopts)
 	if err != nil {
 		return nil, err
 	}
@@ -268,6 +295,7 @@ func runClient(cfg Config, src *cyclesource.Source) (*Metrics, error) {
 		ThinkTime:      cfg.ThinkTime,
 		DisconnectProb: cfg.DisconnectProb,
 		Seed:           clientSeed + 1,
+		Recorder:       rec,
 	}
 	var cl *client.Client
 	if cfg.Fault.IsZero() {
@@ -285,6 +313,7 @@ func runClient(cfg Config, src *cyclesource.Source) (*Metrics, error) {
 		if err != nil {
 			return nil, err
 		}
+		inj.Observe(rec)
 		cl, err = client.NewFromEvents(scheme, inj, ccfg)
 	}
 	if err != nil {

@@ -1,0 +1,149 @@
+package stats
+
+import (
+	"math"
+	"reflect"
+	"strings"
+	"testing"
+)
+
+func mustHistogram(t *testing.T, bounds []float64) *Histogram {
+	t.Helper()
+	h, err := NewHistogram(bounds)
+	if err != nil {
+		t.Fatalf("NewHistogram(%v): %v", bounds, err)
+	}
+	return h
+}
+
+func TestNewHistogramValidation(t *testing.T) {
+	if _, err := NewHistogram(nil); err == nil {
+		t.Errorf("empty bounds accepted")
+	}
+	if _, err := NewHistogram([]float64{1, 1}); err == nil {
+		t.Errorf("non-ascending bounds accepted")
+	}
+	if _, err := NewHistogram([]float64{1, math.NaN()}); err == nil {
+		t.Errorf("NaN bound accepted")
+	}
+	// Bounds are copied: mutating the caller's slice must not affect the
+	// histogram.
+	bounds := []float64{1, 2}
+	h := mustHistogram(t, bounds)
+	bounds[0] = 99
+	if h.Bounds()[0] != 1 {
+		t.Errorf("bounds aliased: %v", h.Bounds())
+	}
+}
+
+func TestHistogramBucketing(t *testing.T) {
+	h := mustHistogram(t, []float64{10, 20, 30})
+	for _, x := range []float64{5, 10, 10.5, 25, 31, 1000} {
+		h.Add(x)
+	}
+	h.Add(math.NaN()) // ignored
+	if got := h.N(); got != 6 {
+		t.Fatalf("N = %d, want 6", got)
+	}
+	// x lands in the first bucket with x <= bound; above every bound goes
+	// to overflow: {5,10} {10.5} {25} {31,1000}.
+	want := []uint64{2, 1, 1, 2}
+	if !reflect.DeepEqual(h.Counts(), want) {
+		t.Fatalf("counts = %v, want %v", h.Counts(), want)
+	}
+	if h.Min() != 5 || h.Max() != 1000 {
+		t.Fatalf("min/max = %g/%g", h.Min(), h.Max())
+	}
+	if got := h.Sum(); got != 5+10+10.5+25+31+1000 {
+		t.Fatalf("sum = %g", got)
+	}
+}
+
+func TestHistogramQuantile(t *testing.T) {
+	h := mustHistogram(t, LinearBuckets(10, 10, 10)) // 10,20,...,100
+	for i := 1; i <= 100; i++ {
+		h.Add(float64(i))
+	}
+	if got := h.Quantile(0); got != 1 {
+		t.Errorf("q0 = %g, want min", got)
+	}
+	if got := h.Quantile(1); got != 100 {
+		t.Errorf("q1 = %g, want max", got)
+	}
+	// Uniform 1..100: the median estimate must land in the right bucket.
+	if got := h.Quantile(0.5); got < 40 || got > 60 {
+		t.Errorf("median = %g, want ~50", got)
+	}
+	if got := h.Quantile(0.9); got < 80 || got > 100 {
+		t.Errorf("p90 = %g, want ~90", got)
+	}
+	// Quantiles never escape the observed range.
+	one := mustHistogram(t, []float64{1000})
+	one.Add(3)
+	if got := one.Quantile(0.99); got != 3 {
+		t.Errorf("single-sample q99 = %g, want 3 (clamped)", got)
+	}
+	var empty Histogram
+	if got := empty.Quantile(0.5); got != 0 {
+		t.Errorf("empty quantile = %g", got)
+	}
+}
+
+func TestLinearBuckets(t *testing.T) {
+	if got := LinearBuckets(1, 2, 3); !reflect.DeepEqual(got, []float64{1, 3, 5}) {
+		t.Errorf("LinearBuckets = %v", got)
+	}
+	if LinearBuckets(0, 0, 3) != nil || LinearBuckets(0, 1, 0) != nil {
+		t.Errorf("invalid layouts should return nil")
+	}
+}
+
+func TestHistogramMerge(t *testing.T) {
+	a := mustHistogram(t, []float64{10, 20})
+	b := mustHistogram(t, []float64{10, 20})
+	a.Add(5)
+	a.Add(15)
+	b.Add(25)
+	b.Add(1)
+	if err := a.Merge(b); err != nil {
+		t.Fatalf("merge: %v", err)
+	}
+	if a.N() != 4 || a.Min() != 1 || a.Max() != 25 || a.Sum() != 46 {
+		t.Fatalf("merged n/min/max/sum = %d/%g/%g/%g", a.N(), a.Min(), a.Max(), a.Sum())
+	}
+	if !reflect.DeepEqual(a.Counts(), []uint64{2, 1, 1}) {
+		t.Fatalf("merged counts = %v", a.Counts())
+	}
+	// Merging an empty histogram (or nil) is a no-op.
+	if err := a.Merge(mustHistogram(t, []float64{10, 20})); err != nil {
+		t.Fatalf("merge empty: %v", err)
+	}
+	if err := a.Merge(nil); err != nil {
+		t.Fatalf("merge nil: %v", err)
+	}
+	if a.N() != 4 {
+		t.Fatalf("no-op merge changed N: %d", a.N())
+	}
+	// Merging into an empty histogram adopts the other's extremes.
+	c := mustHistogram(t, []float64{10, 20})
+	if err := c.Merge(a); err != nil {
+		t.Fatalf("merge into empty: %v", err)
+	}
+	if c.Min() != 1 || c.Max() != 25 {
+		t.Fatalf("adopted min/max = %g/%g", c.Min(), c.Max())
+	}
+}
+
+func TestHistogramMergeMismatch(t *testing.T) {
+	a := mustHistogram(t, []float64{10, 20})
+	if err := a.Merge(mustHistogram(t, []float64{10})); err == nil {
+		t.Errorf("bucket-count mismatch accepted")
+	}
+	err := a.Merge(mustHistogram(t, []float64{10, 30}))
+	if err == nil {
+		t.Fatalf("bound mismatch accepted")
+	}
+	if !strings.Contains(err.Error(), "mismatched") {
+		t.Errorf("unhelpful error: %v", err)
+	}
+}

@@ -92,9 +92,20 @@ func NewTable(headers ...string) *Table {
 	return &Table{headers: headers}
 }
 
-// AddRow appends a row; each cell is formatted with %v.
+// AddRow appends a row; each cell is formatted with %v. A row with fewer
+// cells than headers is padded with empty cells and one with more is
+// truncated, so both the aligned and the CSV rendering always line up
+// with the header — a short row used to shift every following column
+// silently.
 func (t *Table) AddRow(cells ...any) {
-	row := make([]string, len(cells))
+	if len(t.headers) > 0 && len(cells) > len(t.headers) {
+		cells = cells[:len(t.headers)]
+	}
+	n := len(cells)
+	if len(t.headers) > 0 {
+		n = len(t.headers)
+	}
+	row := make([]string, n)
 	for i, c := range cells {
 		switch v := c.(type) {
 		case float64:

@@ -118,3 +118,38 @@ func TestTableCSV(t *testing.T) {
 		t.Errorf("CSV = %q", csv)
 	}
 }
+
+func TestTableAddRowPadsShortRows(t *testing.T) {
+	tbl := NewTable("a", "b", "c")
+	tbl.AddRow(1, 2, 3)
+	tbl.AddRow("only")
+	csv := tbl.CSV()
+	// A short row must still have every column, so later columns cannot
+	// shift left in the CSV (or collapse in the aligned rendering).
+	if csv != "a,b,c\n1,2,3\nonly,,\n" {
+		t.Errorf("CSV = %q", csv)
+	}
+	lines := strings.Split(strings.TrimRight(tbl.String(), "\n"), "\n")
+	wantLen := len(lines[0])
+	for i, l := range lines {
+		if i >= 2 && len(strings.TrimRight(l, " ")) > wantLen {
+			t.Errorf("row %d wider than header: %q", i, l)
+		}
+	}
+}
+
+func TestTableAddRowTruncatesLongRows(t *testing.T) {
+	tbl := NewTable("x", "y")
+	tbl.AddRow(1, 2, 3, 4)
+	if csv := tbl.CSV(); csv != "x,y\n1,2\n" {
+		t.Errorf("CSV = %q", csv)
+	}
+}
+
+func TestTableNoHeadersKeepsRowWidth(t *testing.T) {
+	tbl := NewTable()
+	tbl.AddRow(1, 2)
+	if csv := tbl.CSV(); csv != "\n1,2\n" {
+		t.Errorf("CSV = %q", csv)
+	}
+}
