@@ -61,6 +61,7 @@ func run(args []string, out io.Writer) error {
 		faultSpec  = fs.String("fault", "none", "fault plan: none | "+faultNames()+" | spec like drop=0.05,corrupt=0.01")
 		faultSeed  = fs.Int64("fault-seed", 0, "fault RNG seed (0 = derive from the client seed)")
 		tracePath  = fs.String("trace", "", "write the run's JSONL event trace to this file (inspect with: bpush-inspect trace)")
+		forceLocal = fs.Bool("force-local-index", false, "skip the shared per-cycle index; every client rebuilds its control-info structures locally (results are identical; for differential testing and benchmarks)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -96,6 +97,7 @@ func run(args []string, out io.Writer) error {
 	cfg.Parallel = *parallel
 	cfg.Fault = plan
 	cfg.FaultSeed = *faultSeed
+	cfg.ForceLocalIndex = *forceLocal
 
 	// The trace is assembled deterministically: the producer stream first,
 	// then each client's stream in index order. Per-client recorders keep a

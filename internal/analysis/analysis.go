@@ -72,6 +72,13 @@ func DefaultConfig() Config {
 			"bpush/internal/experiments",
 			"bpush/internal/det",
 			"bpush/internal/analysis",
+			// broadcast and sg now derive shared per-cycle indexes that
+			// every consumer reads; a nondeterministic build (map-order
+			// escape, sampled shortcut) would make index contents vary
+			// across same-seed runs and break the byte-identity contract
+			// the differential suite enforces.
+			"bpush/internal/broadcast",
+			"bpush/internal/sg",
 			// obs carries the determinism invariant for a reason beyond
 			// reproducibility: traces are *specified* to be byte-identical
 			// across same-seed runs, so a wall-clock stamp or a sampled

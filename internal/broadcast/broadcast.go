@@ -17,6 +17,7 @@ package broadcast
 import (
 	"fmt"
 	"sort"
+	"sync/atomic"
 
 	"bpush/internal/model"
 	"bpush/internal/server"
@@ -73,6 +74,10 @@ type Bcast struct {
 	// positions lists every data-segment slot carrying an item, in
 	// ascending order (broadcast-disk programs repeat hot items).
 	positions map[model.ItemID][]int
+
+	// sharedIndex holds the once-derived control-info index (see
+	// CycleIndex); nil until PrimeIndex. Decoded frames never carry one.
+	sharedIndex atomic.Pointer[CycleIndex]
 }
 
 // Program is the order in which items occupy data-segment slots. A flat

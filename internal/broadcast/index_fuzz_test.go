@@ -1,0 +1,215 @@
+package broadcast
+
+import (
+	"testing"
+
+	"bpush/internal/model"
+	"bpush/internal/sg"
+)
+
+// fz is a deterministic byte consumer: the fuzzer's raw input becomes a
+// becast shape. Exhausted input yields zeros, so every prefix is valid.
+type fz struct {
+	data []byte
+	off  int
+}
+
+func (f *fz) byte() byte {
+	if f.off >= len(f.data) {
+		return 0
+	}
+	b := f.data[f.off]
+	f.off++
+	return b
+}
+
+func (f *fz) intn(n int) int {
+	if n <= 1 {
+		return 0
+	}
+	return int(f.byte()) % n
+}
+
+// fuzzBcast derives a random-but-well-formed becast from the fuzz input:
+// a flat data segment, per-item overflow groups (newest first, distinct
+// descending cycles), a sorted unique invalidation report, and an SG delta
+// whose edges may or may not respect commit order (Compile must reject
+// exactly the violations Apply rejects).
+func fuzzBcast(f *fz) (*Bcast, error) {
+	const cyc = model.Cycle(9)
+	n := 1 + f.intn(24)
+	entries := make([]Entry, n)
+	var overflow []OldVersion
+	for i := range entries {
+		entries[i] = Entry{
+			Item:     model.ItemID(i + 1),
+			Version:  model.Version{Value: model.Value(i), Cycle: cyc - 1},
+			Overflow: -1,
+		}
+		if f.intn(3) == 0 {
+			group := 1 + f.intn(3)
+			entries[i].Overflow = len(overflow)
+			for g := 0; g < group; g++ {
+				overflow = append(overflow, OldVersion{
+					Item:    model.ItemID(i + 1),
+					Version: model.Version{Value: model.Value(100 + g), Cycle: cyc - model.Cycle(2+g)},
+				})
+			}
+		}
+	}
+	var report []InvalidationEntry
+	for i := 1; i <= n; i++ {
+		if f.intn(3) == 0 {
+			report = append(report, InvalidationEntry{
+				Item:        model.ItemID(i),
+				FirstWriter: model.TxID{Cycle: cyc - 1, Seq: uint32(f.intn(4))},
+			})
+		}
+	}
+	tx := func() model.TxID {
+		return model.TxID{Cycle: cyc - model.Cycle(f.intn(3)), Seq: uint32(f.intn(4))}
+	}
+	delta := sg.Delta{Cycle: cyc}
+	for k := f.intn(6); k > 0; k-- {
+		delta.Nodes = append(delta.Nodes, tx())
+	}
+	for k := f.intn(10); k > 0; k-- {
+		delta.Edges = append(delta.Edges, sg.Edge{From: tx(), To: tx()})
+	}
+	return New(cyc, report, delta, entries, overflow, len(delta.Nodes), n)
+}
+
+// FuzzCycleIndex cross-checks every indexed lookup against a naive
+// linear-scan oracle over the same becast: report membership and
+// first-writer at item granularity, bucket expansion and membership at a
+// random granularity, overflow groups, and serialization-graph delta
+// integration (compiled-vs-naive must build identical graphs, including
+// under a prune floor, and must agree on rejecting invalid deltas).
+func FuzzCycleIndex(f *testing.F) {
+	f.Add([]byte{})
+	f.Add([]byte{7, 0, 1, 2, 0, 0, 3, 1, 1, 0, 2, 2, 5, 1, 0, 3})
+	f.Add([]byte{23, 1, 1, 1, 1, 1, 1, 1, 1, 0, 0, 0, 2, 2, 2, 9, 9, 4, 4, 1})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		fzr := &fz{data: data}
+		b, err := fuzzBcast(fzr)
+		if err != nil {
+			t.Fatalf("fuzz generator built an invalid becast: %v", err)
+		}
+		granularity := 2 + fzr.intn(7)
+		prune := model.Cycle(fzr.intn(3)) + 7 // 7..9, straddling delta cycles
+
+		x, idxErr := b.PrimeIndex()
+
+		// Oracle 1: delta validity. Compile (inside PrimeIndex) must reject
+		// exactly the deltas Apply rejects: an edge violating commit order.
+		applyErr := sg.New().Apply(b.Delta)
+		if (idxErr != nil) != (applyErr != nil) {
+			t.Fatalf("index err %v but naive Apply err %v", idxErr, applyErr)
+		}
+		if idxErr != nil {
+			return // both sides reject; nothing further to compare
+		}
+
+		// Oracle 2: item-granularity membership and first writers.
+		inReport := make(map[model.ItemID]model.TxID)
+		for _, e := range b.Report {
+			inReport[e.Item] = e.FirstWriter
+		}
+		for i := 0; i <= len(b.Entries)+1; i++ {
+			item := model.ItemID(i + 1)
+			w, ok := inReport[item]
+			if got := x.Invalidates(item, 1); got != ok {
+				t.Errorf("Invalidates(%d, 1) = %v, oracle %v", item, got, ok)
+			}
+			gw, gok := x.FirstWriter(item)
+			if gok != ok || (ok && gw != w) {
+				t.Errorf("FirstWriter(%d) = %v/%v, oracle %v/%v", item, gw, gok, w, ok)
+			}
+		}
+
+		// Oracle 3: bucket expansion — walk the report in order, expand
+		// each bucket at first appearance, cap at the data-segment length.
+		seen := make(map[int]struct{})
+		var wantExp []model.ItemID
+		for _, e := range b.Report {
+			bk := (int(e.Item) - 1) / granularity
+			if _, dup := seen[bk]; dup {
+				continue
+			}
+			seen[bk] = struct{}{}
+			lo := bk*granularity + 1
+			hi := lo + granularity - 1
+			if hi > len(b.Entries) {
+				hi = len(b.Entries)
+			}
+			for it := lo; it <= hi; it++ {
+				wantExp = append(wantExp, model.ItemID(it))
+			}
+		}
+		var gotExp []model.ItemID
+		x.EachInvalidated(granularity, func(it model.ItemID) { gotExp = append(gotExp, it) })
+		if len(gotExp) != len(wantExp) {
+			t.Fatalf("EachInvalidated(%d) = %v, oracle %v", granularity, gotExp, wantExp)
+		}
+		for i := range gotExp {
+			if gotExp[i] != wantExp[i] {
+				t.Fatalf("EachInvalidated(%d) = %v, oracle %v", granularity, gotExp, wantExp)
+			}
+		}
+		for i := 0; i <= len(b.Entries)+1; i++ {
+			item := model.ItemID(i + 1)
+			_, want := seen[(int(item)-1)/granularity]
+			if got := x.Invalidates(item, granularity); got != want {
+				t.Errorf("Invalidates(%d, %d) = %v, oracle %v", item, granularity, got, want)
+			}
+		}
+
+		// Oracle 4: overflow groups via the span table vs the pointer walk.
+		for i := range b.Entries {
+			item := b.Entries[i].Item
+			walked := b.OldVersionsOf(item)
+			indexed := b.OldVersionsIndexed(item)
+			if len(walked) != len(indexed) {
+				t.Fatalf("OldVersionsIndexed(%d) = %v, walk %v", item, indexed, walked)
+			}
+			for k := range walked {
+				if walked[k] != indexed[k] {
+					t.Fatalf("OldVersionsIndexed(%d) = %v, walk %v", item, indexed, walked)
+				}
+			}
+		}
+
+		// Oracle 5: compiled delta integration equals naive edge-by-edge
+		// application, with and without a prune floor.
+		for _, floor := range []model.Cycle{0, prune} {
+			naive, compiled := sg.New(), sg.New()
+			naive.PruneBefore(floor)
+			compiled.PruneBefore(floor)
+			if err := naive.Apply(b.Delta); err != nil {
+				t.Fatalf("naive Apply rejected a delta Compile accepted: %v", err)
+			}
+			if cd := x.Delta(); cd != nil {
+				compiled.ApplyCompiled(cd)
+			}
+			if naive.NodeCount() != compiled.NodeCount() || naive.EdgeCount() != compiled.EdgeCount() {
+				t.Fatalf("floor %d: compiled graph %d/%d nodes/edges, naive %d/%d",
+					floor, compiled.NodeCount(), compiled.EdgeCount(), naive.NodeCount(), naive.EdgeCount())
+			}
+			var txs []model.TxID
+			txs = append(txs, b.Delta.Nodes...)
+			for _, e := range b.Delta.Edges {
+				txs = append(txs, e.From, e.To)
+			}
+			for _, u := range txs {
+				if naive.HasNode(u) != compiled.HasNode(u) {
+					t.Fatalf("floor %d: HasNode(%v) disagrees", floor, u)
+				}
+				for _, v := range txs {
+					if naive.Reachable(u, v) != compiled.Reachable(u, v) {
+						t.Fatalf("floor %d: Reachable(%v, %v) disagrees", floor, u, v)
+					}
+				}
+			}
+		}
+	})
+}

@@ -21,6 +21,13 @@ import (
 // Feed supplies consecutive becasts: the client's view of the channel. The
 // simulator implements it by driving the server; the network client
 // implements it by decoding frames from a TCP stream.
+//
+// The client runtime is a pure pass-through for the shared per-cycle
+// control-info index (broadcast.CycleIndex): becasts flow from the feed
+// to the scheme untouched, so a becast primed by the producer reaches the
+// scheme still carrying its index, and a becast decoded from a network
+// frame (which never carries one) makes the scheme rebuild the same
+// structures locally. Either way the runtime's behavior is identical.
 type Feed interface {
 	// Next blocks until the next becast and returns it.
 	Next() (*broadcast.Bcast, error)

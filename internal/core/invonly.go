@@ -31,6 +31,7 @@ type invOnly struct {
 	prev   *broadcast.Bcast
 	cache  *cache.Cache // nil when cacheless
 	t      txn
+	view   cycleView   // this cycle's report view (shared index or local scratch)
 	marked model.Cycle // u: cycle of the first readset invalidation (0 = fresh)
 
 	// Reconnection-resync state (Options.ResyncOnReconnect).
@@ -112,9 +113,9 @@ func (s *invOnly) NewCycle(b *broadcast.Bcast) error {
 		s.prev, s.cur = s.cur, b
 		autoprefetch(s.cache, s.prev)
 	}
-	view := newReportView(b, s.opts.BucketGranularity)
+	s.view.load(b, s.opts.BucketGranularity, s.opts.ForceLocalIndex)
 	if s.cache != nil {
-		view.each(len(b.Entries), func(item model.ItemID) {
+		s.view.each(len(b.Entries), func(item model.ItemID) {
 			s.cache.Invalidate(item)
 		})
 	}
@@ -122,7 +123,7 @@ func (s *invOnly) NewCycle(b *broadcast.Bcast) error {
 		// Sorted readset walk: the abort reason names the first invalidated
 		// item, which must not depend on map-iteration order.
 		for _, item := range det.SortedKeys(s.t.readset) {
-			if view.invalidates(item) {
+			if s.view.invalidates(item) {
 				if s.versioned {
 					recordInvHit(s.opts.Recorder, b.Cycle, item, "marked")
 					if s.marked == 0 {

@@ -153,8 +153,11 @@ func (s *mvBroadcast) ServeChannel(item model.ItemID, pos int) (Read, int, error
 		return s.deliver(item, entry.Version, SourceBroadcast, slot), slot, nil
 	}
 	// Walk the overflow chain for the newest version at or before c0
-	// (versions are stored newest-first).
-	olds := s.cur.OldVersionsOf(item)
+	// (versions are stored newest-first). With a shared CycleIndex primed
+	// on the becast the group is located through the precomputed span
+	// table instead of re-scanning the overflow segment per client; both
+	// paths return the identical slice.
+	olds := s.oldVersions(item)
 	for i, ov := range olds {
 		if ov.Version.Cycle <= s.t.start {
 			ovSlot := s.cur.OverflowSlot(entry.Overflow + i)
@@ -166,6 +169,16 @@ func (s *mvBroadcast) ServeChannel(item model.ItemID, pos int) (Read, int, error
 	}
 	s.t.doomed = abortErr("%v has no on-air version at or before %v (span exceeds retained versions)", item, s.t.start)
 	return Read{}, 0, s.t.doomed
+}
+
+// oldVersions returns the item's on-air overflow group, via the shared
+// index's span table when one is primed (and not forced off), or the
+// becast's own pointer walk otherwise.
+func (s *mvBroadcast) oldVersions(item model.ItemID) []broadcast.OldVersion {
+	if s.opts.ForceLocalIndex {
+		return s.cur.OldVersionsOf(item)
+	}
+	return s.cur.OldVersionsIndexed(item)
 }
 
 func (s *mvBroadcast) deliver(item model.ItemID, v model.Version, src ReadSource, slot int) Read {

@@ -25,6 +25,7 @@ type mvCache struct {
 	prev  *broadcast.Bcast
 	multi *cache.MultiCache
 	t     txn
+	view  cycleView   // this cycle's report view (shared index or local scratch)
 	cu    model.Cycle // first cycle an item of the readset was invalidated
 }
 
@@ -99,15 +100,15 @@ func (s *mvCache) NewCycle(b *broadcast.Bcast) error {
 			}
 		}
 	}
-	view := newReportView(b, s.opts.BucketGranularity)
-	view.each(len(b.Entries), func(item model.ItemID) {
+	s.view.load(b, s.opts.BucketGranularity, s.opts.ForceLocalIndex)
+	s.view.each(len(b.Entries), func(item model.ItemID) {
 		s.multi.Invalidate(item, b.Cycle)
 	})
 	if s.t.active && s.t.doomed == nil && s.cu == 0 {
 		// Sorted readset walk: the degradation event names the first
 		// invalidated item, which must not depend on map-iteration order.
 		for _, item := range det.SortedKeys(s.t.readset) {
-			if view.invalidates(item) {
+			if s.view.invalidates(item) {
 				recordInvHit(s.opts.Recorder, b.Cycle, item, "degraded")
 				s.cu = b.Cycle
 				break

@@ -33,7 +33,8 @@ type sgt struct {
 	prev   *broadcast.Bcast
 	cache  *cache.Cache // nil when cacheless
 	t      txn
-	resync bool // a cycle was missed; the next NewCycle may jump
+	view   cycleView // this cycle's report view (shared index or local scratch)
+	resync bool      // a cycle was missed; the next NewCycle may jump
 
 	// targets are R's precedence targets (the heads of its outgoing
 	// edges); targetSet dedupes them.
@@ -126,11 +127,18 @@ func (s *sgt) NewCycle(b *broadcast.Bcast) error {
 		floor = s.invalidFrom
 	}
 	s.graph.PruneBefore(floor)
-	if err := s.graph.Apply(b.Delta); err != nil {
+	s.view.load(b, 1, s.opts.ForceLocalIndex) // SGT is defined at item granularity
+	if idx := s.view.idx; idx != nil {
+		// Shared path: the delta was validated, deduplicated, and grouped
+		// into adjacency form once, by the producer; integrating it is a
+		// straight merge.
+		if cd := idx.Delta(); cd != nil {
+			s.graph.ApplyCompiled(cd)
+		}
+	} else if err := s.graph.Apply(b.Delta); err != nil {
 		return fmt.Errorf("core: integrate SG delta: %w", err)
 	}
 
-	view := newReportView(b, 1) // SGT is defined at item granularity
 	if s.cache != nil {
 		for _, e := range b.Report {
 			s.cache.Invalidate(e.Item)
@@ -140,10 +148,10 @@ func (s *sgt) NewCycle(b *broadcast.Bcast) error {
 		// Sorted readset walk: the precedence-target list (and with it any
 		// downstream ordering) must not inherit map-iteration order.
 		for _, item := range det.SortedKeys(s.t.readset) {
-			if !view.invalidates(item) {
+			if !s.view.invalidates(item) {
 				continue
 			}
-			tf, ok := view.firstWriter(item)
+			tf, ok := s.view.firstWriter(item)
 			if !ok {
 				continue
 			}

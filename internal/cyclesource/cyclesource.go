@@ -59,6 +59,13 @@ type Config struct {
 	// divide len(Program).
 	Chunks int
 
+	// DisableIndex skips priming the shared per-cycle CycleIndex on
+	// produced becasts. Consumers then rebuild their control-info
+	// structures locally, as they do for becasts decoded from network
+	// frames; results are identical either way. Used by the differential
+	// suite and benchmarks that measure the per-client rebuild cost.
+	DisableIndex bool
+
 	// Check retains state snapshots and cycle logs so committed queries
 	// can be verified against the archived database states; see Check on
 	// Source. OracleWindow bounds how far back (in cycles, relative to the
@@ -203,6 +210,15 @@ func (s *Source) produce() error {
 	}
 	if err != nil {
 		return err
+	}
+	if !s.cfg.DisableIndex {
+		// Derive the shared control-info index exactly once, under the
+		// production lock, before the becast is published to consumers:
+		// every client of the stream then reads the same immutable
+		// structures instead of rebuilding them per client per cycle.
+		if _, err := b.PrimeIndex(); err != nil {
+			return err
+		}
 	}
 	if rec := s.cfg.Recorder; rec != nil {
 		rec.Record(obs.Event{Type: obs.TypeCycleBegin, T: obs.At(b.Cycle, 0)})

@@ -344,3 +344,44 @@ func waitFor(t *testing.T, cond func() bool) {
 	}
 	t.Fatal("condition not reached within deadline")
 }
+
+// TestSubscribersUnindexedSourceIndexed pins where the shared CycleIndex
+// lives in a real deployment: the station's in-process source primes every
+// produced becast, but the index never crosses the wire — a network
+// subscriber's decoded becasts arrive unindexed and its schemes rebuild
+// the control-info structures locally.
+func TestSubscribersUnindexedSourceIndexed(t *testing.T) {
+	st := testStation(t, 0)
+	tuner, err := Dial(st.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer tuner.Close()
+
+	waitSubscribed(t, st)
+	for i := 0; i < 2; i++ {
+		if err := st.Tick(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	feed := st.Source().NewFeed()
+	for i := 0; i < 2; i++ {
+		produced, err := feed.Next()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if produced.SharedIndex() == nil {
+			t.Errorf("cycle %v: in-process becast not primed", produced.Cycle)
+		}
+		heard, err := tuner.Next()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if heard.SharedIndex() != nil {
+			t.Errorf("cycle %v: network-decoded becast carries a shared index", heard.Cycle)
+		}
+		if heard.Cycle != produced.Cycle {
+			t.Errorf("stream mismatch: heard %v, produced %v", heard.Cycle, produced.Cycle)
+		}
+	}
+}

@@ -160,7 +160,10 @@ func (s *Station) Addr() string { return s.bc.Addr() }
 func (s *Station) Subscribers() int { return s.bc.Subscribers() }
 
 // Source returns the station's cycle producer, e.g. to attach in-process
-// consumers to the same stream the network subscribers hear.
+// consumers to the same stream the network subscribers hear. In-process
+// consumers see the producer's shared CycleIndex on every becast; network
+// subscribers decode frames into fresh, unindexed becasts (the index
+// never crosses the wire) and rebuild the same structures locally.
 func (s *Station) Source() *cyclesource.Source { return s.src }
 
 // Registry returns the station's live metric registry — the object the

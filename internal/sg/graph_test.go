@@ -288,3 +288,85 @@ func mustEdge(t *testing.T, g *Graph, from, to model.TxID) {
 		t.Fatalf("AddEdge(%v, %v): %v", from, to, err)
 	}
 }
+
+// TestCompileRejectsWhatApplyRejects pins Compile's validation to AddEdge's:
+// a delta with a commit-order violation must fail compilation.
+func TestCompileRejectsWhatApplyRejects(t *testing.T) {
+	bad := Delta{Cycle: 3, Edges: []Edge{{From: tx(2, 1), To: tx(2, 0)}}}
+	if _, err := Compile(bad); err == nil {
+		t.Error("backward edge compiled")
+	}
+	if err := New().Apply(bad); err == nil {
+		t.Error("backward edge applied")
+	}
+	good := Delta{
+		Cycle: 3,
+		Nodes: []model.TxID{tx(2, 0), tx(2, 0), tx(2, 1)},
+		Edges: []Edge{
+			{From: tx(1, 0), To: tx(2, 0)},
+			{From: tx(1, 0), To: tx(2, 0)}, // duplicate: collapses at apply time
+			{From: tx(1, 0), To: tx(2, 1)},
+			{From: tx(2, 0), To: tx(2, 1)},
+		},
+	}
+	cd, err := Compile(good)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Compile does not deduplicate — nodes and edges alias the declared
+	// lists, duplicate included.
+	if len(cd.Nodes) != 3 || len(cd.Edges) != 4 {
+		t.Errorf("compiled nodes=%d edges=%d, want 3/4", len(cd.Nodes), len(cd.Edges))
+	}
+	// The duplicate must still collapse when applied: same counts as Apply.
+	naive, compiled := New(), New()
+	if err := naive.Apply(good); err != nil {
+		t.Fatal(err)
+	}
+	compiled.ApplyCompiled(cd)
+	if naive.NodeCount() != compiled.NodeCount() || naive.EdgeCount() != compiled.EdgeCount() {
+		t.Errorf("compiled %d/%d nodes/edges, naive %d/%d",
+			compiled.NodeCount(), compiled.EdgeCount(), naive.NodeCount(), naive.EdgeCount())
+	}
+}
+
+// TestApplyCompiledMatchesApplyUnderPrune pins the subtle equivalence the
+// shared index depends on: ApplyCompiled must replicate Apply's prune
+// semantics exactly — declared nodes always materialize (subject to the
+// node-level prune filter), but edge endpoints materialize only when their
+// edge's *source* survives the floor, because AddEdge drops pruned-source
+// edges before touching either endpoint.
+func TestApplyCompiledMatchesApplyUnderPrune(t *testing.T) {
+	d := Delta{
+		Cycle: 5,
+		Nodes: []model.TxID{tx(4, 0)},
+		Edges: []Edge{
+			{From: tx(2, 0), To: tx(4, 0)}, // pruned source: dropped, endpoint untouched
+			{From: tx(4, 0), To: tx(4, 1)}, // survives: both endpoints materialize
+		},
+	}
+	cd, err := Compile(d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	naive, compiled := New(), New()
+	naive.PruneBefore(3)
+	compiled.PruneBefore(3)
+	if err := naive.Apply(d); err != nil {
+		t.Fatal(err)
+	}
+	compiled.ApplyCompiled(cd)
+	if naive.NodeCount() != compiled.NodeCount() || naive.EdgeCount() != compiled.EdgeCount() {
+		t.Fatalf("compiled %d/%d nodes/edges, naive %d/%d",
+			compiled.NodeCount(), compiled.EdgeCount(), naive.NodeCount(), naive.EdgeCount())
+	}
+	if compiled.HasNode(tx(2, 0)) {
+		t.Error("pruned edge source materialized")
+	}
+	if !compiled.HasNode(tx(4, 1)) {
+		t.Error("surviving edge target missing")
+	}
+	if got := compiled.EdgeCount(); got != 1 {
+		t.Errorf("EdgeCount = %d, want 1 (pruned-source edge dropped)", got)
+	}
+}

@@ -1,0 +1,195 @@
+package sim
+
+import (
+	"bytes"
+	"fmt"
+	"reflect"
+	"testing"
+
+	"bpush/internal/core"
+	"bpush/internal/fault"
+	"bpush/internal/obs"
+)
+
+// differentialSeeds is the seed sweep of the shared-index differential
+// suite: enough seeds that every scheme path (aborts, marked continuations,
+// overflow walks, graph pruning) is exercised under both index modes.
+var differentialSeeds = []int64{1, 2, 3, 5, 8, 13, 21, 34}
+
+// diffRun executes cfg once and returns its metrics plus the canonical
+// JSONL traces (client and producer streams).
+func diffRun(t *testing.T, cfg Config) (*Metrics, []byte, []byte) {
+	t.Helper()
+	var cbuf, sbuf bytes.Buffer
+	cw, sw := obs.NewJSONL(&cbuf), obs.NewJSONL(&sbuf)
+	cfg.Recorder = cw
+	cfg.SourceRecorder = sw
+	m, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cw.Err() != nil || sw.Err() != nil {
+		t.Fatalf("trace write errors: %v / %v", cw.Err(), sw.Err())
+	}
+	return m, cbuf.Bytes(), sbuf.Bytes()
+}
+
+// assertIndexInvisible runs cfg under the shared per-cycle index and again
+// with ForceLocalIndex (every consumer rebuilds its control-info
+// structures from the raw becast) and requires the two executions to be
+// observationally identical: equal Metrics and byte-identical JSONL
+// traces. This is the tentpole's acceptance property — the shared index is
+// an optimization, never a behavior change.
+func assertIndexInvisible(t *testing.T, cfg Config) {
+	t.Helper()
+	shared := cfg
+	shared.ForceLocalIndex = false
+	local := cfg
+	local.ForceLocalIndex = true
+
+	sm, sc, ss := diffRun(t, shared)
+	lm, lc, ls := diffRun(t, local)
+
+	if !reflect.DeepEqual(sm, lm) {
+		t.Errorf("metrics differ between shared and local index:\nshared: %+v\nlocal:  %+v", sm, lm)
+	}
+	if len(sc) == 0 {
+		t.Fatalf("empty client trace")
+	}
+	if !bytes.Equal(sc, lc) {
+		t.Errorf("client traces differ between shared and local index (%d vs %d bytes)", len(sc), len(lc))
+	}
+	if !bytes.Equal(ss, ls) {
+		t.Errorf("producer traces differ between shared and local index (%d vs %d bytes)", len(ss), len(ls))
+	}
+}
+
+// TestSharedIndexDifferential is the full differential sweep: every scheme,
+// at item granularity and (where the method defines it) bucket granularity,
+// across eight seeds. Shared-index and forced-local runs must be
+// byte-identical.
+func TestSharedIndexDifferential(t *testing.T) {
+	if testing.Short() {
+		t.Skip("multi-seed differential sweep")
+	}
+	variants := []struct {
+		name string
+		opts core.Options
+	}{
+		{"inv-only", core.Options{Kind: core.KindInvOnly}},
+		{"inv-only-bucket", core.Options{Kind: core.KindInvOnly, CacheSize: 40, BucketGranularity: 8}},
+		{"vcache", core.Options{Kind: core.KindVCache, CacheSize: 40}},
+		{"vcache-bucket", core.Options{Kind: core.KindVCache, CacheSize: 40, BucketGranularity: 8}},
+		{"multiversion", core.Options{Kind: core.KindMVBroadcast}},
+		{"mv-cache", core.Options{Kind: core.KindMVCache, CacheSize: 40, OldFraction: 0.6}},
+		{"mv-cache-bucket", core.Options{Kind: core.KindMVCache, CacheSize: 40, BucketGranularity: 8}},
+		{"sgt", core.Options{Kind: core.KindSGT, CacheSize: 40}},
+	}
+	for _, v := range variants {
+		v := v
+		t.Run(v.name, func(t *testing.T) {
+			for _, seed := range differentialSeeds {
+				cfg := testConfig(v.opts.Kind, v.opts.CacheSize)
+				cfg.Scheme = v.opts
+				cfg.Seed = seed
+				cfg.Queries = 80
+				cfg.Warmup = 10
+				cfg.Check = false
+				if v.opts.Kind == core.KindMVBroadcast {
+					cfg.ServerVersions = 6
+				}
+				assertIndexInvisible(t, cfg)
+				if t.Failed() {
+					t.Fatalf("divergence at seed %d", seed)
+				}
+			}
+		})
+	}
+}
+
+// TestSharedIndexDifferentialUnderFaults covers the fallback path the fault
+// layer forces: corrupted-but-decodable and truncated frames arrive as
+// fresh, unindexed becasts, so a chaos run mixes shared-index cycles with
+// locally rebuilt ones. The mix must still match a run with the index off
+// everywhere.
+func TestSharedIndexDifferentialUnderFaults(t *testing.T) {
+	if testing.Short() {
+		t.Skip("fault differential sweep")
+	}
+	plans := []struct {
+		name string
+		plan fault.Plan
+	}{
+		{"corrupt-heavy", fault.Plan{Corrupt: 0.3}},
+		{"chaos", fault.Plan{Drop: 0.05, Corrupt: 0.1, Truncate: 0.05, Duplicate: 0.05, Reorder: 0.03}},
+	}
+	for _, p := range plans {
+		p := p
+		t.Run(p.name, func(t *testing.T) {
+			for _, seed := range differentialSeeds[:4] {
+				cfg := testConfig(core.KindInvOnly, 40)
+				cfg.Seed = seed
+				cfg.Queries = 60
+				cfg.Warmup = 10
+				cfg.Check = false
+				cfg.Fault = p.plan
+				assertIndexInvisible(t, cfg)
+				if t.Failed() {
+					t.Fatalf("divergence at seed %d", seed)
+				}
+			}
+		})
+	}
+}
+
+// TestSharedIndexDifferentialFleet extends the property to fleets: many
+// clients sharing one producer's index must produce exactly the metrics
+// and traces of a fleet where every client rebuilds locally.
+func TestSharedIndexDifferentialFleet(t *testing.T) {
+	if testing.Short() {
+		t.Skip("fleet differential")
+	}
+	const clients = 5
+	run := func(forceLocal bool) ([]Metrics, []byte) {
+		cfg := testConfig(core.KindSGT, 40)
+		cfg.Queries = 40
+		cfg.Warmup = 5
+		cfg.Check = false
+		cfg.ForceLocalIndex = forceLocal
+		cfg.Parallel = 2
+		bufs := make([]bytes.Buffer, clients)
+		recs := make([]*obs.JSONL, clients)
+		for i := range recs {
+			recs[i] = obs.NewJSONL(&bufs[i])
+		}
+		cfg.RecorderFor = func(i int) obs.Recorder { return recs[i] }
+		fm, err := RunFleet(cfg, clients)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var out bytes.Buffer
+		for i := range bufs {
+			if recs[i].Err() != nil {
+				t.Fatalf("client %d trace error: %v", i, recs[i].Err())
+			}
+			fmt.Fprintf(&out, "client %d\n", i)
+			out.Write(bufs[i].Bytes())
+		}
+		perClient := make([]Metrics, len(fm.PerClient))
+		for i, m := range fm.PerClient {
+			perClient[i] = *m
+		}
+		return perClient, out.Bytes()
+	}
+	sharedM, sharedT := run(false)
+	localM, localT := run(true)
+	if !reflect.DeepEqual(sharedM, localM) {
+		t.Errorf("fleet metrics differ between shared and local index")
+	}
+	if len(sharedT) == 0 {
+		t.Fatalf("empty fleet trace")
+	}
+	if !bytes.Equal(sharedT, localT) {
+		t.Errorf("fleet traces differ between shared and local index")
+	}
+}

@@ -5,6 +5,7 @@ import (
 	"testing"
 
 	"bpush/internal/core"
+	"bpush/internal/obs"
 )
 
 // TestOracleAcrossSeedsAndSchemes is the package's property sweep: every
@@ -116,5 +117,123 @@ func TestBroadcastDiskReducesHotLatency(t *testing.T) {
 	if diskM.MeanLatencySlots >= flat.MeanLatencySlots {
 		t.Errorf("hot-disk latency %.1f slots >= flat %.1f; fast disk must reduce waits",
 			diskM.MeanLatencySlots, flat.MeanLatencySlots)
+	}
+}
+
+// eventCollector is a test recorder that keeps events of one type.
+type eventCollector struct {
+	typ    obs.Type
+	events []obs.Event
+}
+
+func (c *eventCollector) Record(e obs.Event) {
+	if e.Type == c.typ {
+		c.events = append(c.events, e)
+	}
+}
+
+// TestMultiversionSpanBound pins Theorem 2's abort condition (§3.2): an
+// S-multiversion server guarantees every transaction with span <= S, so a
+// multiversion abort can only happen once the query has been active for
+// more than S cycles (the versions it needed fell off the air). The
+// latency in cycles recorded on the abort event upper-bounds nothing —
+// it *is* at least the span — so every abort must report Cycles > S.
+func TestMultiversionSpanBound(t *testing.T) {
+	const S = 2
+	aborts := 0
+	for _, seed := range []int64{1, 2, 3, 5, 8, 13, 21, 34} {
+		cfg := testConfig(core.KindMVBroadcast, 0)
+		cfg.ServerVersions = S
+		cfg.ThinkTime = 60 // long think time pushes spans past S
+		cfg.OpsPerQuery = 8
+		cfg.Seed = seed
+		cfg.Queries = 80
+		col := &eventCollector{typ: obs.TypeAbort}
+		cfg.Recorder = col
+		if _, err := Run(cfg); err != nil {
+			t.Fatal(err)
+		}
+		for _, e := range col.events {
+			aborts++
+			if e.Cycles <= S {
+				t.Errorf("seed %d: multiversion abort with latency %d cycles <= S=%d (reason %q)",
+					seed, e.Cycles, S, e.Reason)
+			}
+		}
+	}
+	t.Logf("aborts observed across seeds: %d", aborts)
+
+	// The complementary direction: with S comfortably above any span the
+	// workload can produce, multiversion never aborts at all.
+	for _, seed := range []int64{1, 2, 3} {
+		cfg := testConfig(core.KindMVBroadcast, 0)
+		cfg.ServerVersions = 24
+		cfg.Seed = seed
+		cfg.Queries = 80
+		m, err := Run(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if m.Aborted != 0 {
+			t.Errorf("seed %d: %d aborts with S=24 far above attainable spans", seed, m.Aborted)
+		}
+	}
+}
+
+// TestSGTCommitsAtLeastInvOnly pins the §3.3 motivation for carrying
+// serialization-graph deltas: invalidation-only aborts on *any* readset
+// overwrite, while SGT aborts only when a read actually closes a cycle —
+// a strictly weaker condition. Per seed, over the same workload, SGT must
+// commit at least as many queries.
+func TestSGTCommitsAtLeastInvOnly(t *testing.T) {
+	if testing.Short() {
+		t.Skip("multi-seed sweep")
+	}
+	for _, seed := range []int64{1, 2, 3, 5, 8, 13, 21, 34} {
+		inv := testConfig(core.KindInvOnly, 0)
+		inv.Seed = seed
+		invM, err := Run(inv)
+		if err != nil {
+			t.Fatal(err)
+		}
+		sgt := testConfig(core.KindSGT, 0)
+		sgt.Seed = seed
+		sgtM, err := Run(sgt)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if sgtM.Committed < invM.Committed {
+			t.Errorf("seed %d: SGT committed %d < invalidation-only %d",
+				seed, sgtM.Committed, invM.Committed)
+		}
+	}
+}
+
+// TestMVCacheCommitsAtLeastInvCache pins the §4.2 claim for the
+// multiversion cache: when the cache is ample enough to retain the older
+// versions that keep marked transactions alive, MVCache commits at least
+// as many queries as the plain invalidation scheme with the same cache.
+func TestMVCacheCommitsAtLeastInvCache(t *testing.T) {
+	if testing.Short() {
+		t.Skip("multi-seed sweep")
+	}
+	const cacheSize = 200 // = ReadRange: every queried item fits
+	for _, seed := range []int64{1, 2, 3, 5, 8, 13, 21, 34} {
+		inv := testConfig(core.KindInvOnly, cacheSize)
+		inv.Seed = seed
+		invM, err := Run(inv)
+		if err != nil {
+			t.Fatal(err)
+		}
+		mvc := testConfig(core.KindMVCache, cacheSize)
+		mvc.Seed = seed
+		mvcM, err := Run(mvc)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if mvcM.Committed < invM.Committed {
+			t.Errorf("seed %d: mv-cache committed %d < inv+cache %d",
+				seed, mvcM.Committed, invM.Committed)
+		}
 	}
 }

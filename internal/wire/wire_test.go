@@ -244,3 +244,33 @@ func BenchmarkDecode(b *testing.B) {
 		}
 	}
 }
+
+// TestDecodedBecastCarriesNoIndex pins the frame format's scope: the
+// shared control-info index is derived state and never crosses the wire.
+// A primed becast encodes to the same bytes as an unprimed one, and the
+// decoded becast starts unindexed — the subscriber rebuilds locally from
+// the content the checksum actually covers.
+func TestDecodedBecastCarriesNoIndex(t *testing.T) {
+	b := buildBcast(t)
+	unprimed, err := Encode(b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := b.PrimeIndex(); err != nil {
+		t.Fatal(err)
+	}
+	primed, err := Encode(b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(unprimed, primed) {
+		t.Error("priming the shared index changed the encoded frame")
+	}
+	got, err := DecodeBytes(primed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.SharedIndex() != nil {
+		t.Error("decoded becast carries a shared index")
+	}
+}
