@@ -384,6 +384,72 @@ func BenchmarkServer2PL(b *testing.B) {
 	}
 }
 
+// BenchmarkProducerPipeline measures the plan/place/execute commit
+// pipeline on a write-heavy cycle batch, against the pre-pipeline serial
+// loop (the 2PL executor with one worker, kept as the differential
+// oracle) and across worker counts. This is the scaling table
+// BENCH_producer.json records.
+func BenchmarkProducerPipeline(b *testing.B) {
+	const (
+		dbSize = 2000
+		txsPer = 200
+	)
+	// A rotation of distinct batches, so the committed item sets vary
+	// cycle to cycle like a real update stream and reader sets stay
+	// bounded (a fixed batch would read some items every cycle without
+	// ever writing them, accumulating readers — and cost — forever).
+	mkBatches := func() [][]model.ServerTx {
+		rng := rand.New(rand.NewSource(11))
+		batches := make([][]model.ServerTx, 16)
+		for bi := range batches {
+			txs := make([]model.ServerTx, txsPer)
+			for i := range txs {
+				var ops []model.Op
+				// Write-heavy: eight read-then-write pairs plus two pure reads.
+				for w := 0; w < 8; w++ {
+					item := model.ItemID(rng.Intn(dbSize) + 1)
+					ops = append(ops, model.Op{Kind: model.OpRead, Item: item}, model.Op{Kind: model.OpWrite, Item: item})
+				}
+				for r := 0; r < 2; r++ {
+					ops = append(ops, model.Op{Kind: model.OpRead, Item: model.ItemID(rng.Intn(dbSize) + 1)})
+				}
+				txs[i] = model.ServerTx{Ops: ops}
+			}
+			batches[bi] = txs
+		}
+		return batches
+	}
+	run := func(b *testing.B, commit func(srv *server.Server, txs []model.ServerTx) error) {
+		srv, err := server.New(server.Config{DBSize: dbSize, MaxVersions: 2})
+		if err != nil {
+			b.Fatal(err)
+		}
+		batches := mkBatches()
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if err := commit(srv, batches[i%len(batches)]); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+	b.Run("serial-oracle", func(b *testing.B) {
+		run(b, func(srv *server.Server, txs []model.ServerTx) error {
+			_, err := srv.CommitConcurrentAndAdvance(txs, 1)
+			return err
+		})
+	})
+	for _, workers := range []int{1, 2, 4, 8} {
+		workers := workers
+		b.Run("pipeline-"+itoa(workers), func(b *testing.B) {
+			run(b, func(srv *server.Server, txs []model.ServerTx) error {
+				_, err := srv.CommitPipelineAndAdvance(txs, workers)
+				return err
+			})
+		})
+	}
+}
+
 // BenchmarkQueryThroughput measures raw end-to-end simulation speed:
 // queries processed per second through the full stack (server, becast
 // assembly, client, SGT).

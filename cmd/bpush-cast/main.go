@@ -70,7 +70,7 @@ func buildConfig(args []string) (netcast.StationConfig, error) {
 		theta     = fs.Float64("theta", 0.95, "Zipf skew")
 		serverTx  = fs.Int("server-tx", 10, "server transactions per cycle")
 		updates   = fs.Int("updates", 50, "updates per cycle")
-		workers   = fs.Int("workers", 1, "server executor workers (>1 uses strict 2PL)")
+		workers   = fs.Int("workers", 1, "server commit-pipeline workers (plan/place/execute; stream is identical at any count)")
 		interval  = fs.Duration("interval", 500*time.Millisecond, "time per broadcast cycle")
 		seed      = fs.Int64("seed", 1, "workload seed")
 		faultSpec = fs.String("fault", "none", "channel-side fault plan: none, a named plan, or a spec like drop=0.05,corrupt=0.01")

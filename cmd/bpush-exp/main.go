@@ -47,17 +47,19 @@ func run(args []string, out io.Writer) error {
 		csv      = fs.Bool("csv", false, "emit CSV instead of aligned text")
 		svgDir   = fs.String("svg", "", "also write each figure as an SVG plot into this directory")
 		parallel = fs.Int("parallel", 0, "sweep worker-pool size (0 = one per CPU, 1 = serial)")
+		prodW    = fs.Int("producer-workers", 1, "server commit-pipeline workers per data point (results are identical at any count)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
 	o := experiments.Options{
-		Queries:   *queries,
-		Warmup:    *warmup,
-		Seed:      *seed,
-		Check:     *check,
-		CacheSize: *cache,
-		Parallel:  *parallel,
+		Queries:         *queries,
+		Warmup:          *warmup,
+		Seed:            *seed,
+		Check:           *check,
+		CacheSize:       *cache,
+		Parallel:        *parallel,
+		ProducerWorkers: *prodW,
 	}
 
 	printFig := func(f *experiments.Figure) error {

@@ -101,6 +101,14 @@ func renderTrace(out io.Writer, events []obs.Event, timelineBuckets int) error {
 	var abortCycles []uint64
 	var minCycle, maxCycle uint64
 	sawProducer := false
+	// Producer commit-pipeline attribution: per phase, how many cycles
+	// reported it and how many units (transactions planned, items
+	// placed, edges executed) it processed.
+	type phaseStat struct {
+		cycles int
+		units  int64
+	}
+	phases := map[string]*phaseStat{}
 
 	for _, e := range events {
 		switch e.Type {
@@ -116,6 +124,14 @@ func renderTrace(out io.Writer, events []obs.Event, timelineBuckets int) error {
 		case obs.TypeCycleEnd:
 			// Producer-side stream (cycle production); clients never emit it.
 			sawProducer = true
+		case obs.TypeProducerPhase:
+			p, ok := phases[e.Reason]
+			if !ok {
+				p = &phaseStat{}
+				phases[e.Reason] = p
+			}
+			p.cycles++
+			p.units += e.N
 		}
 		if cur != nil {
 			cur.agg.Record(e)
@@ -137,7 +153,39 @@ func renderTrace(out io.Writer, events []obs.Event, timelineBuckets int) error {
 			}
 		}
 	}
+	// renderPhases prints the producer pipeline attribution table when
+	// the stream carries producer-phase events.
+	renderPhases := func() {
+		if len(phases) == 0 {
+			return
+		}
+		fmt.Fprintln(out, "\nproducer pipeline (commit phases):")
+		names := phaseOrder(phases)
+		pt := stats.NewTable("phase", "cycles", "units", "units/cycle", "unit meaning")
+		meaning := map[string]string{
+			obs.PhasePlan:    "transactions planned",
+			obs.PhasePlace:   "items placed",
+			obs.PhaseExecute: "conflict edges emitted",
+		}
+		for _, name := range names {
+			p := phases[name]
+			per := 0.0
+			if p.cycles > 0 {
+				per = float64(p.units) / float64(p.cycles)
+			}
+			pt.AddRow(name, p.cycles, p.units, fmt.Sprintf("%.1f", per), meaning[name])
+		}
+		fmt.Fprint(out, pt.String())
+	}
+
 	if len(order) == 0 {
+		if len(phases) > 0 {
+			// A producer-only stream: no client summaries, but the
+			// pipeline attribution is still meaningful.
+			fmt.Fprintf(out, "trace: %d events, cycles %d..%d, producer stream\n", len(events), minCycle, maxCycle)
+			renderPhases()
+			return nil
+		}
 		return fmt.Errorf("trace: no run-begin event — not a client trace (producer-only stream: %v)", sawProducer)
 	}
 
@@ -208,7 +256,36 @@ func renderTrace(out io.Writer, events []obs.Event, timelineBuckets int) error {
 	} else {
 		fmt.Fprintln(out, "\nno aborts recorded.")
 	}
+	renderPhases()
 	return nil
+}
+
+// phaseOrder returns the pipeline phases in execution order
+// (plan, place, execute), with any unknown phase names appended
+// alphabetically.
+func phaseOrder[T any](phases map[string]*T) []string {
+	canonical := []string{obs.PhasePlan, obs.PhasePlace, obs.PhaseExecute}
+	var names []string
+	for _, n := range canonical {
+		if _, ok := phases[n]; ok {
+			names = append(names, n)
+		}
+	}
+	var rest []string
+	for n := range phases {
+		known := false
+		for _, c := range canonical {
+			if n == c {
+				known = true
+				break
+			}
+		}
+		if !known {
+			rest = append(rest, n)
+		}
+	}
+	sort.Strings(rest)
+	return append(names, rest...)
 }
 
 // renderTimeline buckets the abort cycles over [minCycle, maxCycle] and

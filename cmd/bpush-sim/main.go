@@ -58,6 +58,7 @@ func run(args []string, out io.Writer) error {
 		intervals  = fs.Int("intervals", 1, "h-interval organization: reports (and chunks) per broadcast period")
 		clients    = fs.Int("clients", 1, "fleet size: clients sharing one broadcast stream")
 		parallel   = fs.Int("parallel", 0, "fleet worker-pool size (0 = one per CPU, 1 = serial)")
+		prodW      = fs.Int("producer-workers", 1, "server commit-pipeline workers (plan/place/execute; results are identical at any count)")
 		faultSpec  = fs.String("fault", "none", "fault plan: none | "+faultNames()+" | spec like drop=0.05,corrupt=0.01")
 		faultSeed  = fs.Int64("fault-seed", 0, "fault RNG seed (0 = derive from the client seed)")
 		tracePath  = fs.String("trace", "", "write the run's JSONL event trace to this file (inspect with: bpush-inspect trace)")
@@ -95,6 +96,7 @@ func run(args []string, out io.Writer) error {
 	cfg.Intervals = *intervals
 	cfg.Scheme = core.Options{Kind: kind, CacheSize: *cacheSize, BucketGranularity: *granule}
 	cfg.Parallel = *parallel
+	cfg.ProducerWorkers = *prodW
 	cfg.Fault = plan
 	cfg.FaultSeed = *faultSeed
 	cfg.ForceLocalIndex = *forceLocal

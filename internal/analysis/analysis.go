@@ -52,6 +52,14 @@ type Config struct {
 	// ErrcheckScope lists the exact import paths where silently
 	// discarded error returns are banned.
 	ErrcheckScope []string
+	// WallclockSleepScope lists the exact import paths where time.Sleep
+	// (and timer construction) is banned on top of the wall-clock reads
+	// the Deterministic scope already forbids. These are packages whose
+	// *liveness* must not depend on real time either — the server's
+	// deadlock backoff yields to the scheduler instead of sleeping, so
+	// commit progress is driven by the lock holders running, not by
+	// elapsed wall time.
+	WallclockSleepScope []string
 	// AliasingScope lists import-path prefixes subject to the []byte
 	// retention check; empty means every package.
 	AliasingScope []string
@@ -88,6 +96,10 @@ func DefaultConfig() Config {
 		GoroutineScope: []string{"bpush/internal"},
 		GoroutineAllow: []string{"bpush/internal/pool", "bpush/internal/netcast"},
 		ErrcheckScope:  []string{"bpush/internal/wire", "bpush/internal/netcast"},
+		// The commit path (pipeline and 2PL oracle alike) must stay
+		// sleep-free: backoff is yield-based so cycle production never
+		// paces itself on the wall clock.
+		WallclockSleepScope: []string{"bpush/internal/server"},
 	}
 }
 
@@ -115,6 +127,10 @@ func containsPrefix(prefixes []string, path string) bool {
 
 // IsDeterministic reports whether path carries the determinism invariant.
 func (c Config) IsDeterministic(path string) bool { return containsPath(c.Deterministic, path) }
+
+// SleepBanned reports whether path additionally bans time.Sleep and
+// timer construction.
+func (c Config) SleepBanned(path string) bool { return containsPath(c.WallclockSleepScope, path) }
 
 // GoroutineBanned reports whether naked go statements are banned in path.
 func (c Config) GoroutineBanned(path string) bool {

@@ -90,6 +90,10 @@ func TestAnalyzerFixtures(t *testing.T) {
 		cfg  Config
 	}{
 		{"wallclock", det("wallclock")},
+		{"wallclocksleep", Config{
+			Deterministic:       []string{"fix/wallclocksleep"},
+			WallclockSleepScope: []string{"fix/wallclocksleep"},
+		}},
 		{"globalrand", det("globalrand")},
 		{"obsvirtual", det("obsvirtual")},
 		{"maprange", det("maprange")},
@@ -160,6 +164,22 @@ func TestDefaultScopeCoversObs(t *testing.T) {
 	// Prefixes must not leak: only the exact path carries the invariant.
 	if cfg.IsDeterministic("bpush/internal/obsolete") {
 		t.Error("path matching is not exact")
+	}
+}
+
+// TestDefaultScopeBansServerSleep pins the server package into the
+// sleep-banned scope: the commit path's deadlock backoff must yield to
+// the scheduler, never pace itself on the wall clock.
+func TestDefaultScopeBansServerSleep(t *testing.T) {
+	cfg := DefaultConfig()
+	if !cfg.SleepBanned("bpush/internal/server") {
+		t.Error("bpush/internal/server not in the sleep-banned scope")
+	}
+	if !cfg.IsDeterministic("bpush/internal/server") {
+		t.Error("bpush/internal/server not in the deterministic scope")
+	}
+	if cfg.SleepBanned("bpush/internal/serverless") {
+		t.Error("sleep-scope path matching is not exact")
 	}
 }
 

@@ -1,0 +1,29 @@
+// Fixture for the wallclock analyzer's sleep ban: in a package whose
+// liveness must not depend on real time, sleeps and timer construction
+// are findings on top of the usual wall-clock reads; pure duration
+// arithmetic is not.
+package wallclocksleep
+
+import "time"
+
+func stamp() time.Time {
+	return time.Now() // want "time.Now in deterministic package"
+}
+
+func pace() {
+	time.Sleep(10 * time.Millisecond) // want "time.Sleep in sleep-banned package"
+}
+
+func timer() *time.Timer {
+	return time.NewTimer(time.Second) // want "time.NewTimer in sleep-banned package"
+}
+
+func fire() <-chan time.Time {
+	return time.After(time.Second) // want "time.After in sleep-banned package"
+}
+
+func span(d time.Duration) time.Duration {
+	return 2 * d // duration arithmetic never reads the clock
+}
+
+const tick = 250 * time.Millisecond

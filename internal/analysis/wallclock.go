@@ -9,16 +9,23 @@ import (
 // deterministic packages. Results there must be a pure function of
 // (seed, plan): a single time.Now or time.Since sneaking into a decision
 // or a metric silently breaks byte-identical replay, serial vs parallel.
-// time.Sleep and timers are not flagged — pacing affects when work
-// happens, not what it computes.
+//
+// time.Sleep and timer construction are normally not flagged — pacing
+// affects when work happens, not what it computes — except in the
+// packages listed in Config.WallclockSleepScope, whose liveness must not
+// depend on real time either (the server's deadlock backoff yields to
+// the scheduler instead of sleeping).
 func WallclockAnalyzer() *Analyzer {
 	a := &Analyzer{
 		Name: "wallclock",
-		Doc:  "forbid time.Now/time.Since in the deterministic packages",
+		Doc:  "forbid time.Now/time.Since in the deterministic packages (and time.Sleep/timers in the sleep-banned ones)",
 	}
 	banned := map[string]bool{"Now": true, "Since": true, "Until": true}
+	sleepy := map[string]bool{"Sleep": true, "After": true, "Tick": true, "NewTimer": true, "NewTicker": true, "AfterFunc": true}
 	a.Run = func(pass *Pass) {
-		if !pass.Config.IsDeterministic(pass.PkgPath) {
+		det := pass.Config.IsDeterministic(pass.PkgPath)
+		sleepBan := pass.Config.SleepBanned(pass.PkgPath)
+		if !det && !sleepBan {
 			return
 		}
 		for _, f := range pass.Files {
@@ -31,8 +38,11 @@ func WallclockAnalyzer() *Analyzer {
 				if !ok || fn.Pkg() == nil || fn.Pkg().Path() != "time" {
 					return true
 				}
-				if banned[fn.Name()] {
+				if det && banned[fn.Name()] {
 					pass.Reportf(sel.Pos(), "time.%s in deterministic package %s: results must be a function of (seed, plan), not the wall clock", fn.Name(), pass.PkgPath)
+				}
+				if sleepBan && sleepy[fn.Name()] {
+					pass.Reportf(sel.Pos(), "time.%s in sleep-banned package %s: progress must come from the scheduler (runtime.Gosched), not elapsed real time", fn.Name(), pass.PkgPath)
 				}
 				return true
 			})

@@ -46,8 +46,12 @@ type Config struct {
 	// Seed feeds the workload generator: the entire cycle stream is a
 	// deterministic function of Config.
 	Seed int64
-	// Workers > 1 executes each cycle's update transactions concurrently
-	// under strict two-phase locking instead of serially.
+	// Workers > 1 spreads each cycle's commit work over that many
+	// producer workers via the server's plan/place/execute pipeline; 0 or
+	// 1 runs the pipeline single-threaded. The cycle stream is
+	// byte-identical at every worker count. (Earlier revisions routed
+	// Workers > 1 through the strict-2PL executor; that path survives
+	// only as the differential oracle in internal/server.)
 	Workers int
 
 	// Program is the broadcast organization (nil means the flat program
@@ -126,7 +130,11 @@ func New(cfg Config) (*Source, error) {
 	if err := cfg.validate(); err != nil {
 		return nil, err
 	}
-	srv, err := server.New(server.Config{DBSize: cfg.DBSize, MaxVersions: cfg.Versions, Recorder: cfg.Recorder})
+	workers := cfg.Workers
+	if workers < 1 {
+		workers = 1
+	}
+	srv, err := server.New(server.Config{DBSize: cfg.DBSize, MaxVersions: cfg.Versions, Workers: workers, Recorder: cfg.Recorder})
 	if err != nil {
 		return nil, err
 	}
@@ -192,12 +200,11 @@ func (s *Source) produce() error {
 		}
 		b, err = s.assemble(nil)
 	} else {
+		// CommitAndAdvance runs the plan/place/execute pipeline with the
+		// worker count the server was configured with; the log (and the
+		// trace events it emits) do not depend on that count.
 		var log *server.CycleLog
-		if s.cfg.Workers > 1 {
-			log, err = s.srv.CommitConcurrentAndAdvance(s.gen.Cycle(), s.cfg.Workers)
-		} else {
-			log, err = s.srv.CommitAndAdvance(s.gen.Cycle())
-		}
+		log, err = s.srv.CommitAndAdvance(s.gen.Cycle())
 		if err != nil {
 			return err
 		}

@@ -46,6 +46,11 @@ type Options struct {
 	// serial path. Every data point is an independent simulation, so
 	// results are identical for any worker count.
 	Parallel int
+	// ProducerWorkers is each data point's server-side commit-pipeline
+	// worker count (sim.Config.ProducerWorkers); 0 or 1 runs the
+	// pipeline single-threaded. Results are byte-identical at every
+	// setting.
+	ProducerWorkers int
 }
 
 func (o Options) withDefaults() Options {
@@ -138,6 +143,7 @@ func (o Options) baseConfig() sim.Config {
 	cfg.Seed = o.Seed
 	cfg.Check = o.Check
 	cfg.Parallel = o.Parallel
+	cfg.ProducerWorkers = o.ProducerWorkers
 	return cfg
 }
 

@@ -198,9 +198,10 @@ func TestEndToEndQueryOverTCP(t *testing.T) {
 	}
 }
 
-// TestStationWith2PLWorkers drives the concurrent server executor through
-// the station path: cycles keep flowing and clients keep committing.
-func TestStationWith2PLWorkers(t *testing.T) {
+// TestStationWithPipelineWorkers drives the multi-worker commit pipeline
+// through the station path: cycles keep flowing and clients keep
+// committing.
+func TestStationWithPipelineWorkers(t *testing.T) {
 	st, err := NewStation(StationConfig{
 		Addr:     "127.0.0.1:0",
 		DBSize:   50,

@@ -31,8 +31,10 @@ type StationConfig struct {
 	Interval time.Duration
 	// Seed feeds the workload generator.
 	Seed int64
-	// Workers > 1 executes each cycle's update transactions concurrently
-	// under strict two-phase locking instead of serially.
+	// Workers > 1 spreads each cycle's commit work over that many
+	// producer-pipeline workers (plan/place/execute); 0 or 1 runs the
+	// pipeline single-threaded. The broadcast stream is identical at
+	// every worker count.
 	Workers int
 	// Fault, when non-zero, damages frames channel-side before they go on
 	// air: every subscriber hears the same mangled stream, as with a
@@ -72,8 +74,8 @@ type Station struct {
 }
 
 // regRecorder folds trace events into the station's metric registry: one
-// counter per event type, per-kind fault counters, and a cycle-length
-// histogram.
+// counter per event type, per-kind fault counters, per-phase producer
+// pipeline unit counters, and a cycle-length histogram.
 type regRecorder struct{ reg *obs.Registry }
 
 // cycleSlotBounds buckets becast lengths (data + overflow slots).
@@ -86,6 +88,10 @@ func (r regRecorder) Record(e obs.Event) {
 		r.reg.Histogram("cycle.slots", cycleSlotBounds).Observe(float64(e.Slots))
 	case obs.TypeFault:
 		r.reg.Counter("faults." + e.Reason).Inc()
+	case obs.TypeProducerPhase:
+		// Per-phase throughput of the commit pipeline: transactions
+		// planned, items placed, conflict edges executed.
+		r.reg.Counter("producer." + e.Reason + ".units").Add(e.N)
 	}
 }
 

@@ -89,6 +89,21 @@ const (
 	// TypeFrame is one intact frame decoded off the wire by a network
 	// tuner; Slots carries the becast length.
 	TypeFrame Type = "frame"
+	// TypeProducerPhase closes one phase of the producer's commit
+	// pipeline; Reason names the phase (PhasePlan, PhasePlace,
+	// PhaseExecute) and N carries its unit count — transactions planned,
+	// items written, conflict edges emitted — with Slots the number of
+	// distinct items the batch touches (plan only). All fields are
+	// derived from the batch alone, never from partitioning, so the
+	// stream is invariant under the pipeline's worker count.
+	TypeProducerPhase Type = "producer-phase"
+)
+
+// Producer pipeline phases, the Reason values of TypeProducerPhase.
+const (
+	PhasePlan    = "plan"
+	PhasePlace   = "place"
+	PhaseExecute = "execute"
 )
 
 // Read sources, the {air|cache|version} breakdown of TypeRead.

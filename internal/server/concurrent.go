@@ -2,10 +2,9 @@ package server
 
 import (
 	"fmt"
-	"math/rand"
+	"runtime"
 	"sort"
 	"sync"
-	"time"
 
 	"bpush/internal/det"
 	"bpush/internal/lockmgr"
@@ -20,15 +19,22 @@ import (
 // locking", §3.3) — and advances to the next cycle, producing the same
 // CycleLog a serial execution would.
 //
+// Since the plan/place/execute pipeline became the production commit
+// path, this 2PL executor is kept solely as a differential oracle: with
+// workers == 1 it is the original serial commit loop (lock acquisition
+// never conflicts, every transaction commits on first attempt, effects
+// fold in input order through applyRead/applyWrite), and the pipeline
+// differential suites compare every pipeline worker count against it.
+// Nothing routes here in production anymore.
+//
 // Each transaction takes shared locks for pure reads and exclusive locks
 // for items it will write (known up front, which avoids upgrade
 // deadlocks for the common read-then-write pattern), holds everything to
 // commit, and retries from scratch when chosen as a deadlock victim. The
 // strictness of the locking protocol makes the commit order a valid
 // serialization order, so each transaction's effects are folded into the
-// multiversion store at commit time, serially, exactly as in
-// CommitAndAdvance — conflict edges included. With workers == 1 the
-// result is identical to the serial path.
+// multiversion store at commit time, serially, exactly as the serial
+// loop would — conflict edges included.
 func (s *Server) CommitConcurrentAndAdvance(txs []model.ServerTx, workers int) (*CycleLog, error) {
 	if workers < 1 {
 		return nil, fmt.Errorf("server: workers must be >= 1, got %d", workers)
@@ -63,17 +69,16 @@ func (s *Server) CommitConcurrentAndAdvance(txs []model.ServerTx, workers int) (
 	}
 
 	// The bounded worker pool claims transactions in index order and
-	// returns the lowest-index error; each transaction's backoff RNG is
-	// seeded by its own index, so the retry schedule is independent of
-	// which worker happens to run it.
+	// returns the lowest-index error; each transaction's backoff schedule
+	// is derived from its own index, so it is independent of which worker
+	// happens to run it.
 	lm := lockmgr.New()
 	var (
 		commitMu sync.Mutex
 		nextSeq  uint32
 	)
 	if err := pool.For(workers, len(txs), func(i int) error {
-		rng := rand.New(rand.NewSource(int64(i + 1)))
-		if err := s.runLocked(txs[i], lockmgr.TxHandle(i+1), lm, rng, &commitMu, &nextSeq, next, log); err != nil {
+		if err := s.runLocked(txs[i], lockmgr.TxHandle(i+1), lm, &commitMu, &nextSeq, next, log); err != nil {
 			return fmt.Errorf("tx %d: %w", i, err)
 		}
 		return nil
@@ -82,13 +87,7 @@ func (s *Server) CommitConcurrentAndAdvance(txs []model.ServerTx, workers int) (
 	}
 
 	sort.Slice(log.Delta.Nodes, func(i, j int) bool { return log.Delta.Nodes[i].Before(log.Delta.Nodes[j]) })
-	sort.Slice(log.Delta.Edges, func(i, j int) bool {
-		a, b := log.Delta.Edges[i], log.Delta.Edges[j]
-		if a.To != b.To {
-			return a.To.Before(b.To)
-		}
-		return a.From.Before(b.From)
-	})
+	sg.SortEdges(log.Delta.Edges)
 	log.Updated = det.SortedKeys(log.FirstWriter)
 	log.NumCommitted = len(txs)
 	s.recordDelta(log)
@@ -100,11 +99,33 @@ func (s *Server) CommitConcurrentAndAdvance(txs []model.ServerTx, workers int) (
 // maxTxRetries bounds deadlock-victim retries per transaction.
 const maxTxRetries = 200
 
+// backoff yields the processor after a deadlock abort, for a duration
+// that grows with the retry attempt and is skewed by the transaction's
+// handle so colliding transactions desynchronize. Yielding instead of
+// sleeping keeps the executor free of wall-clock dependence (bpush-lint
+// bans time.Sleep in this package): progress is driven by the scheduler
+// running the lock holders, not by elapsed real time, so the backoff
+// works identically under -race, under heavy load, and in virtual-time
+// test harnesses.
+func backoff(h lockmgr.TxHandle, attempt int) {
+	// Capped exponential growth: 1, 2, 4, ... 256 yield quanta, plus a
+	// handle-derived skew so two victims of the same deadlock do not
+	// re-collide in lockstep.
+	n := 1 << attempt
+	if n > 256 {
+		n = 256
+	}
+	n += int(h) % 7
+	for i := 0; i < n; i++ {
+		runtime.Gosched()
+	}
+}
+
 // runLocked executes one transaction under strict 2PL: acquire all locks
 // (X for the writeset, S otherwise) in operation order, then commit its
 // effects serially.
 func (s *Server) runLocked(tx model.ServerTx, h lockmgr.TxHandle, lm *lockmgr.Manager,
-	rng *rand.Rand, commitMu *sync.Mutex, nextSeq *uint32, next model.Cycle, log *CycleLog) error {
+	commitMu *sync.Mutex, nextSeq *uint32, next model.Cycle, log *CycleLog) error {
 
 	writeset := tx.WriteSet()
 	for attempt := 0; attempt < maxTxRetries; attempt++ {
@@ -120,10 +141,10 @@ func (s *Server) runLocked(tx model.ServerTx, h lockmgr.TxHandle, lm *lockmgr.Ma
 			}
 		}
 		if !ok {
-			// Deadlock victim: release everything and retry after a
-			// short randomized backoff.
+			// Deadlock victim: release everything, stand aside so the
+			// surviving holders can run, then retry from scratch.
 			lm.Release(h)
-			time.Sleep(time.Duration(rng.Intn(2000)+100) * time.Microsecond)
+			backoff(h, attempt)
 			continue
 		}
 		// All locks held: commit effects in commit order.

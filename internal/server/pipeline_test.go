@@ -1,0 +1,255 @@
+package server
+
+import (
+	"fmt"
+	"reflect"
+	"testing"
+
+	"bpush/internal/model"
+)
+
+// oracleCommit commits one batch on the differential oracle: the strict
+// 2PL executor with a single worker, which is the original serial commit
+// loop (no lock conflicts, effects fold in input order through
+// applyRead/applyWrite).
+func oracleCommit(t *testing.T, s *Server, txs []model.ServerTx) *CycleLog {
+	t.Helper()
+	log, err := s.CommitConcurrentAndAdvance(txs, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return log
+}
+
+// assertSameState compares the complete externally observable database
+// state of two servers: cycle position, current snapshot, and every
+// item's retained version chain.
+func assertSameState(t *testing.T, want, got *Server, label string) {
+	t.Helper()
+	if want.Cycle() != got.Cycle() {
+		t.Fatalf("%s: cycle %d != %d", label, got.Cycle(), want.Cycle())
+	}
+	if !reflect.DeepEqual(want.Snapshot(), got.Snapshot()) {
+		t.Fatalf("%s: snapshots differ", label)
+	}
+	for i := 1; i <= want.DBSize(); i++ {
+		wv, err := want.Versions(model.ItemID(i))
+		if err != nil {
+			t.Fatal(err)
+		}
+		gv, err := got.Versions(model.ItemID(i))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !reflect.DeepEqual(wv, gv) {
+			t.Fatalf("%s: item %d version chains differ:\noracle:   %v\npipeline: %v", label, i, wv, gv)
+		}
+	}
+}
+
+// TestPipelineMatchesOracle is the tentpole's differential suite at the
+// server level: across seeds, worker counts, and several consecutive
+// cycles (so reader sets carry over between batches), the
+// plan/place/execute pipeline must produce exactly the cycle logs and
+// database states of the serial oracle.
+func TestPipelineMatchesOracle(t *testing.T) {
+	const (
+		dbSize = 30
+		txs    = 14
+		cycles = 6
+	)
+	for _, seed := range []int64{1, 2, 3, 5, 8, 13, 21, 34} {
+		for _, workers := range []int{1, 2, 4, 8} {
+			label := fmt.Sprintf("seed=%d workers=%d", seed, workers)
+			oracle := mustNew(t, Config{DBSize: dbSize, MaxVersions: 3})
+			pipe := mustNew(t, Config{DBSize: dbSize, MaxVersions: 3})
+			for c := 0; c < cycles; c++ {
+				batch := randomTxs(seed*100+int64(c), txs, dbSize)
+				want := oracleCommit(t, oracle, batch)
+				got, err := pipe.CommitPipelineAndAdvance(batch, workers)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if !reflect.DeepEqual(want, got) {
+					t.Fatalf("%s cycle %d: logs differ:\noracle:   %+v\npipeline: %+v", label, c, want, got)
+				}
+				assertSameState(t, oracle, pipe, fmt.Sprintf("%s cycle %d", label, c))
+			}
+		}
+	}
+}
+
+// TestPipelineWorkerCountInvariant pins the bar directly: the pipeline's
+// own output is identical at every worker count, batch after batch.
+func TestPipelineWorkerCountInvariant(t *testing.T) {
+	const dbSize = 25
+	base := mustNew(t, Config{DBSize: dbSize, MaxVersions: 2})
+	others := map[int]*Server{}
+	for _, w := range []int{2, 4, 8} {
+		others[w] = mustNew(t, Config{DBSize: dbSize, MaxVersions: 2})
+	}
+	for c := 0; c < 5; c++ {
+		batch := randomTxs(int64(c+1), 10, dbSize)
+		want, err := base.CommitPipelineAndAdvance(batch, 1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for w, s := range others {
+			got, err := s.CommitPipelineAndAdvance(batch, w)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !reflect.DeepEqual(want, got) {
+				t.Fatalf("cycle %d: %d-worker log differs from 1-worker log", c, w)
+			}
+		}
+	}
+}
+
+// TestPipelineEmptyAndDegenerateBatches covers the shapes the random
+// workload rarely produces: empty batches, single-item pile-ups, and
+// repeated read/write of one item by one transaction.
+func TestPipelineEmptyAndDegenerateBatches(t *testing.T) {
+	oracle := mustNew(t, Config{DBSize: 5, MaxVersions: 2})
+	pipe := mustNew(t, Config{DBSize: 5, MaxVersions: 2})
+	rd := func(i model.ItemID) model.Op { return model.Op{Kind: model.OpRead, Item: i} }
+	cat := func(groups ...[]model.Op) []model.Op {
+		var out []model.Op
+		for _, g := range groups {
+			out = append(out, g...)
+		}
+		return out
+	}
+	batches := [][]model.ServerTx{
+		nil, // empty cycle
+		{ // every tx hammers item 1
+			{Ops: cat(rw(1), []model.Op{rd(1)})},
+			{Ops: rw(1)},
+			{Ops: []model.Op{rd(1)}},
+		},
+		{ // one tx reads and writes the same item repeatedly
+			{Ops: cat(rw(2), rw(2), []model.Op{rd(2), {Kind: model.OpWrite, Item: 2}})},
+		},
+		nil, // empty cycle after activity: reader carry-over intact
+		{ // pure readers, no writers
+			{Ops: []model.Op{rd(1), rd(2)}},
+			{Ops: []model.Op{rd(2)}},
+		},
+		{ // writers arrive for the carried-over readers
+			{Ops: cat(rw(1), rw(2))},
+		},
+	}
+	for i, batch := range batches {
+		want := oracleCommit(t, oracle, batch)
+		got, err := pipe.CommitPipelineAndAdvance(batch, 4)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !reflect.DeepEqual(want, got) {
+			t.Fatalf("batch %d: logs differ:\noracle:   %+v\npipeline: %+v", i, want, got)
+		}
+		assertSameState(t, oracle, pipe, fmt.Sprintf("batch %d", i))
+	}
+}
+
+// TestPipelineValidation pins the error behavior: malformed batches are
+// rejected up front, before any state mutation, with the serial loop's
+// TxID-addressed errors.
+func TestPipelineValidation(t *testing.T) {
+	s := mustNew(t, Config{DBSize: 10, MaxVersions: 1})
+	if _, err := s.CommitPipelineAndAdvance(nil, 0); err == nil {
+		t.Error("zero workers accepted")
+	}
+	blind := []model.ServerTx{{Ops: []model.Op{{Kind: model.OpWrite, Item: 1}}}}
+	if _, err := s.CommitPipelineAndAdvance(blind, 2); err == nil {
+		t.Error("blind write accepted")
+	}
+	bad := []model.ServerTx{{Ops: []model.Op{{Kind: model.OpRead, Item: 99}}}}
+	if _, err := s.CommitPipelineAndAdvance(bad, 2); err == nil {
+		t.Error("out-of-range item accepted")
+	}
+	kinds := []model.ServerTx{{Ops: []model.Op{{Kind: 99, Item: 1}}}}
+	if _, err := s.CommitPipelineAndAdvance(kinds, 2); err == nil {
+		t.Error("invalid op kind accepted")
+	}
+	// A failed batch must not have advanced the cycle or touched state.
+	if s.Cycle() != 1 {
+		t.Errorf("cycle advanced to %d after rejected batches", s.Cycle())
+	}
+	clean := mustNew(t, Config{DBSize: 10, MaxVersions: 1})
+	assertSameState(t, clean, s, "after rejected batches")
+}
+
+// decodeFuzzBatch derives a transaction batch from raw fuzz bytes. Most
+// constructions are valid (reads, and read-then-write pairs); one opcode
+// deliberately produces a blind write so the fuzzer also explores the
+// rejection path.
+func decodeFuzzBatch(data []byte, dbSize int) []model.ServerTx {
+	var txs []model.ServerTx
+	var ops []model.Op
+	flush := func() {
+		if len(ops) > 0 {
+			txs = append(txs, model.ServerTx{Ops: ops})
+			ops = nil
+		}
+	}
+	for i := 0; i+1 < len(data); i += 2 {
+		item := model.ItemID(int(data[i])%dbSize + 1)
+		switch data[i+1] % 8 {
+		case 0, 1, 2:
+			ops = append(ops, model.Op{Kind: model.OpRead, Item: item})
+		case 3, 4, 5:
+			ops = append(ops, model.Op{Kind: model.OpRead, Item: item}, model.Op{Kind: model.OpWrite, Item: item})
+		case 6:
+			flush()
+		case 7:
+			// Blind write: both paths must reject the whole batch.
+			ops = append(ops, model.Op{Kind: model.OpWrite, Item: item})
+		}
+		if len(ops) >= 12 {
+			flush()
+		}
+	}
+	flush()
+	return txs
+}
+
+// FuzzPipelineVsOracle feeds random transaction batches through the
+// planner-driven pipeline and the serial oracle and requires identical
+// outcomes: same error/no-error verdict, and on success identical cycle
+// logs and database states across several worker counts.
+func FuzzPipelineVsOracle(f *testing.F) {
+	f.Add([]byte{})
+	f.Add([]byte{0, 0, 1, 3, 2, 6, 3, 4})
+	f.Add([]byte{10, 3, 10, 3, 10, 0, 10, 6, 10, 4})
+	f.Add([]byte{5, 7})
+	f.Add([]byte{1, 3, 1, 3, 1, 3, 1, 3, 2, 0, 2, 4, 7, 5, 9, 1})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		const dbSize = 12
+		txs := decodeFuzzBatch(data, dbSize)
+		oracle, err := New(Config{DBSize: dbSize, MaxVersions: 2})
+		if err != nil {
+			t.Fatal(err)
+		}
+		want, wantErr := oracle.CommitConcurrentAndAdvance(txs, 1)
+		for _, workers := range []int{1, 3, 8} {
+			pipe, err := New(Config{DBSize: dbSize, MaxVersions: 2})
+			if err != nil {
+				t.Fatal(err)
+			}
+			got, gotErr := pipe.CommitPipelineAndAdvance(txs, workers)
+			if (wantErr == nil) != (gotErr == nil) {
+				t.Fatalf("workers=%d: error verdicts differ: oracle=%v pipeline=%v", workers, wantErr, gotErr)
+			}
+			if wantErr != nil {
+				continue
+			}
+			if !reflect.DeepEqual(want, got) {
+				t.Fatalf("workers=%d: logs differ:\noracle:   %+v\npipeline: %+v", workers, want, got)
+			}
+			if !reflect.DeepEqual(oracle.Snapshot(), pipe.Snapshot()) {
+				t.Fatalf("workers=%d: snapshots differ", workers)
+			}
+		}
+	})
+}

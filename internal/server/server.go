@@ -14,7 +14,6 @@ package server
 
 import (
 	"fmt"
-	"sort"
 
 	"bpush/internal/det"
 	"bpush/internal/model"
@@ -26,12 +25,7 @@ import (
 // their accumulation set in the canonical (To, From) order, so the edge
 // list never carries map-iteration order into the cycle log.
 func sortedEdges(edges map[sg.Edge]struct{}) []sg.Edge {
-	return det.SortedKeysFunc(edges, func(a, b sg.Edge) bool {
-		if a.To != b.To {
-			return a.To.Before(b.To)
-		}
-		return a.From.Before(b.From)
-	})
+	return det.SortedKeysFunc(edges, sg.EdgeLess)
 }
 
 // Config configures a Server.
@@ -43,11 +37,18 @@ type Config struct {
 	// the current version (the invalidation-only and SGT configurations);
 	// S>1 enables multiversion broadcast.
 	MaxVersions int
+	// Workers is the number of commit-pipeline workers CommitAndAdvance
+	// spreads the place and execute phases over; 0 or 1 runs the pipeline
+	// single-threaded. The cycle log is byte-identical at every worker
+	// count (the pipeline differential suite pins this).
+	Workers int
 	// Recorder, when non-nil, receives one sg-edge trace event per edge of
-	// each cycle's serialization-graph delta. Events are emitted from the
+	// each cycle's serialization-graph delta, preceded by one
+	// producer-phase event per pipeline phase. Events are emitted from the
 	// final sorted delta, after all of the cycle's transactions committed,
-	// so the stream is identical under the serial and the concurrent (2PL)
-	// execution paths. Nil means not observed.
+	// and phase-event fields are worker-count invariant, so the stream is
+	// identical at every pipeline worker count. The 2PL oracle path emits
+	// the same sg-edge stream but no phase events. Nil means not observed.
 	Recorder obs.Recorder
 }
 
@@ -57,6 +58,9 @@ func (c Config) validate() error {
 	}
 	if c.MaxVersions < 1 {
 		return fmt.Errorf("server: MaxVersions must be >= 1, got %d", c.MaxVersions)
+	}
+	if c.Workers < 0 {
+		return fmt.Errorf("server: Workers must be >= 0, got %d", c.Workers)
 	}
 	return nil
 }
@@ -98,6 +102,20 @@ type Server struct {
 	cycle   model.Cycle // cycle of the most recently produced becast
 	items   []itemState // index i holds item i+1
 	readers map[model.ItemID][]model.TxID
+	// planScratch maps item -> 1+index of the item's plan within the
+	// commit pipeline's current batch (0 = untouched). It is allocated
+	// once, lazily, and re-zeroed after every batch by walking only the
+	// touched items, so planning stays O(batch), not O(DBSize).
+	planScratch []int32
+	// plansBuf, arenaBuf, and edgeScratch are the commit pipeline's
+	// reusable scratch buffers. Commits are strictly sequential (the
+	// Server is single-writer), so one set of scratch space serves every
+	// batch; nothing in them outlives the commit that filled them.
+	// edgeScratch is indexed by partition — each parallel worker owns the
+	// buffers of the partitions it claims, so reuse needs no locks.
+	plansBuf    []itemPlan
+	arenaBuf    []plannedOp
+	edgeScratch []partitionScratch
 }
 
 type itemState struct {
@@ -183,10 +201,10 @@ func (s *Server) checkItem(id model.ItemID) error {
 	return nil
 }
 
-// CommitAndAdvance executes the given update transactions serially (their
-// order is the commit order), as if they committed during the current
-// cycle, and advances to the next cycle. It returns the CycleLog from which
-// the next becast is assembled.
+// CommitAndAdvance executes the given update transactions as if they
+// committed serially during the current cycle (their order is the commit
+// order) and advances to the next cycle. It returns the CycleLog from
+// which the next becast is assembled.
 //
 // Execution builds conflict edges exactly as a strict history would:
 //
@@ -196,52 +214,18 @@ func (s *Server) checkItem(id model.ItemID) error {
 //
 // always skipping the initial-load pseudo-transaction, which is not a node
 // of the broadcast graph.
+//
+// Since the plan/place/execute refactor this is a thin wrapper over
+// CommitPipelineAndAdvance with Config.Workers workers; the pipeline
+// produces the cycle log the original serial loop did, byte for byte,
+// at every worker count. The serial reference implementation survives as
+// CommitConcurrentAndAdvance with one worker (the differential oracle).
 func (s *Server) CommitAndAdvance(txs []model.ServerTx) (*CycleLog, error) {
-	next := s.cycle + 1
-	log := &CycleLog{
-		Cycle:       next,
-		FirstWriter: make(map[model.ItemID]model.TxID),
-		LastWriter:  make(map[model.ItemID]model.TxID),
-		AllWriters:  make(map[model.ItemID][]model.TxID),
-		Delta:       sg.Delta{Cycle: next},
+	w := s.cfg.Workers
+	if w < 1 {
+		w = 1
 	}
-	for seq, tx := range txs {
-		id := model.TxID{Cycle: next, Seq: uint32(seq)}
-		edges := make(map[sg.Edge]struct{})
-		readSoFar := make(map[model.ItemID]struct{})
-		for _, op := range tx.Ops {
-			if err := s.checkItem(op.Item); err != nil {
-				return nil, fmt.Errorf("tx %v: %w", id, err)
-			}
-			switch op.Kind {
-			case model.OpRead:
-				s.applyRead(id, op.Item, edges)
-				readSoFar[op.Item] = struct{}{}
-			case model.OpWrite:
-				if _, ok := readSoFar[op.Item]; !ok {
-					return nil, fmt.Errorf("tx %v writes %v without reading it first (strictness assumption)", id, op.Item)
-				}
-				s.applyWrite(id, op.Item, next, edges, log)
-			default:
-				return nil, fmt.Errorf("tx %v: invalid op kind %v", id, op.Kind)
-			}
-		}
-		log.Delta.Nodes = append(log.Delta.Nodes, id)
-		log.Delta.Edges = append(log.Delta.Edges, sortedEdges(edges)...)
-		log.NumCommitted++
-	}
-	sort.Slice(log.Delta.Edges, func(i, j int) bool {
-		a, b := log.Delta.Edges[i], log.Delta.Edges[j]
-		if a.To != b.To {
-			return a.To.Before(b.To)
-		}
-		return a.From.Before(b.From)
-	})
-	log.Updated = det.SortedKeys(log.FirstWriter)
-	s.recordDelta(log)
-	s.trimVersions(next)
-	s.cycle = next
-	return log, nil
+	return s.CommitPipelineAndAdvance(txs, w)
 }
 
 // recordDelta emits one sg-edge event per edge of the cycle's final sorted

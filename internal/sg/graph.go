@@ -20,6 +20,7 @@ package sg
 
 import (
 	"fmt"
+	"sort"
 
 	"bpush/internal/model"
 )
@@ -29,6 +30,23 @@ import (
 type Edge struct {
 	From model.TxID
 	To   model.TxID
+}
+
+// EdgeLess is the canonical broadcast order of conflict edges: by target
+// transaction first, then by source. Every producer of a cycle log sorts
+// its edge list with this comparator — the serial executor, the commit
+// pipeline, and the 2PL oracle all flow through it, so edge order can
+// never depend on the execution path that discovered the edges.
+func EdgeLess(a, b Edge) bool {
+	if a.To != b.To {
+		return a.To.Before(b.To)
+	}
+	return a.From.Before(b.From)
+}
+
+// SortEdges sorts es in place into the canonical (To, From) order.
+func SortEdges(es []Edge) {
+	sort.Slice(es, func(i, j int) bool { return EdgeLess(es[i], es[j]) })
 }
 
 // Delta is the per-cycle difference of the serialization graph that the

@@ -49,6 +49,12 @@ type Config struct {
 	Updates        int     // U: updates per cycle
 	ReadsPerUpdate int     // server read:write ratio
 	ServerVersions int     // S: versions the server keeps on air
+	// ProducerWorkers is the worker count of the server's
+	// plan/place/execute commit pipeline; 0 or 1 runs it
+	// single-threaded. The cycle stream — metrics and traces included —
+	// is byte-identical at every setting (the producer differential
+	// suite pins this), so the knob is purely a throughput lever.
+	ProducerWorkers int
 
 	// Scheme under test.
 	Scheme core.Options
@@ -246,6 +252,7 @@ func (c Config) NewSource() (*cyclesource.Source, error) {
 	return cyclesource.New(cyclesource.Config{
 		DBSize:   c.DBSize,
 		Versions: c.ServerVersions,
+		Workers:  c.ProducerWorkers,
 		Recorder: c.SourceRecorder,
 		Workload: workload.ServerConfig{
 			DBSize:          c.DBSize,
