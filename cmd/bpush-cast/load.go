@@ -1,0 +1,291 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"net"
+	"os"
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"bpush/internal/netcast"
+)
+
+// The -load mode turns bpush-cast into a fan-out load harness: it
+// attaches thousands of in-process (or TCP) tuners to its own station
+// and measures the three costs that decide whether broadcast push
+// scales with the audience —
+//
+//   - accept: how fast subscribers can join,
+//   - broadcast: on-air time (how long the broadcast path is held per
+//     cycle) and sustained time (until every subscriber's queue has
+//     drained),
+//   - eviction: how fast a stalled audience is swept off the
+//     broadcaster once every bounded queue is full.
+//
+// The serial baseline (-load-serial) runs the same measurement against
+// the retained pre-shard writer for comparison; BENCH_netcast.json
+// records both.
+
+// loadOptions is the -load* flag set.
+type loadOptions struct {
+	// Tuners > 0 selects load mode with that many subscribers.
+	Tuners int
+	// Cycles to broadcast during the measured phase.
+	Cycles int
+	// Serial measures the retained serial writer instead of the sharded
+	// fan-out.
+	Serial bool
+	// Transport is "mem" (in-process conns, no descriptors — the only
+	// way to 10k subscribers under default ulimits) or "tcp" (real
+	// loopback sockets).
+	Transport string
+	// Out is the JSON report path; empty writes the report to stdout.
+	Out string
+}
+
+func (o loadOptions) validate() error {
+	if o.Cycles <= 0 {
+		return fmt.Errorf("-load-cycles must be positive, got %d", o.Cycles)
+	}
+	if o.Transport != "mem" && o.Transport != "tcp" {
+		return fmt.Errorf("-load-transport must be mem or tcp, got %q", o.Transport)
+	}
+	return nil
+}
+
+// loadReport is the JSON document a load run emits.
+type loadReport struct {
+	Mode      string `json:"mode"` // sharded | serial
+	Transport string `json:"transport"`
+	Tuners    int    `json:"tuners"`
+	Cycles    int    `json:"cycles"`
+	DBSize    int    `json:"db_size"`
+	Shards    int    `json:"shards,omitempty"`
+	QueueLen  int    `json:"queue_len,omitempty"`
+
+	// Accept phase.
+	AcceptNs     int64   `json:"accept_ns"`
+	AcceptPerSec float64 `json:"accepts_per_sec"`
+
+	// Broadcast phase (per measured cycle, averaged).
+	OnAirNsPerCycle     int64   `json:"on_air_ns_per_cycle"`
+	SustainedNsPerCycle int64   `json:"sustained_ns_per_cycle"`
+	FrameBytes          int64   `json:"frame_bytes"`
+	DeliveredFrames     int64   `json:"delivered_frames"`
+	DeliveredPerSec     float64 `json:"delivered_frames_per_sec"`
+
+	// Eviction phase (sharded only): the audience stops draining and is
+	// swept off by queue-overflow evictions.
+	Evictions        int64   `json:"evictions,omitempty"`
+	EvictionSweepNs  int64   `json:"eviction_sweep_ns,omitempty"`
+	EvictionsPerSec  float64 `json:"evictions_per_sec,omitempty"`
+	UnplannedDrops   int64   `json:"unplanned_drops"`
+	TunersDecodedMin int64   `json:"tuners_decoded_min"`
+	TunersDecodedMax int64   `json:"tuners_decoded_max"`
+}
+
+// loadTuner is one harness subscriber: a decoding reader that counts
+// the becasts it hears.
+type loadTuner struct {
+	conn    net.Conn
+	decoded atomic.Int64
+}
+
+// runLoad executes the load harness and writes the report.
+func runLoad(cfg cliConfig) error {
+	if err := cfg.Load.validate(); err != nil {
+		return err
+	}
+	st := cfg.Station
+	st.Interval = 0 // the harness paces cycles itself
+	st.Cast.Serial = cfg.Load.Serial
+	if cfg.Load.Transport == "mem" && st.Cast.LocalBufSize == 0 {
+		// 10k tuners at the socket-default 64 KiB per direction would
+		// need >1 GiB of ring buffers; 8 KiB still holds several frames.
+		st.Cast.LocalBufSize = 8 << 10
+	}
+	station, err := netcast.NewStation(st)
+	if err != nil {
+		return err
+	}
+	defer func() { _ = station.Close() }()
+
+	rep := loadReport{
+		Mode:      "sharded",
+		Transport: cfg.Load.Transport,
+		Tuners:    cfg.Load.Tuners,
+		Cycles:    cfg.Load.Cycles,
+		DBSize:    st.DBSize,
+	}
+	if cfg.Load.Serial {
+		rep.Mode = "serial"
+	} else {
+		rep.Shards = st.Cast.Shards
+		if rep.Shards == 0 {
+			rep.Shards = netcast.DefaultShards
+		}
+		rep.QueueLen = st.Cast.QueueLen
+		if rep.QueueLen == 0 {
+			rep.QueueLen = netcast.DefaultQueueLen
+		}
+	}
+
+	// Accept phase: attach every tuner and start its decode loop.
+	tuners := make([]*loadTuner, cfg.Load.Tuners)
+	stopRead := make(chan struct{})
+	var readers sync.WaitGroup
+	acceptStart := time.Now()
+	for i := range tuners {
+		var conn net.Conn
+		if cfg.Load.Transport == "mem" {
+			conn, err = station.Cast().SubscribeLocal()
+		} else {
+			conn, err = net.Dial("tcp", station.Addr())
+		}
+		if err != nil {
+			close(stopRead)
+			return fmt.Errorf("attach tuner %d: %w", i, err)
+		}
+		tuners[i] = &loadTuner{conn: conn}
+	}
+	// TCP attach is asynchronous (accept loop); wait for registration.
+	deadline := time.Now().Add(30 * time.Second)
+	for station.Subscribers() < cfg.Load.Tuners {
+		if time.Now().After(deadline) {
+			close(stopRead)
+			return fmt.Errorf("only %d/%d tuners registered", station.Subscribers(), cfg.Load.Tuners)
+		}
+		runtime.Gosched()
+	}
+	rep.AcceptNs = time.Since(acceptStart).Nanoseconds()
+	rep.AcceptPerSec = float64(cfg.Load.Tuners) / time.Since(acceptStart).Seconds()
+
+	for _, lt := range tuners {
+		readers.Add(1)
+		go func(lt *loadTuner) {
+			defer readers.Done()
+			tn := netcast.TuneBuffered(lt.conn, 4096)
+			for {
+				select {
+				case <-stopRead:
+					return
+				default:
+				}
+				if _, err := tn.Next(); err != nil {
+					return
+				}
+				lt.decoded.Add(1)
+			}
+		}(lt)
+	}
+
+	// Broadcast phase: one warm-up cycle (the initial database load is a
+	// much larger frame), then the measured cycles. On-air time is the
+	// Tick call itself — produce, encode once, and hand the frame to the
+	// fan-out tier; sustained time additionally waits for every
+	// subscriber queue to drain, i.e. full delivery.
+	bc := station.Cast()
+	if err := station.Tick(); err != nil {
+		return err
+	}
+	if err := waitQueueDrain(bc, 60*time.Second); err != nil {
+		return err
+	}
+	bytesBefore := bc.Traffic().BytesSent
+	framesBefore := bc.Traffic().FramesSent
+	var onAir, sustained time.Duration
+	for c := 0; c < cfg.Load.Cycles; c++ {
+		t0 := time.Now()
+		if err := station.Tick(); err != nil {
+			return err
+		}
+		onAir += time.Since(t0)
+		if err := waitQueueDrain(bc, 60*time.Second); err != nil {
+			return err
+		}
+		sustained += time.Since(t0)
+	}
+	tr := bc.Traffic()
+	rep.OnAirNsPerCycle = onAir.Nanoseconds() / int64(cfg.Load.Cycles)
+	rep.SustainedNsPerCycle = sustained.Nanoseconds() / int64(cfg.Load.Cycles)
+	rep.DeliveredFrames = tr.FramesSent - framesBefore
+	rep.DeliveredPerSec = float64(rep.DeliveredFrames) / sustained.Seconds()
+	if rep.DeliveredFrames > 0 {
+		rep.FrameBytes = (tr.BytesSent - bytesBefore) / rep.DeliveredFrames
+	}
+
+	// Eviction phase (sharded only; the serial writer has no queues to
+	// overflow — it blocks on the wedged socket instead, which is the
+	// pathology the sharded tier exists to remove): the audience stops
+	// draining, queues fill, and the next broadcasts sweep every
+	// subscriber off. A tuner blocked mid-read may consume one more
+	// frame before it parks for good; eviction closing its conn
+	// unblocks it either way.
+	close(stopRead)
+	if !cfg.Load.Serial {
+		evictStart := time.Now()
+		for station.Subscribers() > 0 {
+			if err := station.Tick(); err != nil {
+				return err
+			}
+			if time.Since(evictStart) > 60*time.Second {
+				return fmt.Errorf("eviction sweep stalled: %d subscribers left", station.Subscribers())
+			}
+		}
+		sweep := time.Since(evictStart)
+		rep.Evictions = bc.Traffic().Evictions
+		rep.EvictionSweepNs = sweep.Nanoseconds()
+		rep.EvictionsPerSec = float64(rep.Evictions) / sweep.Seconds()
+	}
+	rep.UnplannedDrops = bc.Traffic().Drops
+	for _, lt := range tuners {
+		_ = lt.conn.Close()
+	}
+	readers.Wait()
+	min, max := int64(-1), int64(0)
+	for _, lt := range tuners {
+		d := lt.decoded.Load()
+		if min < 0 || d < min {
+			min = d
+		}
+		if d > max {
+			max = d
+		}
+	}
+	rep.TunersDecodedMin, rep.TunersDecodedMax = min, max
+
+	out := os.Stdout
+	if cfg.Load.Out != "" {
+		f, err := os.Create(cfg.Load.Out)
+		if err != nil {
+			return err
+		}
+		defer func() { _ = f.Close() }()
+		out = f
+	}
+	return writeReport(out, rep)
+}
+
+func writeReport(w io.Writer, rep loadReport) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(rep)
+}
+
+// waitQueueDrain blocks until the fan-out queues are empty — every
+// enqueued frame written out. The serial writer has no queues, so it
+// returns immediately there (delivery completed inside Tick).
+func waitQueueDrain(bc *netcast.Broadcaster, timeout time.Duration) error {
+	deadline := time.Now().Add(timeout)
+	for bc.QueueDepth() > 0 {
+		if time.Now().After(deadline) {
+			return fmt.Errorf("fan-out queues did not drain (%d frames pending)", bc.QueueDepth())
+		}
+		runtime.Gosched()
+	}
+	return nil
+}

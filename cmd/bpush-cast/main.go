@@ -6,6 +6,14 @@
 // Usage:
 //
 //	bpush-cast -addr 127.0.0.1:7475 -db 1000 -interval 200ms -versions 4
+//
+// With -load N it becomes a fan-out load harness instead: it attaches N
+// of its own tuners (in-process by default, so descriptor limits don't
+// cap the audience), measures accept/broadcast/eviction throughput, and
+// emits a JSON report:
+//
+//	bpush-cast -load 10000 -load-cycles 20 -load-out BENCH.json
+//	bpush-cast -load 10000 -load-serial   # pre-shard serial baseline
 package main
 
 import (
@@ -27,17 +35,27 @@ func main() {
 	}
 }
 
+// cliConfig is everything the flag set describes: the station itself
+// plus the optional load-harness mode.
+type cliConfig struct {
+	Station netcast.StationConfig
+	Load    loadOptions
+}
+
 func run(args []string) error {
 	cfg, err := buildConfig(args)
 	if err != nil {
 		return err
 	}
-	st, err := netcast.NewStation(cfg)
+	if cfg.Load.Tuners > 0 {
+		return runLoad(cfg)
+	}
+	st, err := netcast.NewStation(cfg.Station)
 	if err != nil {
 		return err
 	}
 	defer func() { _ = st.Close() }()
-	fmt.Printf("broadcasting %d items every %v on %s (S=%d)\n", cfg.DBSize, cfg.Interval, st.Addr(), cfg.Versions)
+	fmt.Printf("broadcasting %d items every %v on %s (S=%d)\n", cfg.Station.DBSize, cfg.Station.Interval, st.Addr(), cfg.Station.Versions)
 	if a := st.MetricsAddr(); a != "" {
 		fmt.Printf("metrics on http://%s/metricsz, trace on http://%s/tracez\n", a, a)
 	}
@@ -58,8 +76,8 @@ func run(args []string) error {
 	}
 }
 
-// buildConfig parses the flags into a station configuration.
-func buildConfig(args []string) (netcast.StationConfig, error) {
+// buildConfig parses the flags into a station + load configuration.
+func buildConfig(args []string) (cliConfig, error) {
 	fs := flag.NewFlagSet("bpush-cast", flag.ContinueOnError)
 	var (
 		addr      = fs.String("addr", "127.0.0.1:7475", "listen address")
@@ -76,32 +94,56 @@ func buildConfig(args []string) (netcast.StationConfig, error) {
 		faultSpec = fs.String("fault", "none", "channel-side fault plan: none, a named plan, or a spec like drop=0.05,corrupt=0.01")
 		faultSeed = fs.Int64("fault-seed", 0, "fault RNG seed (0 = derive from the workload seed)")
 		httpAddr  = fs.String("http", "", "serve /metricsz and /tracez on this address (empty = off)")
+
+		shards       = fs.Int("shards", 0, "fan-out writer shards (0 = default)")
+		queueLen     = fs.Int("queue", 0, "per-subscriber send-queue bound in frames; overflow evicts (0 = default)")
+		writeTimeout = fs.Duration("write-timeout", 0, "per-subscriber frame write deadline (0 = default)")
+
+		load          = fs.Int("load", 0, "load-harness mode: attach this many tuners, measure, and exit")
+		loadCycles    = fs.Int("load-cycles", 20, "measured broadcast cycles in load mode")
+		loadSerial    = fs.Bool("load-serial", false, "load mode: measure the retained serial writer baseline")
+		loadTransport = fs.String("load-transport", "mem", "load mode subscriber transport: mem (in-process, no descriptors) or tcp")
+		loadOut       = fs.String("load-out", "", "load mode: write the JSON report here (empty = stdout)")
 	)
 	if err := fs.Parse(args); err != nil {
-		return netcast.StationConfig{}, err
+		return cliConfig{}, err
 	}
 	plan, err := fault.ParsePlan(*faultSpec)
 	if err != nil {
-		return netcast.StationConfig{}, err
+		return cliConfig{}, err
 	}
-	return netcast.StationConfig{
-		Addr:     *addr,
-		DBSize:   *dbSize,
-		Versions: *versions,
-		Workload: workload.ServerConfig{
-			DBSize:          *dbSize,
-			UpdateRange:     *updRange,
-			Offset:          *offset,
-			Theta:           *theta,
-			TxPerCycle:      *serverTx,
-			UpdatesPerCycle: *updates,
-			ReadsPerUpdate:  4,
+	return cliConfig{
+		Station: netcast.StationConfig{
+			Addr:     *addr,
+			DBSize:   *dbSize,
+			Versions: *versions,
+			Workload: workload.ServerConfig{
+				DBSize:          *dbSize,
+				UpdateRange:     *updRange,
+				Offset:          *offset,
+				Theta:           *theta,
+				TxPerCycle:      *serverTx,
+				UpdatesPerCycle: *updates,
+				ReadsPerUpdate:  4,
+			},
+			Interval:  *interval,
+			Workers:   *workers,
+			Seed:      *seed,
+			Fault:     plan,
+			FaultSeed: *faultSeed,
+			HTTPAddr:  *httpAddr,
+			Cast: netcast.Config{
+				Shards:       *shards,
+				QueueLen:     *queueLen,
+				WriteTimeout: *writeTimeout,
+			},
 		},
-		Interval:  *interval,
-		Workers:   *workers,
-		Seed:      *seed,
-		Fault:     plan,
-		FaultSeed: *faultSeed,
-		HTTPAddr:  *httpAddr,
+		Load: loadOptions{
+			Tuners:    *load,
+			Cycles:    *loadCycles,
+			Serial:    *loadSerial,
+			Transport: *loadTransport,
+			Out:       *loadOut,
+		},
 	}, nil
 }

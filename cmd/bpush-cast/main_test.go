@@ -1,6 +1,10 @@
 package main
 
 import (
+	"bytes"
+	"encoding/json"
+	"os"
+	"path/filepath"
 	"testing"
 	"time"
 )
@@ -10,34 +14,167 @@ func TestBuildConfigDefaults(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if cfg.DBSize != 1000 || cfg.Versions != 1 || cfg.Interval != 500*time.Millisecond {
-		t.Errorf("unexpected defaults: %+v", cfg)
+	st := cfg.Station
+	if st.DBSize != 1000 || st.Versions != 1 || st.Interval != 500*time.Millisecond {
+		t.Errorf("unexpected defaults: %+v", st)
 	}
-	if cfg.Workload.DBSize != cfg.DBSize {
+	if st.Workload.DBSize != st.DBSize {
 		t.Error("workload DBSize not aligned with station DBSize")
 	}
-	if cfg.Workload.ReadsPerUpdate != 4 {
-		t.Errorf("ReadsPerUpdate = %d, want the paper's 4", cfg.Workload.ReadsPerUpdate)
+	if st.Workload.ReadsPerUpdate != 4 {
+		t.Errorf("ReadsPerUpdate = %d, want the paper's 4", st.Workload.ReadsPerUpdate)
+	}
+	if cfg.Load.Tuners != 0 {
+		t.Errorf("load mode on by default: %+v", cfg.Load)
+	}
+	if cfg.Load.Cycles != 20 || cfg.Load.Transport != "mem" {
+		t.Errorf("unexpected load defaults: %+v", cfg.Load)
 	}
 }
 
 func TestBuildConfigOverrides(t *testing.T) {
 	cfg, err := buildConfig([]string{
 		"-db", "200", "-versions", "3", "-interval", "50ms", "-workers", "4", "-updates", "20",
+		"-shards", "4", "-queue", "16", "-write-timeout", "2s",
 	})
 	if err != nil {
 		t.Fatal(err)
 	}
-	if cfg.DBSize != 200 || cfg.Versions != 3 || cfg.Interval != 50*time.Millisecond || cfg.Workers != 4 {
-		t.Errorf("overrides not applied: %+v", cfg)
+	st := cfg.Station
+	if st.DBSize != 200 || st.Versions != 3 || st.Interval != 50*time.Millisecond || st.Workers != 4 {
+		t.Errorf("overrides not applied: %+v", st)
 	}
-	if cfg.Workload.UpdatesPerCycle != 20 {
-		t.Errorf("updates = %d, want 20", cfg.Workload.UpdatesPerCycle)
+	if st.Workload.UpdatesPerCycle != 20 {
+		t.Errorf("updates = %d, want 20", st.Workload.UpdatesPerCycle)
+	}
+	if st.Cast.Shards != 4 || st.Cast.QueueLen != 16 || st.Cast.WriteTimeout != 2*time.Second {
+		t.Errorf("cast config not applied: %+v", st.Cast)
 	}
 }
 
 func TestBuildConfigRejectsBadFlags(t *testing.T) {
 	if _, err := buildConfig([]string{"-no-such-flag"}); err == nil {
 		t.Error("unknown flag accepted")
+	}
+}
+
+func TestLoadOptionsValidate(t *testing.T) {
+	if err := (loadOptions{Cycles: 3, Transport: "mem"}).validate(); err != nil {
+		t.Errorf("valid options rejected: %v", err)
+	}
+	if err := (loadOptions{Cycles: 0, Transport: "mem"}).validate(); err == nil {
+		t.Error("zero cycles accepted")
+	}
+	if err := (loadOptions{Cycles: 3, Transport: "udp"}).validate(); err == nil {
+		t.Error("bad transport accepted")
+	}
+}
+
+// runLoadHarness runs a small load harness with the given extra flags
+// and returns the parsed report.
+func runLoadHarness(t *testing.T, extra ...string) loadReport {
+	t.Helper()
+	out := filepath.Join(t.TempDir(), "load.json")
+	args := append([]string{
+		"-addr", "127.0.0.1:0", "-db", "100", "-update-range", "50",
+		"-load", "40", "-load-cycles", "3", "-queue", "8", "-load-out", out,
+	}, extra...)
+	cfg, err := buildConfig(args)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := runLoad(cfg); err != nil {
+		t.Fatal(err)
+	}
+	raw, err := os.ReadFile(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var rep loadReport
+	if err := json.Unmarshal(raw, &rep); err != nil {
+		t.Fatalf("report is not valid JSON: %v\n%s", err, raw)
+	}
+	return rep
+}
+
+// TestLoadHarnessSharded runs the full harness end to end in-process:
+// 40 tuners, 3 measured cycles, then the eviction sweep — and checks
+// the report's accounting against the run it describes.
+func TestLoadHarnessSharded(t *testing.T) {
+	rep := runLoadHarness(t)
+	if rep.Mode != "sharded" || rep.Transport != "mem" || rep.Tuners != 40 || rep.Cycles != 3 {
+		t.Fatalf("report header wrong: %+v", rep)
+	}
+	if rep.AcceptNs <= 0 || rep.AcceptPerSec <= 0 {
+		t.Errorf("accept phase unmeasured: %+v", rep)
+	}
+	if rep.OnAirNsPerCycle <= 0 || rep.SustainedNsPerCycle < rep.OnAirNsPerCycle {
+		t.Errorf("broadcast phase inconsistent: on-air %d, sustained %d", rep.OnAirNsPerCycle, rep.SustainedNsPerCycle)
+	}
+	// 3 measured cycles to 40 subscribers, all delivered.
+	if rep.DeliveredFrames != 3*40 {
+		t.Errorf("delivered %d frames, want %d", rep.DeliveredFrames, 3*40)
+	}
+	if rep.FrameBytes <= 0 {
+		t.Errorf("frame bytes unmeasured: %+v", rep)
+	}
+	// The eviction sweep removes the whole stalled audience.
+	if rep.Evictions != 40 {
+		t.Errorf("evicted %d subscribers, want 40", rep.Evictions)
+	}
+	if rep.EvictionSweepNs <= 0 || rep.EvictionsPerSec <= 0 {
+		t.Errorf("eviction sweep unmeasured: %+v", rep)
+	}
+	// Every tuner decoded the warm-up plus the measured cycles before
+	// the stall (a parked tuner may also swallow a couple of
+	// eviction-phase frames).
+	if rep.TunersDecodedMin < 1+3 {
+		t.Errorf("slowest tuner decoded %d becasts, want >= 4", rep.TunersDecodedMin)
+	}
+}
+
+// TestLoadHarnessSerialBaseline: the serial writer runs the same
+// broadcast measurement (no eviction phase — it has no queues).
+func TestLoadHarnessSerialBaseline(t *testing.T) {
+	rep := runLoadHarness(t, "-load-serial")
+	if rep.Mode != "serial" {
+		t.Fatalf("mode = %q, want serial", rep.Mode)
+	}
+	if rep.DeliveredFrames != 3*40 {
+		t.Errorf("delivered %d frames, want %d", rep.DeliveredFrames, 3*40)
+	}
+	if rep.Evictions != 0 || rep.EvictionSweepNs != 0 {
+		t.Errorf("serial baseline reported an eviction phase: %+v", rep)
+	}
+	if rep.Shards != 0 || rep.QueueLen != 0 {
+		t.Errorf("serial baseline reported shard config: %+v", rep)
+	}
+}
+
+// TestLoadHarnessTCP runs a small audience over real loopback sockets.
+func TestLoadHarnessTCP(t *testing.T) {
+	rep := runLoadHarness(t, "-load-transport", "tcp", "-load", "10")
+	if rep.Transport != "tcp" || rep.Tuners != 10 {
+		t.Fatalf("report header wrong: %+v", rep)
+	}
+	if rep.DeliveredFrames != 3*10 {
+		t.Errorf("delivered %d frames, want %d", rep.DeliveredFrames, 3*10)
+	}
+	if rep.Evictions != 10 {
+		t.Errorf("evicted %d subscribers, want 10", rep.Evictions)
+	}
+}
+
+// TestWriteReportStable pins the report field names — BENCH_netcast.json
+// and any dashboards parse them.
+func TestWriteReportStable(t *testing.T) {
+	var buf bytes.Buffer
+	if err := writeReport(&buf, loadReport{Mode: "sharded", Tuners: 1}); err != nil {
+		t.Fatal(err)
+	}
+	for _, key := range []string{"mode", "tuners", "on_air_ns_per_cycle", "sustained_ns_per_cycle", "accepts_per_sec"} {
+		if !bytes.Contains(buf.Bytes(), []byte(`"`+key+`"`)) {
+			t.Errorf("report missing key %q:\n%s", key, buf.String())
+		}
 	}
 }

@@ -63,6 +63,17 @@ type Config struct {
 	// AliasingScope lists import-path prefixes subject to the []byte
 	// retention check; empty means every package.
 	AliasingScope []string
+	// ImmutableBytes lists fully-qualified named types with underlying
+	// []byte (e.g. "bpush/internal/netcast.Frame") whose values are
+	// immutable by contract. Immutability replaces copying: parameters
+	// of these types are exempt from the retention check (retaining a
+	// buffer nobody mutates is safe — the sharded broadcaster shares one
+	// frame across every subscriber queue this way), and in exchange
+	// every mutation of such a value (element assignment, in-place
+	// append) is a finding, as is converting a caller-owned []byte into
+	// the type outside its declaring package (sealing is only audited at
+	// the owner's constructor seam).
+	ImmutableBytes []string
 }
 
 // DefaultConfig returns the repository's enforced invariant scopes.
@@ -100,6 +111,9 @@ func DefaultConfig() Config {
 		// sleep-free: backoff is yield-based so cycle production never
 		// paces itself on the wall clock.
 		WallclockSleepScope: []string{"bpush/internal/server"},
+		// netcast.Frame is the zero-copy broadcast frame: one immutable
+		// buffer per cycle, shared by every subscriber queue.
+		ImmutableBytes: []string{"bpush/internal/netcast.Frame"},
 	}
 }
 
@@ -143,6 +157,12 @@ func (c Config) ErrcheckEnforced(path string) bool { return containsPath(c.Errch
 // AliasingEnforced reports whether the []byte retention check applies.
 func (c Config) AliasingEnforced(path string) bool {
 	return len(c.AliasingScope) == 0 || containsPrefix(c.AliasingScope, path)
+}
+
+// ImmutableBytesType reports whether the fully-qualified type name
+// (pkgpath.Name) carries the immutable-bytes contract.
+func (c Config) ImmutableBytesType(qualified string) bool {
+	return containsPath(c.ImmutableBytes, qualified)
 }
 
 // A Diagnostic is one finding, positioned in the source.

@@ -98,6 +98,12 @@ func TestAnalyzerFixtures(t *testing.T) {
 		{"obsvirtual", det("obsvirtual")},
 		{"maprange", det("maprange")},
 		{"bufalias", Config{}}, // empty AliasingScope: the check applies everywhere
+		{"bufaliasimmutable", Config{
+			ImmutableBytes: []string{"fix/bufaliasimmutable.Frame"},
+		}},
+		{"bufaliasforeign", Config{
+			ImmutableBytes: []string{"net.IP"},
+		}},
 		{"goroutines", Config{GoroutineScope: []string{"fix/goroutines"}}},
 		{"errcheck", Config{ErrcheckScope: []string{"fix/errcheck"}}},
 		{"clean", Config{
@@ -180,6 +186,19 @@ func TestDefaultScopeBansServerSleep(t *testing.T) {
 	}
 	if cfg.SleepBanned("bpush/internal/serverless") {
 		t.Error("sleep-scope path matching is not exact")
+	}
+}
+
+// TestDefaultScopeSealsNetcastFrame pins the zero-copy broadcast frame
+// into the immutable-bytes contract: sharing a netcast.Frame without
+// copying is legal precisely because every mutation of one is banned.
+func TestDefaultScopeSealsNetcastFrame(t *testing.T) {
+	cfg := DefaultConfig()
+	if !cfg.ImmutableBytesType("bpush/internal/netcast.Frame") {
+		t.Error("bpush/internal/netcast.Frame not declared immutable")
+	}
+	if cfg.ImmutableBytesType("bpush/internal/netcast.Frames") {
+		t.Error("immutable type matching is not exact")
 	}
 }
 

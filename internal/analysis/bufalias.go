@@ -3,6 +3,7 @@ package analysis
 import (
 	"go/ast"
 	"go/types"
+	"strings"
 )
 
 // BufAliasAnalyzer flags retaining a caller-owned []byte: storing a
@@ -20,10 +21,19 @@ import (
 // assigned from a tracked parameter become tracked themselves;
 // reassignment from a fresh copy is not un-tracked (a variable that ever
 // aliased the parameter stays suspect on at least one path).
+//
+// Named types listed in Config.ImmutableBytes invert the contract:
+// immutability replaces copying. Parameters of such a type are exempt
+// from the retention check (a buffer nobody ever mutates is safe to
+// share), and in exchange the analyzer bans every mutation of a value of
+// the type — element assignment and in-place append — and bans
+// converting a caller-owned []byte into the type outside its declaring
+// package: sealing a buffer as immutable is only audited at the owning
+// package's constructor seam.
 func BufAliasAnalyzer() *Analyzer {
 	a := &Analyzer{
 		Name: "bufalias",
-		Doc:  "forbid retaining []byte parameters in struct fields or package variables without copying",
+		Doc:  "forbid retaining []byte parameters without copying; enforce immutability of declared immutable-bytes types",
 	}
 	a.Run = func(pass *Pass) {
 		if !pass.Config.AliasingEnforced(pass.PkgPath) {
@@ -37,6 +47,7 @@ func BufAliasAnalyzer() *Analyzer {
 				}
 				checkFuncAliasing(pass, fd)
 			}
+			checkImmutableBytes(pass, f)
 		}
 	}
 	return a
@@ -51,14 +62,32 @@ func isByteSlice(t types.Type) bool {
 	return ok && b.Kind() == types.Byte
 }
 
+// immutableBytesType reports whether t is a named type carrying the
+// immutable-bytes contract, and returns its qualified name.
+func immutableBytesType(pass *Pass, t types.Type) (string, bool) {
+	named, ok := t.(*types.Named)
+	if !ok || named.Obj().Pkg() == nil || !isByteSlice(t) {
+		return "", false
+	}
+	q := named.Obj().Pkg().Path() + "." + named.Obj().Name()
+	return q, pass.Config.ImmutableBytesType(q)
+}
+
 func checkFuncAliasing(pass *Pass, fd *ast.FuncDecl) {
 	tracked := map[types.Object]bool{}
 	if fd.Type.Params != nil {
 		for _, field := range fd.Type.Params.List {
 			for _, name := range field.Names {
-				if obj := pass.Info.Defs[name]; obj != nil && isByteSlice(obj.Type()) {
-					tracked[obj] = true
+				obj := pass.Info.Defs[name]
+				if obj == nil || !isByteSlice(obj.Type()) {
+					continue
 				}
+				if _, immutable := immutableBytesType(pass, obj.Type()); immutable {
+					// Immutable by contract: retention is the point —
+					// the mutation ban makes sharing safe.
+					continue
+				}
+				tracked[obj] = true
 			}
 		}
 	}
@@ -103,6 +132,82 @@ func checkFuncAliasing(pass *Pass, fd *ast.FuncDecl) {
 		}
 		return true
 	})
+}
+
+// checkImmutableBytes enforces the immutable-bytes contract across a
+// file: no element writes into a value of an immutable type, no in-place
+// append or copy into one, and no conversions that mint or strip the
+// contract outside the type's declaring package.
+func checkImmutableBytes(pass *Pass, f *ast.File) {
+	immutableExpr := func(e ast.Expr) (string, bool) {
+		tv, ok := pass.Info.Types[e]
+		if !ok || tv.Type == nil {
+			return "", false
+		}
+		return immutableBytesType(pass, tv.Type)
+	}
+	ast.Inspect(f, func(n ast.Node) bool {
+		switch v := n.(type) {
+		case *ast.AssignStmt:
+			for _, lhs := range v.Lhs {
+				idx, ok := lhs.(*ast.IndexExpr)
+				if !ok {
+					continue
+				}
+				if q, immutable := immutableExpr(idx.X); immutable {
+					pass.Reportf(v.Pos(), "element write into immutable %s: the zero-copy contract is immutability, never mutate a sealed buffer", q)
+				}
+			}
+		case *ast.IncDecStmt:
+			if idx, ok := v.X.(*ast.IndexExpr); ok {
+				if q, immutable := immutableExpr(idx.X); immutable {
+					pass.Reportf(v.Pos(), "element write into immutable %s: the zero-copy contract is immutability, never mutate a sealed buffer", q)
+				}
+			}
+		case *ast.CallExpr:
+			if isBuiltin(pass, v.Fun, "append") && len(v.Args) > 0 {
+				if q, immutable := immutableExpr(v.Args[0]); immutable {
+					pass.Reportf(v.Pos(), "in-place append to immutable %s: growth can mutate the shared backing array; build a fresh buffer instead", q)
+				}
+			}
+			if isBuiltin(pass, v.Fun, "copy") && len(v.Args) > 0 {
+				if q, immutable := immutableExpr(v.Args[0]); immutable {
+					pass.Reportf(v.Pos(), "copy into immutable %s mutates the sealed buffer", q)
+				}
+			}
+			// Conversions: T(x) minting an immutable value from a plain
+			// byte slice, or stripping the contract off one, is only
+			// audited inside the declaring package (the constructor
+			// seam, e.g. netcast's NewFrame/sealFrame).
+			if tv, ok := pass.Info.Types[v.Fun]; ok && tv.IsType() && len(v.Args) == 1 {
+				dst := tv.Type
+				src, okSrc := pass.Info.Types[v.Args[0]]
+				if !okSrc || src.Type == nil {
+					break
+				}
+				if q, immutable := immutableBytesType(pass, dst); immutable {
+					if declaringPkg(q) != pass.PkgPath {
+						pass.Reportf(v.Pos(), "conversion seals caller-owned bytes as immutable %s outside its declaring package; use the owner's copying constructor", q)
+					}
+					break
+				}
+				if q, immutable := immutableBytesType(pass, src.Type); immutable && isByteSlice(dst) {
+					if declaringPkg(q) != pass.PkgPath {
+						pass.Reportf(v.Pos(), "conversion strips the immutability contract off %s outside its declaring package; copy instead", q)
+					}
+				}
+			}
+		}
+		return true
+	})
+}
+
+// declaringPkg extracts the package path from a qualified type name.
+func declaringPkg(qualified string) string {
+	if i := strings.LastIndex(qualified, "."); i >= 0 {
+		return qualified[:i]
+	}
+	return qualified
 }
 
 // aliasesTracked reports whether e evaluates to memory shared with a

@@ -1,0 +1,25 @@
+// Fixture for the bufalias immutable-bytes contract, seen from outside
+// the declaring package: minting an immutable value by conversion, or
+// stripping the contract off one, must go through the owner's
+// constructor seam. net.IP (underlying []byte) stands in as the foreign
+// immutable type via the fixture's Config.ImmutableBytes.
+package bufaliasforeign
+
+import "net"
+
+func sealForeign(p []byte) net.IP {
+	return net.IP(p) // want "seals caller-owned bytes as immutable"
+}
+
+func stripForeign(ip net.IP) []byte {
+	return []byte(ip) // want "strips the immutability contract"
+}
+
+func mutateForeign(ip net.IP) {
+	ip[0] = 0 // want "element write into immutable"
+}
+
+// passThrough: using the immutable value read-only is free.
+func passThrough(ip net.IP) int {
+	return len(ip)
+}

@@ -1,0 +1,53 @@
+// Fixture for the bufalias immutable-bytes contract, seen from the
+// declaring package: retaining a value of an immutable type is fine
+// (immutability replaces copying), every mutation of one is a finding,
+// and the declaring package itself may seal buffers via conversion.
+package bufaliasimmutable
+
+// Frame is declared immutable via the fixture's Config.ImmutableBytes.
+type Frame []byte
+
+type holder struct {
+	last Frame
+	buf  []byte
+}
+
+// retainImmutable is the zero-copy fan-out pattern: sharing a sealed
+// immutable buffer is safe, so no finding.
+func (h *holder) retainImmutable(f Frame) {
+	h.last = f
+}
+
+// retainPlain keeps the classic check intact: a plain []byte parameter
+// is still caller-owned.
+func (h *holder) retainPlain(frame []byte) {
+	h.buf = frame // want "retained in h.buf"
+}
+
+func mutateElement(f Frame) {
+	f[0] = 1 // want "element write into immutable"
+}
+
+func mutateIncrement(f Frame) {
+	f[0]++ // want "element write into immutable"
+}
+
+func growInPlace(f Frame) Frame {
+	return append(f, 0) // want "in-place append to immutable"
+}
+
+func copyInto(f Frame, p []byte) {
+	copy(f, p) // want "copy into immutable"
+}
+
+// seal converts inside the declaring package: this is the audited
+// constructor seam, so no finding.
+func seal(p []byte) Frame {
+	return Frame(append([]byte(nil), p...))
+}
+
+// readOK: reading and subslicing an immutable value is free.
+func readOK(f Frame) byte {
+	g := f[1:3]
+	return g[0]
+}

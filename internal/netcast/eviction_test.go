@@ -1,0 +1,199 @@
+package netcast
+
+import (
+	"encoding/json"
+	"fmt"
+	"net"
+	"net/http"
+	"sync"
+	"testing"
+	"time"
+
+	"bpush/internal/broadcast"
+	"bpush/internal/client"
+	"bpush/internal/core"
+	"bpush/internal/model"
+	"bpush/internal/workload"
+)
+
+// The eviction/resync integration test closes the loop the ISSUE's
+// eviction contract promises: a subscriber too slow for the broadcast
+// rate is evicted (never waited for), its client notices the dead
+// connection, redials, is greeted with the latest cycle, and the
+// client's existing gap path downgrades the unheard cycles to declared
+// misses — while the eviction is visible on /metricsz.
+
+// reconnectFeed is a client.Feed that redials the station when its
+// tuner's connection dies — the minimal reconnect policy an evicted
+// subscriber needs.
+type reconnectFeed struct {
+	addr       string
+	tn         *Tuner
+	reconnects int
+}
+
+func (f *reconnectFeed) Next() (*broadcast.Bcast, error) {
+	for attempt := 0; ; attempt++ {
+		b, err := f.tn.Next()
+		if err == nil {
+			return b, nil
+		}
+		if attempt >= 5 {
+			return nil, fmt.Errorf("reconnect gave up: %w", err)
+		}
+		tn, derr := Dial(f.addr)
+		if derr != nil {
+			return nil, derr
+		}
+		_ = f.tn.Close()
+		f.tn = tn
+		f.reconnects++
+	}
+}
+
+func TestEvictionResyncThroughGapPath(t *testing.T) {
+	const queueLen = 2
+	st, err := NewStation(StationConfig{
+		Addr:     "127.0.0.1:0",
+		DBSize:   50,
+		Versions: 4,
+		Workload: workload.ServerConfig{
+			DBSize: 50, UpdateRange: 25, Theta: 0.95,
+			TxPerCycle: 2, UpdatesPerCycle: 4, ReadsPerUpdate: 2,
+		},
+		Seed:     11,
+		Cast:     Config{Shards: 2, QueueLen: queueLen},
+		HTTPAddr: "127.0.0.1:0",
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer func() { _ = st.Close() }()
+
+	// Deterministic slowness: the stall hook wedges writes to the victim
+	// connection until released, standing in for a reader that stopped
+	// draining its socket.
+	bc := st.Cast()
+	release := make(chan struct{})
+	var releaseOnce sync.Once
+	unstall := func() { releaseOnce.Do(func() { close(release) }) }
+	defer unstall() // Close waits for the shard writer; never leave it wedged
+	m := newStallMatcher()
+	var entered sync.Once
+	wedged := make(chan struct{})
+	bc.writeFrame = func(c net.Conn, timeout time.Duration, f Frame) (int, error) {
+		if m.matches(c) {
+			entered.Do(func() { close(wedged) })
+			<-release
+			return 0, net.ErrClosed
+		}
+		return deadlineWrite(c, timeout, f)
+	}
+
+	conn, err := net.Dial("tcp", st.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	feed := &reconnectFeed{addr: st.Addr(), tn: Tune(conn)}
+	waitFor(t, func() bool { return st.Subscribers() == 1 })
+	if err := st.Tick(); err != nil { // cycle 1, written before the stall
+		t.Fatal(err)
+	}
+	scheme, err := core.New(core.Options{Kind: core.KindInvOnly, CacheSize: 10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cl, err := client.New(scheme, feed, client.Config{ThinkTime: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cl.Cycle() != 1 {
+		t.Fatalf("client tuned in at cycle %d, want 1", cl.Cycle())
+	}
+
+	// Stall the subscriber, then broadcast past its queue bound: cycle 2
+	// wedges in the shard writer, cycles 3..2+queueLen fill the queue,
+	// and the next one finds it full and evicts.
+	m.stall(conn.LocalAddr())
+	if err := st.Tick(); err != nil {
+		t.Fatal(err)
+	}
+	<-wedged
+	for i := 0; i < queueLen+1; i++ {
+		if err := st.Tick(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	waitFor(t, func() bool { return bc.Traffic().Evictions == 1 })
+	waitFor(t, func() bool { return st.Subscribers() == 0 })
+	unstall()
+
+	// The evicted client reconnects inside its feed, is greeted with the
+	// latest cycle (5), and the gap path declares cycles 2..4 as misses.
+	queries := make(chan error, 1)
+	go func() {
+		// Early queries may complete on the already-heard cycle 1; keep
+		// issuing queries (each advances the feed through think time)
+		// until one commits on the far side of the reconnect.
+		for q := 0; q < 50; q++ {
+			res, err := cl.RunQuery([]model.ItemID{3, 40})
+			if err != nil {
+				queries <- err
+				return
+			}
+			if feed.reconnects > 0 && res.Committed {
+				queries <- nil
+				return
+			}
+		}
+		queries <- fmt.Errorf("client never committed past the reconnect (reconnects=%d)", feed.reconnects)
+	}()
+	deadline := time.After(5 * time.Second)
+	for running := true; running; {
+		select {
+		case err := <-queries:
+			if err != nil {
+				t.Fatal(err)
+			}
+			running = false
+		case <-deadline:
+			t.Fatal("resynced client made no progress")
+		default:
+			if err := st.Tick(); err != nil {
+				t.Fatal(err)
+			}
+			time.Sleep(2 * time.Millisecond)
+		}
+	}
+	if feed.reconnects != 1 {
+		t.Errorf("feed reconnected %d times, want 1", feed.reconnects)
+	}
+	if missed := cl.Missed(); missed < queueLen+1 {
+		t.Errorf("client declared %d missed cycles, want >= %d (the cycles broadcast while evicted)", missed, queueLen+1)
+	}
+
+	// The eviction is observable where operators look: the /metricsz
+	// gauge matches the broadcaster's counter, and exactly one shard
+	// carries it.
+	resp, err := http.Get("http://" + st.MetricsAddr() + "/metricsz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer func() { _ = resp.Body.Close() }()
+	var snap struct {
+		Gauges map[string]float64 `json:"gauges"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&snap); err != nil {
+		t.Fatal(err)
+	}
+	if got := snap.Gauges["net.evictions"]; got != 1 {
+		t.Errorf("/metricsz net.evictions = %v, want 1", got)
+	}
+	var shardEvictions float64
+	for i := 0; i < 2; i++ {
+		shardEvictions += snap.Gauges[fmt.Sprintf("net.shard.%d.evictions", i)]
+	}
+	if shardEvictions != 1 {
+		t.Errorf("/metricsz per-shard evictions sum to %v, want 1", shardEvictions)
+	}
+}

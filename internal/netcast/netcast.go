@@ -4,6 +4,15 @@
 // architecture scale with the client population), and a Tuner turns the
 // incoming stream back into becasts, implementing client.Feed so the core
 // schemes run unchanged over the network.
+//
+// The broadcaster is sharded: subscribers are hashed across N shards,
+// each shard owns one writer goroutine draining bounded per-subscriber
+// send queues, and every queue references the cycle's single immutable
+// Frame zero-copy. A slow reader never stalls the on-air path — its
+// queue overflows and it is evicted instead of blocking, reconnecting
+// through the client's existing gap/resync path. The pre-shard serial
+// writer is retained (Config.Serial) as the benchmark baseline and the
+// head-of-line differential oracle.
 package netcast
 
 import (
@@ -21,45 +30,184 @@ import (
 	"bpush/internal/wire"
 )
 
+// DefaultShards is the writer-shard count when Config.Shards is zero.
+const DefaultShards = 8
+
+// DefaultQueueLen is the per-subscriber bounded send-queue capacity when
+// Config.QueueLen is zero: the number of undelivered cycles a subscriber
+// may fall behind before it is evicted.
+const DefaultQueueLen = 32
+
+// DefaultWriteTimeout bounds one frame write to one subscriber when
+// Config.WriteTimeout is zero.
+const DefaultWriteTimeout = 5 * time.Second
+
+// Config tunes a broadcaster's fan-out tier.
+type Config struct {
+	// Shards is the number of writer goroutines; subscribers are hashed
+	// across them. Zero means DefaultShards.
+	Shards int
+	// QueueLen is each subscriber's bounded send-queue capacity in
+	// frames. A subscriber whose queue is full when a cycle is broadcast
+	// is evicted — push delivery never blocks on a client. Zero means
+	// DefaultQueueLen.
+	QueueLen int
+	// WriteTimeout bounds a single frame write; a write that exceeds it
+	// drops the subscriber. Zero means DefaultWriteTimeout.
+	WriteTimeout time.Duration
+	// Serial selects the retained pre-shard writer: frames are written
+	// to every subscriber serially from the broadcast goroutine. It is
+	// the baseline the benchmarks and the head-of-line regression test
+	// compare against; production fan-out should never use it.
+	Serial bool
+	// LocalBufSize is the server-to-client buffer capacity of
+	// SubscribeLocal connections. Zero means a socket-sized 64 KiB; the
+	// load harness shrinks it so ten thousand in-process tuners fit in
+	// memory.
+	LocalBufSize int
+}
+
+func (c Config) withDefaults() Config {
+	if c.Shards <= 0 {
+		c.Shards = DefaultShards
+	}
+	if c.QueueLen <= 0 {
+		c.QueueLen = DefaultQueueLen
+	}
+	if c.WriteTimeout <= 0 {
+		c.WriteTimeout = DefaultWriteTimeout
+	}
+	if c.LocalBufSize <= 0 {
+		c.LocalBufSize = memBufSize
+	}
+	return c
+}
+
 // Stats counts a broadcaster's traffic. BytesReceived exists to make the
 // push model's scalability property observable: clients never send
 // requests upstream, so it stays zero no matter how many transactions
 // they run.
 type Stats struct {
-	FramesSent    int64
-	BytesSent     int64
-	Drops         int64
+	FramesSent int64
+	BytesSent  int64
+	// Drops counts subscribers dropped for failed or timed-out writes
+	// (dead connections, stalled sockets).
+	Drops int64
+	// Evictions counts subscribers evicted because their bounded send
+	// queue overflowed — readers too slow for the broadcast rate.
+	Evictions     int64
 	BytesReceived int64
+}
+
+// ShardStats is one shard's live counters.
+type ShardStats struct {
+	// Shard is the shard index.
+	Shard int `json:"shard"`
+	// Subscribers currently assigned to the shard.
+	Subscribers int `json:"subscribers"`
+	// QueueDepth is the total number of enqueued-but-unwritten frames
+	// across the shard's subscriber queues.
+	QueueDepth int64 `json:"queue_depth"`
+	// FramesSent and BytesSent count completed subscriber writes.
+	FramesSent int64 `json:"frames_sent"`
+	BytesSent  int64 `json:"bytes_sent"`
+	// Evictions counts queue-overflow evictions; Drops counts write
+	// failures and timeouts.
+	Evictions int64 `json:"evictions"`
+	Drops     int64 `json:"drops"`
+}
+
+// writeFunc performs one deadline-bounded frame write. Tests swap the
+// broadcaster's instance to inject deterministic stalls.
+type writeFunc func(conn net.Conn, timeout time.Duration, f Frame) (int, error)
+
+func deadlineWrite(conn net.Conn, timeout time.Duration, f Frame) (int, error) {
+	_ = conn.SetWriteDeadline(time.Now().Add(timeout))
+	return conn.Write(f)
+}
+
+// subscriber is one connected tuner: a connection plus its bounded send
+// queue of immutable frames.
+type subscriber struct {
+	id   uint64
+	conn net.Conn
+	q    chan Frame
+	gone atomic.Bool // removed from its shard; writer skips it
+}
+
+// shard is one fan-out partition: the subscribers hashed to it and the
+// counters its writer goroutine and the broadcast path maintain.
+type shard struct {
+	id   int
+	subs map[uint64]*subscriber
+	wake chan struct{} // cap 1: coalesced writer wakeups
+
+	sent      atomic.Int64
+	bytes     atomic.Int64
+	queued    atomic.Int64 // enqueued, not yet written (or discarded)
+	evictions atomic.Int64
+	drops     atomic.Int64
 }
 
 // Broadcaster accepts subscribers and pushes frames to all of them.
 type Broadcaster struct {
-	ln net.Listener
+	ln  net.Listener
+	cfg Config
 
+	// mu guards registration, the shard maps, last, and closed. Holding
+	// it across both the last-frame update and the shard enqueues makes
+	// the late-joiner greeting exactly-once: a subscriber either joins
+	// before a broadcast (and receives it through its queue) or after
+	// (and receives it as the greeting), never both or neither.
 	mu     sync.Mutex
-	conns  map[net.Conn]struct{}
-	last   []byte // most recent frame; sent to new subscribers immediately
+	shards []*shard
+	conns  map[net.Conn]struct{} // serial mode only
+	last   Frame                 // most recent frame; greets new subscribers
+	nextID uint64
 	closed bool
 
-	wg           sync.WaitGroup
-	writeTimeout time.Duration
+	stop chan struct{}
+	wg   sync.WaitGroup
+
+	writeFrame writeFunc
 
 	framesSent    atomic.Int64
 	bytesSent     atomic.Int64
 	drops         atomic.Int64
+	evictions     atomic.Int64
 	bytesReceived atomic.Int64
 }
 
-// Listen starts a broadcaster on addr (e.g. "127.0.0.1:0").
+// Listen starts a broadcaster on addr (e.g. "127.0.0.1:0") with the
+// default sharded configuration.
 func Listen(addr string) (*Broadcaster, error) {
+	return ListenConfig(addr, Config{})
+}
+
+// ListenConfig starts a broadcaster on addr with an explicit fan-out
+// configuration.
+func ListenConfig(addr string, cfg Config) (*Broadcaster, error) {
 	ln, err := net.Listen("tcp", addr)
 	if err != nil {
 		return nil, fmt.Errorf("netcast: listen: %w", err)
 	}
+	cfg = cfg.withDefaults()
 	b := &Broadcaster{
-		ln:           ln,
-		conns:        make(map[net.Conn]struct{}),
-		writeTimeout: 5 * time.Second,
+		ln:         ln,
+		cfg:        cfg,
+		stop:       make(chan struct{}),
+		writeFrame: deadlineWrite,
+	}
+	if cfg.Serial {
+		b.conns = make(map[net.Conn]struct{})
+	} else {
+		b.shards = make([]*shard, cfg.Shards)
+		for i := range b.shards {
+			s := &shard{id: i, subs: make(map[uint64]*subscriber), wake: make(chan struct{}, 1)}
+			b.shards[i] = s
+			b.wg.Add(1)
+			go b.runShard(s)
+		}
 	}
 	b.wg.Add(1)
 	go b.acceptLoop()
@@ -73,7 +221,14 @@ func (b *Broadcaster) Addr() string { return b.ln.Addr().String() }
 func (b *Broadcaster) Subscribers() int {
 	b.mu.Lock()
 	defer b.mu.Unlock()
-	return len(b.conns)
+	if b.cfg.Serial {
+		return len(b.conns)
+	}
+	n := 0
+	for _, s := range b.shards {
+		n += len(s.subs)
+	}
+	return n
 }
 
 func (b *Broadcaster) acceptLoop() {
@@ -83,25 +238,76 @@ func (b *Broadcaster) acceptLoop() {
 		if err != nil {
 			return // listener closed
 		}
-		b.mu.Lock()
-		if b.closed {
-			b.mu.Unlock()
-			_ = conn.Close()
-			return
-		}
+		b.attach(conn)
+	}
+}
+
+// SubscribeLocal attaches an in-process subscriber and returns the
+// client end of the connection — a tuner without a socket. The load
+// harness uses it to drive thousands of tuners past the descriptor
+// limit; the returned conn behaves like a dialed TCP conn (including
+// being closed when the subscriber is evicted).
+func (b *Broadcaster) SubscribeLocal() (net.Conn, error) {
+	// Clients have nothing to send in a push system, so the
+	// client-to-server direction gets a token buffer.
+	server, client := newMemConnPairSized(b.cfg.LocalBufSize, 256)
+	if !b.attach(server) {
+		_ = client.Close()
+		return nil, fmt.Errorf("netcast: broadcaster closed")
+	}
+	return client, nil
+}
+
+// attach registers a new subscriber connection (from the TCP accept loop
+// or SubscribeLocal), greets it with the most recent frame, and starts
+// its inbound drain. It reports false when the broadcaster is closed.
+func (b *Broadcaster) attach(conn net.Conn) bool {
+	b.mu.Lock()
+	if b.closed {
+		b.mu.Unlock()
+		_ = conn.Close()
+		return false
+	}
+	var wakeShard *shard
+	if b.cfg.Serial {
 		b.conns[conn] = struct{}{}
 		last := b.last
 		b.mu.Unlock()
-		// Clients have nothing to say in a push system; any inbound
-		// bytes are drained, counted, and ignored.
-		b.wg.Add(1)
-		go b.drainInbound(conn)
 		// Ship the most recent becast immediately so a new subscriber
 		// does not idle until the next cycle; mid-stream joins are part
 		// of the model (clients tune in whenever they like).
 		if last != nil {
 			b.writeTo(conn, last)
 		}
+	} else {
+		id := b.nextID
+		b.nextID++
+		s := b.shards[id%uint64(len(b.shards))]
+		sub := &subscriber{id: id, conn: conn, q: make(chan Frame, b.cfg.QueueLen)}
+		s.subs[id] = sub
+		if b.last != nil {
+			// The queue is freshly made and QueueLen >= 1, so the greet
+			// enqueue cannot block.
+			sub.q <- b.last
+			s.queued.Add(1)
+			wakeShard = s
+		}
+		b.mu.Unlock()
+	}
+	// Clients have nothing to say in a push system; any inbound bytes
+	// are drained, counted, and ignored.
+	b.wg.Add(1)
+	go b.drainInbound(conn)
+	if wakeShard != nil {
+		wakeShard.notify()
+	}
+	return true
+}
+
+func (s *shard) notify() {
+	select {
+	case s.wake <- struct{}{}:
+	default:
 	}
 }
 
@@ -123,67 +329,221 @@ func (b *Broadcaster) Traffic() Stats {
 		FramesSent:    b.framesSent.Load(),
 		BytesSent:     b.bytesSent.Load(),
 		Drops:         b.drops.Load(),
+		Evictions:     b.evictions.Load(),
 		BytesReceived: b.bytesReceived.Load(),
 	}
 }
 
-// Broadcast pushes one becast to every subscriber. Slow or dead
-// subscribers are dropped — broadcast delivery never blocks on a client,
-// which is the scalability property of push systems.
+// Shards returns per-shard live counters, indexed by shard. It returns
+// nil in serial mode.
+func (b *Broadcaster) Shards() []ShardStats {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	out := make([]ShardStats, len(b.shards))
+	for i, s := range b.shards {
+		out[i] = ShardStats{
+			Shard:       s.id,
+			Subscribers: len(s.subs),
+			QueueDepth:  s.queued.Load(),
+			FramesSent:  s.sent.Load(),
+			BytesSent:   s.bytes.Load(),
+			Evictions:   s.evictions.Load(),
+			Drops:       s.drops.Load(),
+		}
+	}
+	return out
+}
+
+// QueueDepth returns the total number of enqueued-but-unwritten frames
+// across all shards — zero when every subscriber has fully drained.
+func (b *Broadcaster) QueueDepth() int64 {
+	var n int64
+	for _, s := range b.shards {
+		n += s.queued.Load()
+	}
+	return n
+}
+
+// Broadcast pushes one becast to every subscriber: the becast is encoded
+// exactly once into an immutable frame shared zero-copy by every
+// subscriber queue. Slow or dead subscribers are dropped — broadcast
+// delivery never blocks on a client, which is the scalability property
+// of push systems.
 func (b *Broadcaster) Broadcast(bc *broadcast.Bcast) error {
 	frame, err := wire.Encode(bc)
 	if err != nil {
 		return err
 	}
-	return b.BroadcastRaw(frame)
+	// wire.Encode returns a fresh buffer nobody else references; seal it
+	// without another copy.
+	return b.broadcastFrame(sealFrame(frame))
 }
 
 // BroadcastRaw pushes an already-encoded (possibly deliberately damaged)
 // frame to every subscriber. The fault-injecting station uses it to put
 // mangled frames on air; the tuners' checksum verification and resync
-// logic are exercised by real bytes on a real socket.
+// logic are exercised by real bytes on a real socket. The caller keeps
+// ownership of frame; it is copied once (not per subscriber).
 func (b *Broadcaster) BroadcastRaw(frame []byte) error {
+	return b.broadcastFrame(NewFrame(frame))
+}
+
+// BroadcastFrame pushes a sealed immutable frame to every subscriber
+// with no copying at all.
+func (b *Broadcaster) BroadcastFrame(f Frame) error {
+	return b.broadcastFrame(f)
+}
+
+func (b *Broadcaster) broadcastFrame(f Frame) error {
 	b.mu.Lock()
 	if b.closed {
 		b.mu.Unlock()
 		return fmt.Errorf("netcast: broadcaster closed")
 	}
-	// Copy before retaining: the frame buffer is caller-owned (the
-	// fault-injecting station may reuse or mutate it after we return),
-	// and b.last outlives this call — it greets late subscribers.
-	b.last = append([]byte(nil), frame...)
-	conns := make([]net.Conn, 0, len(b.conns))
-	for c := range b.conns {
-		conns = append(conns, c)
+	b.last = f
+	if b.cfg.Serial {
+		conns := make([]net.Conn, 0, len(b.conns))
+		for c := range b.conns {
+			conns = append(conns, c)
+		}
+		b.mu.Unlock()
+		for _, c := range conns {
+			b.writeTo(c, f)
+		}
+		return nil
+	}
+	// Fan the one frame out to every subscriber queue without blocking:
+	// a full queue means the reader is too slow for the broadcast rate,
+	// and the eviction contract turns that into a dropped subscriber
+	// (whose client resynchronizes through the gap path) instead of a
+	// stalled cycle.
+	var evicted []*subscriber
+	for _, s := range b.shards {
+		for id, sub := range s.subs {
+			select {
+			case sub.q <- f:
+				s.queued.Add(1)
+			default:
+				delete(s.subs, id)
+				sub.gone.Store(true)
+				s.evictions.Add(1)
+				b.evictions.Add(1)
+				evicted = append(evicted, sub)
+			}
+		}
 	}
 	b.mu.Unlock()
-	for _, c := range conns {
-		b.writeTo(c, frame)
+	for _, sub := range evicted {
+		_ = sub.conn.Close()
+	}
+	for _, s := range b.shards {
+		s.notify()
 	}
 	return nil
 }
 
-func (b *Broadcaster) writeTo(c net.Conn, frame []byte) {
-	_ = c.SetWriteDeadline(time.Now().Add(b.writeTimeout))
-	n, err := c.Write(frame)
+// runShard is a shard's writer loop: woken after enqueues, it drains
+// every subscriber queue, writing each pending frame with a bounded
+// deadline. A failed or timed-out write drops the subscriber; the
+// bounded deadline caps how long one wedged socket can delay its
+// shard-mates, and other shards are never affected at all.
+func (b *Broadcaster) runShard(s *shard) {
+	defer b.wg.Done()
+	var snap []*subscriber // reused across wakeups: steady-state fan-out allocates nothing
+	for {
+		select {
+		case <-s.wake:
+		case <-b.stop:
+			return
+		}
+		for {
+			snap = snap[:0]
+			b.mu.Lock()
+			for _, sub := range s.subs {
+				snap = append(snap, sub)
+			}
+			subs := snap
+			b.mu.Unlock()
+			progress := false
+			for _, sub := range subs {
+				if sub.gone.Load() {
+					continue
+				}
+			drain:
+				for {
+					select {
+					case f := <-sub.q:
+						n, err := b.writeFrame(sub.conn, b.cfg.WriteTimeout, f)
+						b.bytesSent.Add(int64(n))
+						s.bytes.Add(int64(n))
+						s.queued.Add(-1)
+						if err != nil {
+							b.dropSub(s, sub)
+							break drain
+						}
+						b.framesSent.Add(1)
+						s.sent.Add(1)
+						progress = true
+					default:
+						break drain
+					}
+				}
+			}
+			if !progress {
+				break
+			}
+		}
+	}
+}
+
+// dropSub removes a subscriber whose write failed or timed out, closes
+// its connection, and discards whatever was still queued.
+func (b *Broadcaster) dropSub(s *shard, sub *subscriber) {
+	b.mu.Lock()
+	if _, ok := s.subs[sub.id]; ok {
+		delete(s.subs, sub.id)
+		s.drops.Add(1)
+		b.drops.Add(1)
+	}
+	sub.gone.Store(true)
+	b.mu.Unlock()
+	_ = sub.conn.Close()
+	// No enqueue can race the drain: broadcasts only enqueue to subs
+	// still in the shard map, and the removal above holds the lock.
+	for {
+		select {
+		case <-sub.q:
+			s.queued.Add(-1)
+		default:
+			return
+		}
+	}
+}
+
+// writeTo is the retained serial write path (Config.Serial): one
+// deadline-bounded write from the broadcast goroutine itself.
+func (b *Broadcaster) writeTo(c net.Conn, frame Frame) {
+	n, err := b.writeFrame(c, b.cfg.WriteTimeout, frame)
 	b.bytesSent.Add(int64(n))
 	if err != nil {
 		b.drops.Add(1)
-		b.drop(c)
+		b.dropConn(c)
 		return
 	}
 	b.framesSent.Add(1)
 }
 
-func (b *Broadcaster) drop(c net.Conn) {
+func (b *Broadcaster) dropConn(c net.Conn) {
 	b.mu.Lock()
 	delete(b.conns, c)
 	b.mu.Unlock()
 	_ = c.Close()
 }
 
-// Close stops accepting, disconnects every subscriber, and waits for the
-// accept loop to exit.
+// Close stops accepting, disconnects every subscriber, stops the shard
+// writers, and waits for every goroutine to exit. Frames still queued
+// for slow subscribers are discarded — shutdown does not wait for
+// stragglers.
 func (b *Broadcaster) Close() error {
 	b.mu.Lock()
 	if b.closed {
@@ -191,13 +551,24 @@ func (b *Broadcaster) Close() error {
 		return nil
 	}
 	b.closed = true
-	conns := make([]net.Conn, 0, len(b.conns))
-	for c := range b.conns {
-		conns = append(conns, c)
+	var conns []net.Conn
+	if b.cfg.Serial {
+		for c := range b.conns {
+			conns = append(conns, c)
+		}
+		b.conns = map[net.Conn]struct{}{}
+	} else {
+		for _, s := range b.shards {
+			for _, sub := range s.subs {
+				sub.gone.Store(true)
+				conns = append(conns, sub.conn)
+			}
+			s.subs = map[uint64]*subscriber{}
+		}
 	}
-	b.conns = map[net.Conn]struct{}{}
 	b.mu.Unlock()
 
+	close(b.stop)
 	err := b.ln.Close()
 	for _, c := range conns {
 		_ = c.Close()
@@ -216,13 +587,26 @@ type Tuner struct {
 	corrupt atomic.Int64
 }
 
-// Dial connects a tuner to a broadcaster.
+// Dial connects a tuner to a broadcaster over TCP.
 func Dial(addr string) (*Tuner, error) {
 	conn, err := net.Dial("tcp", addr)
 	if err != nil {
 		return nil, fmt.Errorf("netcast: dial: %w", err)
 	}
-	return &Tuner{conn: conn, r: bufio.NewReaderSize(conn, 1<<16)}, nil
+	return Tune(conn), nil
+}
+
+// Tune wraps an already-established subscriber connection (a dialed
+// socket, or the client end returned by SubscribeLocal) in a Tuner.
+func Tune(conn net.Conn) *Tuner {
+	return TuneBuffered(conn, 1<<16)
+}
+
+// TuneBuffered is Tune with a caller-sized read buffer. The load
+// harness attaches thousands of in-process tuners and cannot afford the
+// default 64 KiB each.
+func TuneBuffered(conn net.Conn, size int) *Tuner {
+	return &Tuner{conn: conn, r: bufio.NewReaderSize(conn, size)}
 }
 
 // Next blocks until the next intact becast arrives. Frames that fail the

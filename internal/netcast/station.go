@@ -43,6 +43,10 @@ type StationConfig struct {
 	Fault fault.Plan
 	// FaultSeed seeds the fault RNG; 0 derives it from Seed.
 	FaultSeed int64
+	// Cast tunes the fan-out tier: shard count, per-subscriber queue
+	// bound, write timeout, and the retained serial baseline. The zero
+	// value selects the sharded defaults.
+	Cast Config
 	// HTTPAddr, when non-empty, serves the station's live metrics over
 	// HTTP (e.g. "127.0.0.1:0"): GET /metricsz renders the metric
 	// registry as JSON and GET /tracez the most recent trace events.
@@ -134,7 +138,7 @@ func NewStation(cfg StationConfig) (*Station, error) {
 		}
 		mangler.Observe(rec)
 	}
-	bc, err := Listen(cfg.Addr)
+	bc, err := ListenConfig(cfg.Addr, cfg.Cast)
 	if err != nil {
 		return nil, err
 	}
@@ -164,6 +168,11 @@ func (s *Station) Addr() string { return s.bc.Addr() }
 
 // Subscribers returns the current subscriber count.
 func (s *Station) Subscribers() int { return s.bc.Subscribers() }
+
+// Cast returns the station's broadcaster — the fan-out tier the
+// subscribers are attached to. The load harness uses it to subscribe
+// in-process tuners directly.
+func (s *Station) Cast() *Broadcaster { return s.bc }
 
 // Source returns the station's cycle producer, e.g. to attach in-process
 // consumers to the same stream the network subscribers hear. In-process
@@ -197,8 +206,17 @@ func (s *Station) refreshGauges() {
 	s.reg.Gauge("net.frames_sent").Set(float64(t.FramesSent))
 	s.reg.Gauge("net.bytes_sent").Set(float64(t.BytesSent))
 	s.reg.Gauge("net.drops").Set(float64(t.Drops))
+	s.reg.Gauge("net.evictions").Set(float64(t.Evictions))
 	s.reg.Gauge("net.bytes_received").Set(float64(t.BytesReceived))
 	s.reg.Gauge("net.subscribers").Set(float64(s.bc.Subscribers()))
+	for _, sh := range s.bc.Shards() {
+		prefix := fmt.Sprintf("net.shard.%d.", sh.Shard)
+		s.reg.Gauge(prefix + "subscribers").Set(float64(sh.Subscribers))
+		s.reg.Gauge(prefix + "queue_depth").Set(float64(sh.QueueDepth))
+		s.reg.Gauge(prefix + "frames_sent").Set(float64(sh.FramesSent))
+		s.reg.Gauge(prefix + "evictions").Set(float64(sh.Evictions))
+		s.reg.Gauge(prefix + "drops").Set(float64(sh.Drops))
+	}
 }
 
 func (s *Station) run() {
