@@ -1,20 +1,29 @@
 // Command bpush-lint runs the repository's static-analysis suite — the
 // analyzers in internal/analysis that encode the repo invariants:
-// determinism (no wall clock, no global randomness, no map-order leaks
-// in the deterministic packages), wire-buffer aliasing, goroutine
-// ownership, and error hygiene on the decode/IO paths.
+// determinism chased transitively from the configured entry points (no
+// wall clock, no global randomness, no map-order leaks anywhere they
+// reach), hot-path allocation discipline, lock ordering in the fan-out
+// tier, wire-buffer aliasing, goroutine ownership, and error hygiene on
+// the decode/IO paths.
 //
 // Usage:
 //
-//	bpush-lint ./...             # lint the whole module (run at the root)
-//	bpush-lint ./internal/wire   # lint selected packages
-//	bpush-lint -json ./...       # machine-readable findings
-//	bpush-lint -list             # print the analyzers and their invariants
+//	bpush-lint ./...                  # lint the whole module (run at the root)
+//	bpush-lint ./internal/wire        # report findings in selected packages
+//	bpush-lint -json ./...            # machine-readable findings
+//	bpush-lint -list                  # print the analyzers and their invariants
+//	bpush-lint -run dettaint,hotalloc # run only the named analyzers
+//	bpush-lint -graph ./internal/core # dump one package's call graph as DOT
+//
+// The whole-program analyzers (dettaint, hotalloc, lockorder) always
+// analyze the full module — a package pattern narrows which findings
+// are *reported*, not what is analyzed, so a taint path crossing the
+// selected package is never missed by loading too little.
 //
 // Suppress a finding with a justified comment on the same line or the
 // line above:
 //
-//	//lint:allow maprange keys are sorted by the caller before use
+//	//lint:allow dettaint replay timestamps come from the plan, not this clock
 //
 // Suppressions without a reason, and stale suppressions that no longer
 // match a finding, are themselves findings. Exit status: 0 clean, 1
@@ -41,8 +50,10 @@ func run(args []string, out, errOut io.Writer) int {
 	fs := flag.NewFlagSet("bpush-lint", flag.ContinueOnError)
 	fs.SetOutput(errOut)
 	var (
-		jsonOut = fs.Bool("json", false, "emit findings as JSON")
-		list    = fs.Bool("list", false, "list the analyzers and exit")
+		jsonOut  = fs.Bool("json", false, "emit findings as JSON")
+		list     = fs.Bool("list", false, "list the analyzers and exit")
+		runNames = fs.String("run", "", "comma-separated analyzer names to run (default: all)")
+		graphPkg = fs.String("graph", "", "dump the call graph of one package (./dir) as DOT and exit")
 	)
 	if err := fs.Parse(args); err != nil {
 		return 2
@@ -54,6 +65,14 @@ func run(args []string, out, errOut io.Writer) int {
 		}
 		return 0
 	}
+	if *runNames != "" {
+		selected, err := filterSuite(suite, *runNames)
+		if err != nil {
+			fmt.Fprintln(errOut, "bpush-lint:", err)
+			return 2
+		}
+		suite = selected
+	}
 	patterns := fs.Args()
 	if len(patterns) == 0 {
 		patterns = []string{"./..."}
@@ -64,13 +83,31 @@ func run(args []string, out, errOut io.Writer) int {
 		fmt.Fprintln(errOut, "bpush-lint:", err)
 		return 2
 	}
+
+	if *graphPkg != "" {
+		selected, err := match(pkgs, []string{*graphPkg})
+		if err != nil {
+			fmt.Fprintln(errOut, "bpush-lint:", err)
+			return 2
+		}
+		g := analysis.FlowGraph(pkgs)
+		for _, p := range selected {
+			fmt.Fprint(out, g.DOT(p.Path))
+		}
+		return 0
+	}
+
 	selected, err := match(pkgs, patterns)
 	if err != nil {
 		fmt.Fprintln(errOut, "bpush-lint:", err)
 		return 2
 	}
 
-	diags := analysis.RunAnalyzers(suite, selected, analysis.DefaultConfig())
+	// The whole module is always analyzed; the patterns scope which
+	// findings are reported. Whole-program analyzers need the full graph
+	// regardless of what the user asked about.
+	diags := analysis.RunAnalyzers(suite, pkgs, analysis.DefaultConfig())
+	diags = filterDiags(diags, selected)
 	if *jsonOut {
 		enc := json.NewEncoder(out)
 		enc.SetIndent("", "  ")
@@ -93,6 +130,50 @@ func run(args []string, out, errOut io.Writer) int {
 		return 1
 	}
 	return 0
+}
+
+// filterSuite keeps the analyzers named in the comma-separated spec;
+// an unknown name is a usage error listing the valid set.
+func filterSuite(suite []*analysis.Analyzer, spec string) ([]*analysis.Analyzer, error) {
+	byName := map[string]*analysis.Analyzer{}
+	var valid []string
+	for _, a := range suite {
+		byName[a.Name] = a
+		valid = append(valid, a.Name)
+	}
+	var out []*analysis.Analyzer
+	for _, name := range strings.Split(spec, ",") {
+		name = strings.TrimSpace(name)
+		if name == "" {
+			continue
+		}
+		a, ok := byName[name]
+		if !ok {
+			return nil, fmt.Errorf("unknown analyzer %q (valid: %s)", name, strings.Join(valid, ", "))
+		}
+		out = append(out, a)
+	}
+	if len(out) == 0 {
+		return nil, fmt.Errorf("-run selected no analyzers (valid: %s)", strings.Join(valid, ", "))
+	}
+	return out, nil
+}
+
+// filterDiags keeps findings positioned in the selected packages'
+// directories. Position-less config findings always survive: a root
+// spec that matches nothing is broken no matter what was asked about.
+func filterDiags(diags []analysis.Diagnostic, selected []*analysis.Package) []analysis.Diagnostic {
+	dirs := map[string]bool{}
+	for _, p := range selected {
+		dirs[p.Dir] = true
+	}
+	var out []analysis.Diagnostic
+	for _, d := range diags {
+		if d.File == "<config>" || dirs[filepath.Dir(d.File)] {
+			out = append(out, d)
+		}
+	}
+	return out
 }
 
 // match filters loaded packages by ./dir and ./dir/... patterns,

@@ -70,6 +70,67 @@ func TestRunList(t *testing.T) {
 	}
 }
 
+// TestRunFilterSubset pins the -run flag: a valid subset over the clean
+// module exits 0, and the other analyzers' suppressions are not flagged
+// as stale.
+func TestRunFilterSubset(t *testing.T) {
+	chdirModuleRoot(t)
+	var out, errOut bytes.Buffer
+	if code := run([]string{"-run", "dettaint,lockorder", "./..."}, &out, &errOut); code != 0 {
+		t.Fatalf("exit %d, stderr %q, stdout:\n%s", code, errOut.String(), out.String())
+	}
+	if out.Len() != 0 {
+		t.Fatalf("clean subset run must print nothing, got:\n%s", out.String())
+	}
+}
+
+// TestRunFilterUnknown pins the usage error: an unknown analyzer name
+// exits 2 and names the valid set.
+func TestRunFilterUnknown(t *testing.T) {
+	var out, errOut bytes.Buffer
+	if code := run([]string{"-run", "nosuch", "./..."}, &out, &errOut); code != 2 {
+		t.Fatalf("exit %d for unknown analyzer, want 2 (stderr %q)", code, errOut.String())
+	}
+	if !strings.Contains(errOut.String(), "unknown analyzer") || !strings.Contains(errOut.String(), "dettaint") {
+		t.Errorf("stderr should name the unknown analyzer and the valid set, got %q", errOut.String())
+	}
+}
+
+// TestRunGraphDump pins the -graph flag: a DOT digraph on stdout, exit 0,
+// and byte-identical output across two invocations.
+func TestRunGraphDump(t *testing.T) {
+	chdirModuleRoot(t)
+	var out1, out2, errOut bytes.Buffer
+	if code := run([]string{"-graph", "./internal/det"}, &out1, &errOut); code != 0 {
+		t.Fatalf("exit %d, stderr %q", code, errOut.String())
+	}
+	if !strings.HasPrefix(out1.String(), "digraph") {
+		t.Fatalf("-graph output is not DOT:\n%s", out1.String())
+	}
+	if !strings.Contains(out1.String(), "bpush/internal/det.SortedKeys") {
+		t.Errorf("-graph output missing the package's own nodes:\n%s", out1.String())
+	}
+	if code := run([]string{"-graph", "./internal/det"}, &out2, &errOut); code != 0 {
+		t.Fatalf("second run exit %d, stderr %q", code, errOut.String())
+	}
+	if out1.String() != out2.String() {
+		t.Error("-graph output differs between two runs over the same module")
+	}
+}
+
+// TestRunGraphBadPattern pins the -graph failure mode: an unmatched
+// package pattern is a usage error.
+func TestRunGraphBadPattern(t *testing.T) {
+	chdirModuleRoot(t)
+	var out, errOut bytes.Buffer
+	if code := run([]string{"-graph", "./no/such/dir"}, &out, &errOut); code != 2 {
+		t.Fatalf("exit %d for unmatched -graph pattern, want 2 (stderr %q)", code, errOut.String())
+	}
+	if !strings.Contains(errOut.String(), "matches no packages") {
+		t.Errorf("stderr should name the unmatched pattern, got %q", errOut.String())
+	}
+}
+
 func TestRunBadPattern(t *testing.T) {
 	chdirModuleRoot(t)
 	var out, errOut bytes.Buffer

@@ -6,11 +6,13 @@
 // analyzer, and reports findings; CI runs it as a required gate.
 //
 // The framework is deliberately minimal: an Analyzer is a named Run
-// function over one type-checked package (a Pass), diagnostics carry
-// file:line positions, and `//lint:allow <analyzer> <reason>` comments
-// suppress a finding on the same or the following line. Suppressions
-// without a written reason are themselves diagnostics — the policy is
-// that every deviation from an invariant is justified in the code.
+// function over one type-checked package (a Pass) or a RunModule
+// function over the whole module and its call graph (a ModulePass),
+// diagnostics carry file:line positions, and `//lint:allow <analyzer>
+// <reason>` comments suppress a finding on the same or the following
+// line. Suppressions without a written reason are themselves
+// diagnostics — the policy is that every deviation from an invariant is
+// justified in the code.
 package analysis
 
 import (
@@ -21,27 +23,40 @@ import (
 	"sort"
 	"strings"
 
+	"bpush/internal/analysis/flow"
 	"bpush/internal/det"
 )
 
-// An Analyzer checks one invariant over a package.
+// An Analyzer checks one invariant over a package or the whole module.
 type Analyzer struct {
 	// Name identifies the analyzer in reports and in //lint:allow
 	// directives. Lowercase, no spaces.
 	Name string
 	// Doc is a one-line description of the invariant.
 	Doc string
-	// Run reports findings on the pass via pass.Reportf.
+	// Run reports findings on the pass via pass.Reportf. Exactly one of
+	// Run and RunModule is set.
 	Run func(*Pass)
+	// RunModule reports findings over the whole module at once, with
+	// the call graph available — the whole-program analyzers (dettaint,
+	// hotalloc, lockorder) chase invariants across package boundaries.
+	RunModule func(*ModulePass)
 }
 
-// Config scopes the suite's invariants to package sets. Paths are import
-// paths; prefixes end the comparison at a path-segment boundary.
+// Config scopes the suite's invariants. Paths are import paths;
+// prefixes end the comparison at a path-segment boundary.
 type Config struct {
-	// Deterministic lists the import paths whose code must be a pure
-	// function of its inputs: no wall-clock reads, no global randomness,
-	// no map-iteration order escaping into results.
-	Deterministic []string
+	// DeterministicRoots lists the entry points whose full transitive
+	// call trees must be pure functions of their inputs: no wall-clock
+	// reads, no global randomness, no map-iteration order escaping into
+	// results. Specs take the forms "pkgpath.Func",
+	// "pkgpath.Type.Method", and "pkgpath.Type.*"; a spec naming a
+	// module interface expands to every module implementation, so
+	// "bpush/internal/core.Scheme.*" roots all five schemes' per-cycle
+	// entries at once. The dettaint analyzer propagates the invariant
+	// through the call graph — a helper is covered exactly when some
+	// entry point reaches it.
+	DeterministicRoots []string
 	// GoroutineScope lists import-path prefixes where naked go
 	// statements are banned (goroutine lifecycle must live in the
 	// packages listed in GoroutineAllow).
@@ -52,14 +67,24 @@ type Config struct {
 	// ErrcheckScope lists the exact import paths where silently
 	// discarded error returns are banned.
 	ErrcheckScope []string
-	// WallclockSleepScope lists the exact import paths where time.Sleep
-	// (and timer construction) is banned on top of the wall-clock reads
-	// the Deterministic scope already forbids. These are packages whose
-	// *liveness* must not depend on real time either — the server's
-	// deadlock backoff yields to the scheduler instead of sleeping, so
-	// commit progress is driven by the lock holders running, not by
-	// elapsed wall time.
-	WallclockSleepScope []string
+	// SleepScope lists the exact import paths where time.Sleep (and
+	// timer construction) is banned. These are packages whose
+	// *liveness* must not depend on real time — the server's deadlock
+	// backoff yields to the scheduler instead of sleeping, so commit
+	// progress is driven by the lock holders running, not by elapsed
+	// wall time.
+	SleepScope []string
+	// LockOrderScope lists the exact import paths whose mutexes are
+	// subject to the lockorder analyzer: every pair of locks must be
+	// acquired in one consistent order, module-wide.
+	LockOrderScope []string
+	// LockHoldScope lists the exact import paths whose locks
+	// additionally ban blocking operations while held: no channel send
+	// or receive outside a select-with-default, no select without a
+	// default, no blocking wait — a slow subscriber must never be able
+	// to stall the broadcast fan-out tier from inside a shard or
+	// station lock.
+	LockHoldScope []string
 	// AliasingScope lists import-path prefixes subject to the []byte
 	// retention check; empty means every package.
 	AliasingScope []string
@@ -79,30 +104,49 @@ type Config struct {
 // DefaultConfig returns the repository's enforced invariant scopes.
 func DefaultConfig() Config {
 	return Config{
-		Deterministic: []string{
-			"bpush/internal/core",
-			"bpush/internal/sim",
-			"bpush/internal/cyclesource",
-			"bpush/internal/fault",
-			"bpush/internal/server",
-			"bpush/internal/workload",
-			"bpush/internal/zipf",
-			"bpush/internal/stats",
-			"bpush/internal/experiments",
-			"bpush/internal/det",
-			"bpush/internal/analysis",
-			// broadcast and sg now derive shared per-cycle indexes that
-			// every consumer reads; a nondeterministic build (map-order
-			// escape, sampled shortcut) would make index contents vary
-			// across same-seed runs and break the byte-identity contract
-			// the differential suite enforces.
-			"bpush/internal/broadcast",
-			"bpush/internal/sg",
-			// obs carries the determinism invariant for a reason beyond
-			// reproducibility: traces are *specified* to be byte-identical
-			// across same-seed runs, so a wall-clock stamp or a sampled
-			// (rand-thinned) sink would silently break the contract.
-			"bpush/internal/obs",
+		// Determinism is rooted at the entry points a same-seed replay
+		// enters through; dettaint propagates it through the call graph
+		// (closures, interface devirtualization included), so helper
+		// packages — det, zipf, stats, workload, sg, broadcast, obs
+		// sinks — are covered by reachability instead of by listing.
+		DeterministicRoots: []string{
+			// Simulation: a run is a pure function of (seed, plan).
+			"bpush/internal/sim.Run",
+			"bpush/internal/sim.RunFleet",
+			"bpush/internal/experiments.AllFigures",
+			// Producer: one memoized cycle log, byte-identical at every
+			// worker count; consumers replay it through Feed cursors.
+			"bpush/internal/cyclesource.New",
+			"bpush/internal/cyclesource.Source.*",
+			"bpush/internal/cyclesource.Feed.*",
+			// The 2PL oracle is test-only at runtime but must stay
+			// byte-equivalent to the pipeline, so it is rooted
+			// explicitly.
+			"bpush/internal/server.Server.*",
+			// Client consumption: every scheme's per-cycle entries (the
+			// interface spec expands to all implementations) plus the
+			// query loop driving them.
+			"bpush/internal/core.New",
+			"bpush/internal/core.Scheme.*",
+			"bpush/internal/client.New",
+			"bpush/internal/client.NewFromEvents",
+			"bpush/internal/client.Client.*",
+			// Channel-side fault injection: same plan + seed, same
+			// damage on the wire.
+			"bpush/internal/fault.NewMangler",
+			"bpush/internal/fault.Mangler.*",
+			// Observability renders: traces and metric snapshots are
+			// specified to be byte-identical across same-seed runs.
+			"bpush/internal/obs.Registry.*",
+			"bpush/internal/obs.Ring.*",
+			"bpush/internal/obs.Recorder.Record",
+			// The lint tool itself: two runs over one module must
+			// produce identical bytes (CI compares them).
+			"bpush/internal/analysis.Load",
+			"bpush/internal/analysis.LoadDir",
+			"bpush/internal/analysis.Suite",
+			"bpush/internal/analysis.RunAnalyzers",
+			"bpush/internal/analysis.FlowGraph",
 		},
 		GoroutineScope: []string{"bpush/internal"},
 		GoroutineAllow: []string{"bpush/internal/pool", "bpush/internal/netcast"},
@@ -110,7 +154,16 @@ func DefaultConfig() Config {
 		// The commit path (pipeline and 2PL oracle alike) must stay
 		// sleep-free: backoff is yield-based so cycle production never
 		// paces itself on the wall clock.
-		WallclockSleepScope: []string{"bpush/internal/server"},
+		SleepScope: []string{"bpush/internal/server"},
+		// The fan-out tier and the lock tables it leans on must keep
+		// one global lock order, and nothing may block inside a shard
+		// or station lock.
+		LockOrderScope: []string{
+			"bpush/internal/netcast",
+			"bpush/internal/pool",
+			"bpush/internal/lockmgr",
+		},
+		LockHoldScope: []string{"bpush/internal/netcast"},
 		// netcast.Frame is the zero-copy broadcast frame: one immutable
 		// buffer per cycle, shared by every subscriber queue.
 		ImmutableBytes: []string{"bpush/internal/netcast.Frame"},
@@ -139,12 +192,17 @@ func containsPrefix(prefixes []string, path string) bool {
 	return false
 }
 
-// IsDeterministic reports whether path carries the determinism invariant.
-func (c Config) IsDeterministic(path string) bool { return containsPath(c.Deterministic, path) }
+// SleepBanned reports whether path bans time.Sleep and timer
+// construction.
+func (c Config) SleepBanned(path string) bool { return containsPath(c.SleepScope, path) }
 
-// SleepBanned reports whether path additionally bans time.Sleep and
-// timer construction.
-func (c Config) SleepBanned(path string) bool { return containsPath(c.WallclockSleepScope, path) }
+// LockOrdered reports whether path's mutexes are subject to the
+// lock-order analysis.
+func (c Config) LockOrdered(path string) bool { return containsPath(c.LockOrderScope, path) }
+
+// LockHoldChecked reports whether path's locks ban blocking operations
+// while held.
+func (c Config) LockHoldChecked(path string) bool { return containsPath(c.LockHoldScope, path) }
 
 // GoroutineBanned reports whether naked go statements are banned in path.
 func (c Config) GoroutineBanned(path string) bool {
@@ -203,6 +261,52 @@ func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
 	})
 }
 
+// A ModulePass hands the whole loaded module and its call graph to a
+// module-level analyzer's RunModule.
+type ModulePass struct {
+	Analyzer *Analyzer
+	Config   Config
+	Fset     *token.FileSet
+	Pkgs     []*Package
+	Graph    *flow.Graph
+
+	report func(Diagnostic)
+}
+
+// Reportf records a finding at pos.
+func (p *ModulePass) Reportf(pos token.Pos, format string, args ...any) {
+	position := p.Fset.Position(pos)
+	p.report(Diagnostic{
+		Analyzer: p.Analyzer.Name,
+		File:     position.Filename,
+		Line:     position.Line,
+		Col:      position.Column,
+		Message:  fmt.Sprintf(format, args...),
+	})
+}
+
+// Reportconf records a position-less configuration finding (an entry
+// point spec that resolves to nothing, say); it sorts ahead of every
+// real file.
+func (p *ModulePass) Reportconf(format string, args ...any) {
+	p.report(Diagnostic{
+		Analyzer: p.Analyzer.Name,
+		File:     "<config>",
+		Message:  fmt.Sprintf(format, args...),
+	})
+}
+
+// FlowGraph builds the call graph of the loaded packages — the same
+// graph RunAnalyzers hands to module-level analyzers, exposed for the
+// CLI's -graph dump and for tests.
+func FlowGraph(pkgs []*Package) *flow.Graph {
+	fps := make([]*flow.Package, len(pkgs))
+	for i, p := range pkgs {
+		fps[i] = &flow.Package{Path: p.Path, Fset: p.Fset, Files: p.Files, Types: p.Types, Info: p.Info}
+	}
+	return flow.Build(fps)
+}
+
 // allowDirective is one parsed //lint:allow comment.
 type allowDirective struct {
 	line     int // line the directive is written on
@@ -247,9 +351,10 @@ func parseAllows(fset *token.FileSet, file *ast.File, report func(Diagnostic)) [
 // Suite is the full analyzer set run by bpush-lint.
 func Suite() []*Analyzer {
 	return []*Analyzer{
-		WallclockAnalyzer(),
-		GlobalRandAnalyzer(),
-		MapRangeAnalyzer(),
+		DetTaintAnalyzer(),
+		HotAllocAnalyzer(),
+		LockOrderAnalyzer(),
+		SleepAnalyzer(),
 		BufAliasAnalyzer(),
 		GoroutineAnalyzer(),
 		ErrcheckAnalyzer(),
@@ -285,9 +390,17 @@ func RunAnalyzers(analyzers []*Analyzer, pkgs []*Package, cfg Config) []Diagnost
 		return false
 	}
 
+	report := func(d Diagnostic) {
+		if !suppressed(d) {
+			collect(d)
+		}
+	}
 	for _, pkg := range pkgs {
 		for _, an := range analyzers {
-			pass := &Pass{
+			if an.Run == nil {
+				continue
+			}
+			an.Run(&Pass{
 				Analyzer: an,
 				Config:   cfg,
 				Fset:     pkg.Fset,
@@ -295,19 +408,40 @@ func RunAnalyzers(analyzers []*Analyzer, pkgs []*Package, cfg Config) []Diagnost
 				Pkg:      pkg.Types,
 				Info:     pkg.Info,
 				Files:    pkg.Files,
-				report: func(d Diagnostic) {
-					if !suppressed(d) {
-						collect(d)
-					}
-				},
-			}
-			an.Run(pass)
+				report:   report,
+			})
 		}
 	}
 
+	// Module-level analyzers share one call graph, built lazily so a
+	// per-package-only run pays nothing for it.
+	var graph *flow.Graph
+	for _, an := range analyzers {
+		if an.RunModule == nil {
+			continue
+		}
+		if graph == nil {
+			graph = FlowGraph(pkgs)
+		}
+		an.RunModule(&ModulePass{
+			Analyzer: an,
+			Config:   cfg,
+			Fset:     graph.Fset(),
+			Pkgs:     pkgs,
+			Graph:    graph,
+			report:   report,
+		})
+	}
+
+	// A suppression is only "unused" when its analyzer actually ran —
+	// a -run subset must not flag the other analyzers' allows as stale.
+	ran := map[string]bool{}
+	for _, an := range analyzers {
+		ran[an.Name] = true
+	}
 	for _, file := range det.SortedKeys(allowsByFile) {
 		for _, a := range allowsByFile[file] {
-			if !a.used {
+			if !a.used && ran[a.analyzer] {
 				collect(Diagnostic{
 					Analyzer: "lint",
 					File:     file,

@@ -5,7 +5,10 @@ import (
 	"path/filepath"
 	"regexp"
 	"strings"
+	"sync"
 	"testing"
+
+	"bpush/internal/analysis/flow"
 )
 
 // Fixture tests: each directory under testdata/src is type-checked as its
@@ -82,21 +85,18 @@ func runFixture(t *testing.T, name string, cfg Config) {
 }
 
 func TestAnalyzerFixtures(t *testing.T) {
-	det := func(name string) Config {
-		return Config{Deterministic: []string{"fix/" + name}}
-	}
 	tests := []struct {
 		name string
 		cfg  Config
 	}{
-		{"wallclock", det("wallclock")},
-		{"wallclocksleep", Config{
-			Deterministic:       []string{"fix/wallclocksleep"},
-			WallclockSleepScope: []string{"fix/wallclocksleep"},
+		{"dettaint", Config{DeterministicRoots: []string{"fix/dettaint.Run"}}},
+		{"dettaintvirtual", Config{DeterministicRoots: []string{"fix/dettaintvirtual.Run"}}},
+		{"hotalloc", Config{}}, // //lint:hotpath annotations are the roots
+		{"lockorder", Config{
+			LockOrderScope: []string{"fix/lockorder"},
+			LockHoldScope:  []string{"fix/lockorder"},
 		}},
-		{"globalrand", det("globalrand")},
-		{"obsvirtual", det("obsvirtual")},
-		{"maprange", det("maprange")},
+		{"sleepban", Config{SleepScope: []string{"fix/sleepban"}}},
 		{"bufalias", Config{}}, // empty AliasingScope: the check applies everywhere
 		{"bufaliasimmutable", Config{
 			ImmutableBytes: []string{"fix/bufaliasimmutable.Frame"},
@@ -107,7 +107,13 @@ func TestAnalyzerFixtures(t *testing.T) {
 		{"goroutines", Config{GoroutineScope: []string{"fix/goroutines"}}},
 		{"errcheck", Config{ErrcheckScope: []string{"fix/errcheck"}}},
 		{"clean", Config{
-			Deterministic:  []string{"fix/clean"},
+			DeterministicRoots: []string{
+				"fix/clean.keys",
+				"fix/clean.draw",
+				"fix/clean.apply",
+				"fix/clean.shutdown",
+				"fix/clean.state.set",
+			},
 			GoroutineScope: []string{"fix"},
 			ErrcheckScope:  []string{"fix/clean"},
 		}},
@@ -137,14 +143,19 @@ func TestGoroutineAllowList(t *testing.T) {
 // because //lint:allow and // want cannot share a comment.
 func TestSuppressions(t *testing.T) {
 	pkg := loadFixture(t, "allow")
-	diags := RunAnalyzers(Suite(), []*Package{pkg}, Config{Deterministic: []string{"fix/allow"}})
+	cfg := Config{DeterministicRoots: []string{
+		"fix/allow.suppressedAbove",
+		"fix/allow.suppressedSameLine",
+		"fix/allow.unsuppressed",
+	}}
+	diags := RunAnalyzers(Suite(), []*Package{pkg}, cfg)
 	want := []struct {
 		line     int
 		analyzer string
 		substr   string
 	}{
-		{18, "wallclock", "time.Now in deterministic package"},
-		{21, "lint", "unused suppression for \"maprange\""},
+		{18, "dettaint", "time.Now on deterministic path"},
+		{21, "lint", "unused suppression for \"dettaint\""},
 		{24, "lint", "malformed suppression"},
 	}
 	if len(diags) != len(want) {
@@ -158,18 +169,116 @@ func TestSuppressions(t *testing.T) {
 	}
 }
 
-// TestDefaultScopeCoversObs pins the observability package into the
-// determinism scope: traces are specified to be byte-identical across
-// same-seed runs, which the wallclock/globalrand/maprange analyzers
-// enforce statically.
-func TestDefaultScopeCoversObs(t *testing.T) {
-	cfg := DefaultConfig()
-	if !cfg.IsDeterministic("bpush/internal/obs") {
-		t.Error("bpush/internal/obs not in the deterministic scope")
+// TestUnusedSuppressionScopedToRun pins the -run interaction: a
+// directive for an analyzer that did not run is not "unused" — only the
+// malformed-directive finding (parsed unconditionally) survives.
+func TestUnusedSuppressionScopedToRun(t *testing.T) {
+	pkg := loadFixture(t, "allow")
+	diags := RunAnalyzers([]*Analyzer{HotAllocAnalyzer()}, []*Package{pkg}, Config{})
+	if len(diags) != 1 {
+		t.Fatalf("got %d diagnostics, want 1 (malformed only):\n%v", len(diags), diags)
 	}
-	// Prefixes must not leak: only the exact path carries the invariant.
-	if cfg.IsDeterministic("bpush/internal/obsolete") {
-		t.Error("path matching is not exact")
+	if d := diags[0]; d.Line != 24 || !strings.Contains(d.Message, "malformed suppression") {
+		t.Errorf("diag = %s; want malformed suppression at line 24", d)
+	}
+}
+
+// TestHotpathDirectives polices the //lint:hotpath annotation the same
+// way TestSuppressions polices //lint:allow: a reason-less directive and
+// a directive outside a doc comment are findings. Expectations are
+// explicit because //lint and // want cannot share a line.
+func TestHotpathDirectives(t *testing.T) {
+	pkg := loadFixture(t, "hotpathdir")
+	diags := RunAnalyzers([]*Analyzer{HotAllocAnalyzer()}, []*Package{pkg}, Config{})
+	want := []struct {
+		line   int
+		substr string
+	}{
+		{6, "malformed hotpath annotation"},
+		{10, "misplaced hotpath annotation"},
+	}
+	if len(diags) != len(want) {
+		t.Fatalf("got %d diagnostics, want %d:\n%v", len(diags), len(want), diags)
+	}
+	for i, w := range want {
+		d := diags[i]
+		if d.Line != w.line || d.Analyzer != "hotalloc" || !strings.Contains(d.Message, w.substr) {
+			t.Errorf("diag %d = %s; want line %d containing %q", i, d, w.line, w.substr)
+		}
+	}
+}
+
+// TestBadRootIsFinding pins the config hygiene rule: a deterministic
+// root that resolves to nothing is itself a finding (file "<config>"),
+// so a typo cannot silently shrink the enforced surface.
+func TestBadRootIsFinding(t *testing.T) {
+	pkg := loadFixture(t, "clean")
+	cfg := Config{DeterministicRoots: []string{"fix/clean.NoSuchFunc"}}
+	diags := RunAnalyzers([]*Analyzer{DetTaintAnalyzer()}, []*Package{pkg}, cfg)
+	if len(diags) != 1 {
+		t.Fatalf("got %d diagnostics, want 1:\n%v", len(diags), diags)
+	}
+	d := diags[0]
+	if d.File != "<config>" || !strings.Contains(d.Message, "matches no function in the module") {
+		t.Errorf("diag = %s; want a <config> finding for the unresolved root", d)
+	}
+}
+
+var (
+	moduleOnce sync.Once
+	modulePkgs []*Package
+	moduleErr  error
+)
+
+// loadModule loads the real module once for every test that needs it.
+func loadModule(t *testing.T) []*Package {
+	t.Helper()
+	moduleOnce.Do(func() {
+		modulePkgs, moduleErr = Load(filepath.Join("..", ".."))
+	})
+	if moduleErr != nil {
+		t.Fatalf("load module: %v", moduleErr)
+	}
+	if len(modulePkgs) == 0 {
+		t.Fatal("no packages loaded")
+	}
+	return modulePkgs
+}
+
+// TestDefaultRootsResolve pins the default entry-point list against the
+// real module: every spec must resolve, and the deterministic plane must
+// still cover the helper tiers that used to be scoped by package —
+// det's sorted walks, the obs render path, and every Scheme per-cycle
+// entry via interface expansion.
+func TestDefaultRootsResolve(t *testing.T) {
+	pkgs := loadModule(t)
+	g := FlowGraph(pkgs)
+	cfg := DefaultConfig()
+	var roots []*flow.Node
+	for _, spec := range cfg.DeterministicRoots {
+		nodes := g.Lookup(spec)
+		if len(nodes) == 0 {
+			t.Errorf("deterministic root %q matches no function", spec)
+			continue
+		}
+		roots = append(roots, nodes...)
+	}
+	reach := g.Reach(roots)
+	for _, id := range []string{
+		"bpush/internal/det.SortedKeys",
+		"bpush/internal/core.invOnly.NewCycle",
+		"bpush/internal/core.sgt.NewCycle",
+		"bpush/internal/core.mvCache.NewCycle",
+		"bpush/internal/sg.Graph.Apply",
+	} {
+		n := g.Node(id)
+		if n == nil {
+			t.Errorf("no node %q in the module graph", id)
+			continue
+		}
+		if !reach.Contains(n) {
+			t.Errorf("deterministic plane does not reach %s (reached %d nodes)", id, len(reach.Nodes()))
+		}
 	}
 }
 
@@ -181,11 +290,26 @@ func TestDefaultScopeBansServerSleep(t *testing.T) {
 	if !cfg.SleepBanned("bpush/internal/server") {
 		t.Error("bpush/internal/server not in the sleep-banned scope")
 	}
-	if !cfg.IsDeterministic("bpush/internal/server") {
-		t.Error("bpush/internal/server not in the deterministic scope")
-	}
 	if cfg.SleepBanned("bpush/internal/serverless") {
 		t.Error("sleep-scope path matching is not exact")
+	}
+}
+
+// TestDefaultScopeLocksFanOut pins the fan-out tier into the lockorder
+// scopes: netcast's locks keep one global order and ban blocking while
+// held; the lock tables under it join the ordering only.
+func TestDefaultScopeLocksFanOut(t *testing.T) {
+	cfg := DefaultConfig()
+	for _, p := range []string{"bpush/internal/netcast", "bpush/internal/pool", "bpush/internal/lockmgr"} {
+		if !cfg.LockOrdered(p) {
+			t.Errorf("%s not in the lock-order scope", p)
+		}
+	}
+	if !cfg.LockHoldChecked("bpush/internal/netcast") {
+		t.Error("bpush/internal/netcast not in the lock-hold scope")
+	}
+	if cfg.LockHoldChecked("bpush/internal/lockmgr") {
+		t.Error("lockmgr must not be hold-checked: its waiters block by design")
 	}
 }
 
@@ -205,13 +329,7 @@ func TestDefaultScopeSealsNetcastFrame(t *testing.T) {
 // TestLintRepoClean is the gate the CLI enforces in CI, run as a plain
 // test: the full suite over the real module must be silent.
 func TestLintRepoClean(t *testing.T) {
-	pkgs, err := Load(filepath.Join("..", ".."))
-	if err != nil {
-		t.Fatalf("load module: %v", err)
-	}
-	if len(pkgs) == 0 {
-		t.Fatal("no packages loaded")
-	}
+	pkgs := loadModule(t)
 	for _, d := range RunAnalyzers(Suite(), pkgs, DefaultConfig()) {
 		t.Errorf("%s", d)
 	}

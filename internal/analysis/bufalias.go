@@ -165,12 +165,12 @@ func checkImmutableBytes(pass *Pass, f *ast.File) {
 				}
 			}
 		case *ast.CallExpr:
-			if isBuiltin(pass, v.Fun, "append") && len(v.Args) > 0 {
+			if isBuiltin(pass.Info, v.Fun, "append") && len(v.Args) > 0 {
 				if q, immutable := immutableExpr(v.Args[0]); immutable {
 					pass.Reportf(v.Pos(), "in-place append to immutable %s: growth can mutate the shared backing array; build a fresh buffer instead", q)
 				}
 			}
-			if isBuiltin(pass, v.Fun, "copy") && len(v.Args) > 0 {
+			if isBuiltin(pass.Info, v.Fun, "copy") && len(v.Args) > 0 {
 				if q, immutable := immutableExpr(v.Args[0]); immutable {
 					pass.Reportf(v.Pos(), "copy into immutable %s mutates the sealed buffer", q)
 				}
@@ -225,7 +225,7 @@ func aliasesTracked(pass *Pass, tracked map[types.Object]bool, e ast.Expr) bool 
 		return aliasesTracked(pass, tracked, v.X)
 	case *ast.CallExpr:
 		// append(p, ...) may return p's backing array.
-		if isBuiltin(pass, v.Fun, "append") && len(v.Args) > 0 {
+		if isBuiltin(pass.Info, v.Fun, "append") && len(v.Args) > 0 {
 			return aliasesTracked(pass, tracked, v.Args[0])
 		}
 	}

@@ -1,0 +1,73 @@
+package flow
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// DOT renders the call-graph slice of one package as a Graphviz
+// digraph: every node declared in the package, its outgoing edges
+// (including edges into other packages), and the incoming edges from
+// the rest of the module. Output is deterministic — nodes and edges in
+// ID order — so two runs over the same module are byte-identical.
+func (g *Graph) DOT(pkgPath string) string {
+	inPkg := func(n *Node) bool { return n.Pkg != nil && n.Pkg.Path == pkgPath }
+
+	nodes := map[*Node]bool{}
+	type edge struct {
+		from, to *Node
+		kind     EdgeKind
+	}
+	var edges []edge
+	for _, n := range g.Nodes {
+		for _, e := range n.Out {
+			if !inPkg(n) && !inPkg(e.Callee) {
+				continue
+			}
+			nodes[n] = true
+			nodes[e.Callee] = true
+			edges = append(edges, edge{from: n, to: e.Callee, kind: e.Kind})
+		}
+		if inPkg(n) {
+			nodes[n] = true
+		}
+	}
+
+	var ids []*Node
+	for n := range nodes {
+		ids = append(ids, n)
+	}
+	sort.Slice(ids, func(i, j int) bool { return ids[i].ID < ids[j].ID })
+	sort.Slice(edges, func(i, j int) bool {
+		if edges[i].from.ID != edges[j].from.ID {
+			return edges[i].from.ID < edges[j].from.ID
+		}
+		return edges[i].to.ID < edges[j].to.ID
+	})
+
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "digraph %q {\n", pkgPath)
+	sb.WriteString("  rankdir=LR;\n  node [shape=box, fontsize=10];\n")
+	for _, n := range ids {
+		attrs := ""
+		if !inPkg(n) {
+			attrs = ", style=dashed"
+		}
+		fmt.Fprintf(&sb, "  %q [label=%q%s];\n", n.ID, n.ID, attrs)
+	}
+	for _, e := range edges {
+		style := ""
+		switch e.kind {
+		case KindDynamic:
+			style = " [style=dashed, label=\"dyn\"]"
+		case KindClosure:
+			style = " [style=dotted, label=\"closure\"]"
+		case KindRef:
+			style = " [style=dotted, label=\"ref\"]"
+		}
+		fmt.Fprintf(&sb, "  %q -> %q%s;\n", e.from.ID, e.to.ID, style)
+	}
+	sb.WriteString("}\n")
+	return sb.String()
+}

@@ -1,0 +1,688 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+
+	"bpush/internal/analysis/flow"
+)
+
+// LockOrderAnalyzer enforces two locking invariants over the packages
+// in Config.LockOrderScope (the fan-out tier and the lock tables under
+// it):
+//
+//   - one global acquisition order: if any code path acquires lock B
+//     while holding lock A, no path may acquire A while holding B
+//     (directly or through callees — the call graph supplies
+//     transitive acquisition summaries), and no path may re-acquire a
+//     lock it already holds;
+//   - for the packages in Config.LockHoldScope, nothing blocking while
+//     a lock is held: no channel send or receive outside a
+//     select-with-default, no select without a default case, no
+//     WaitGroup.Wait or time.Sleep — a slow subscriber must never be
+//     able to stall the broadcaster from inside a shard or station
+//     lock. (sync.Cond.Wait is exempt: it releases the mutex while
+//     waiting.)
+//
+// Lock identity is the declared mutex variable or struct field, so
+// every instance of a type shares one identity: per-instance ordering
+// schemes are treated as inversions, conservatively. The held-set
+// tracking is lexical (branch-aware, flow-insensitive across calls
+// through function values), a soundness trade documented in DESIGN.md.
+func LockOrderAnalyzer() *Analyzer {
+	a := &Analyzer{
+		Name: "lockorder",
+		Doc:  "enforce one global mutex acquisition order, and no blocking operations while holding a fan-out lock",
+	}
+	a.RunModule = func(p *ModulePass) {
+		lo := &lockAnalysis{
+			p:         p,
+			summaries: map[*flow.Node]*lockSummary{},
+			names:     map[types.Object]string{},
+		}
+		lo.run()
+	}
+	return a
+}
+
+// lockSummary is what one function may do with scoped locks,
+// transitively through its callees.
+type lockSummary struct {
+	acquires map[types.Object]token.Pos // scoped locks possibly acquired; earliest position
+	block    *blockSite                 // a blocking operation possibly performed, if any
+}
+
+type blockSite struct {
+	pos  token.Pos
+	what string
+}
+
+// orderEdge records "to acquired while from was held" at pos.
+type orderEdge struct {
+	from, to types.Object
+	pos      token.Pos
+}
+
+type lockAnalysis struct {
+	p         *ModulePass
+	summaries map[*flow.Node]*lockSummary
+	names     map[types.Object]string
+	edges     []orderEdge
+}
+
+func (lo *lockAnalysis) run() {
+	// Phase 1: direct facts per function, module-wide (a scoped lock
+	// can only be touched by code that can see it, but blocking
+	// behavior propagates from anywhere).
+	for _, n := range lo.p.Graph.Nodes {
+		lo.summaries[n] = lo.directFacts(n)
+	}
+	// Phase 2: transitive closure over the call graph, to fixpoint.
+	for changed := true; changed; {
+		changed = false
+		for _, n := range lo.p.Graph.Nodes {
+			s := lo.summaries[n]
+			for _, e := range n.Out {
+				cs := lo.summaries[e.Callee]
+				if cs == nil {
+					continue
+				}
+				for _, obj := range sortedLockObjs(cs.acquires, lo) {
+					pos := cs.acquires[obj]
+					if old, ok := s.acquires[obj]; !ok || pos < old {
+						if s.acquires == nil {
+							s.acquires = map[types.Object]token.Pos{}
+						}
+						s.acquires[obj] = pos
+						changed = true
+					}
+				}
+				if cs.block != nil && (s.block == nil || cs.block.pos < s.block.pos) {
+					s.block = cs.block
+					changed = true
+				}
+			}
+		}
+	}
+	// Phase 3: walk scoped functions with held-set tracking, recording
+	// order edges and reporting hold violations.
+	for _, n := range lo.p.Graph.Nodes {
+		if n.Body == nil || n.Pkg == nil || !lo.p.Config.LockOrdered(n.Pkg.Path) {
+			continue
+		}
+		w := &heldWalker{lo: lo, node: n}
+		w.stmts(n.Body.List, nil)
+	}
+	// Phase 4: cycle detection over the acquisition-order graph.
+	lo.reportInversions()
+}
+
+// lockObject resolves the expression a sync.(RW)Mutex method is called
+// on to the declared variable or field identity, or nil when it is not
+// a scoped lock.
+func (lo *lockAnalysis) lockObject(info *types.Info, x ast.Expr) types.Object {
+	var obj types.Object
+	switch e := x.(type) {
+	case *ast.Ident:
+		obj = info.Uses[e]
+	case *ast.SelectorExpr:
+		if s := info.Selections[e]; s != nil {
+			obj = s.Obj()
+		} else {
+			obj = info.Uses[e.Sel] // package-qualified var
+		}
+	default:
+		return nil
+	}
+	if obj == nil || obj.Pkg() == nil || !lo.p.Config.LockOrdered(obj.Pkg().Path()) {
+		return nil
+	}
+	return obj
+}
+
+// lockCall classifies a call as a mutex operation on a scoped lock.
+// acquire is true for Lock/RLock, false for Unlock/RUnlock.
+func (lo *lockAnalysis) lockCall(info *types.Info, call *ast.CallExpr) (obj types.Object, acquire, ok bool) {
+	sel, isSel := call.Fun.(*ast.SelectorExpr)
+	if !isSel {
+		return nil, false, false
+	}
+	fn, isFn := info.Uses[sel.Sel].(*types.Func)
+	if !isFn || fn.Pkg() == nil || fn.Pkg().Path() != "sync" {
+		return nil, false, false
+	}
+	recv := fn.Type().(*types.Signature).Recv()
+	if recv == nil {
+		return nil, false, false
+	}
+	switch recvTypeNameOf(recv.Type()) {
+	case "Mutex", "RWMutex":
+	default:
+		return nil, false, false
+	}
+	switch fn.Name() {
+	case "Lock", "RLock":
+		acquire = true
+	case "Unlock", "RUnlock":
+	default:
+		return nil, false, false
+	}
+	obj = lo.lockObject(info, sel.X)
+	if obj == nil {
+		return nil, false, false
+	}
+	return obj, acquire, true
+}
+
+func recvTypeNameOf(t types.Type) string {
+	if p, ok := t.(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	if n, ok := t.(*types.Named); ok {
+		return n.Obj().Name()
+	}
+	return ""
+}
+
+// directFacts scans one node's own body for lock acquisitions and
+// blocking operations, ignoring held-state (phase 3 redoes the precise
+// walk for scoped functions).
+func (lo *lockAnalysis) directFacts(n *flow.Node) *lockSummary {
+	s := &lockSummary{}
+	if n.Body == nil || n.Pkg == nil {
+		return s
+	}
+	info := n.Pkg.Info
+	var visit func(x ast.Node, inDefault bool) bool
+	visit = func(x ast.Node, inDefault bool) bool {
+		switch v := x.(type) {
+		case *ast.FuncLit:
+			return false
+		case *ast.CallExpr:
+			if obj, acquire, ok := lo.lockCall(info, v); ok && acquire {
+				if s.acquires == nil {
+					s.acquires = map[types.Object]token.Pos{}
+				}
+				if old, seen := s.acquires[obj]; !seen || v.Pos() < old {
+					s.acquires[obj] = v.Pos()
+				}
+			}
+			if what := blockingCall(info, v); what != "" {
+				s.noteBlock(v.Pos(), what)
+			}
+		case *ast.SendStmt:
+			if !inDefault {
+				s.noteBlock(v.Pos(), "channel send")
+			}
+		case *ast.UnaryExpr:
+			if v.Op == token.ARROW && !inDefault {
+				s.noteBlock(v.Pos(), "channel receive")
+			}
+		case *ast.SelectStmt:
+			guarded := selectHasDefault(v)
+			if !guarded {
+				s.noteBlock(v.Pos(), "select without default")
+			}
+			for _, cl := range v.Body.List {
+				ast.Inspect(cl, func(y ast.Node) bool { return visit(y, guarded) })
+			}
+			return false
+		case *ast.GoStmt:
+			// The spawned goroutine runs without the caller's locks.
+			for _, arg := range v.Call.Args {
+				ast.Inspect(arg, func(y ast.Node) bool { return visit(y, inDefault) })
+			}
+			return false
+		}
+		return true
+	}
+	ast.Inspect(n.Body, func(x ast.Node) bool { return visit(x, false) })
+	return s
+}
+
+func (s *lockSummary) noteBlock(pos token.Pos, what string) {
+	if s.block == nil || pos < s.block.pos {
+		s.block = &blockSite{pos: pos, what: what}
+	}
+}
+
+// blockingCall recognizes calls that block the calling goroutine
+// outright. sync.Cond.Wait is exempt — it releases the associated
+// mutex while waiting, which is the sanctioned way to wait under a
+// lock.
+func blockingCall(info *types.Info, call *ast.CallExpr) string {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok {
+		return ""
+	}
+	fn, ok := info.Uses[sel.Sel].(*types.Func)
+	if !ok || fn.Pkg() == nil {
+		return ""
+	}
+	switch fn.Pkg().Path() {
+	case "sync":
+		if fn.Name() == "Wait" && recvTypeNameOf(fn.Type().(*types.Signature).Recv().Type()) == "WaitGroup" {
+			return "sync.WaitGroup.Wait"
+		}
+	case "time":
+		if fn.Name() == "Sleep" {
+			return "time.Sleep"
+		}
+	}
+	return ""
+}
+
+func selectHasDefault(s *ast.SelectStmt) bool {
+	for _, cl := range s.Body.List {
+		if c, ok := cl.(*ast.CommClause); ok && c.Comm == nil {
+			return true
+		}
+	}
+	return false
+}
+
+// heldEntry is one lock in the held set, with where it was taken.
+type heldEntry struct {
+	obj types.Object
+	pos token.Pos
+}
+
+// heldWalker tracks the held-lock set through one scoped function,
+// branch by branch.
+type heldWalker struct {
+	lo   *lockAnalysis
+	node *flow.Node
+}
+
+func (w *heldWalker) info() *types.Info { return w.node.Pkg.Info }
+
+func copyHeld(held []heldEntry) []heldEntry {
+	return append([]heldEntry(nil), held...)
+}
+
+func heldIndex(held []heldEntry, obj types.Object) int {
+	for i, h := range held {
+		if h.obj == obj {
+			return i
+		}
+	}
+	return -1
+}
+
+// stmts walks a statement list, threading the held set through.
+func (w *heldWalker) stmts(list []ast.Stmt, held []heldEntry) []heldEntry {
+	for _, st := range list {
+		held = w.stmt(st, held)
+	}
+	return held
+}
+
+func (w *heldWalker) stmt(st ast.Stmt, held []heldEntry) []heldEntry {
+	switch s := st.(type) {
+	case *ast.ExprStmt:
+		if call, ok := s.X.(*ast.CallExpr); ok {
+			return w.call(call, held)
+		}
+		w.exprOps(s.X, held)
+	case *ast.DeferStmt:
+		if obj, acquire, ok := w.lo.lockCall(w.info(), s.Call); ok && !acquire {
+			// defer x.Unlock(): held until return; nothing to update.
+			_ = obj
+			return held
+		}
+		// A deferred call runs at return — approximate with the current
+		// held set (defers under a still-held lock are the risky shape).
+		w.exprOps(s.Call, held)
+	case *ast.AssignStmt:
+		for _, e := range s.Rhs {
+			w.exprOps(e, held)
+		}
+		for _, e := range s.Lhs {
+			w.exprOps(e, held)
+		}
+	case *ast.ReturnStmt:
+		for _, e := range s.Results {
+			w.exprOps(e, held)
+		}
+	case *ast.SendStmt:
+		w.blockOp(s.Pos(), "channel send", held)
+		w.exprOps(s.Chan, held)
+		w.exprOps(s.Value, held)
+	case *ast.IncDecStmt:
+		w.exprOps(s.X, held)
+	case *ast.IfStmt:
+		if s.Init != nil {
+			held = w.stmt(s.Init, held)
+		}
+		w.exprOps(s.Cond, held)
+		thenHeld := w.stmts(s.Body.List, copyHeld(held))
+		elseHeld := held
+		if s.Else != nil {
+			elseHeld = w.stmt(s.Else, copyHeld(held))
+		}
+		switch {
+		case terminates(s.Body):
+			return elseHeld
+		case s.Else != nil && stmtTerminates(s.Else):
+			return thenHeld
+		default:
+			return unionHeld(thenHeld, elseHeld)
+		}
+	case *ast.BlockStmt:
+		return w.stmts(s.List, held)
+	case *ast.ForStmt:
+		if s.Init != nil {
+			held = w.stmt(s.Init, held)
+		}
+		if s.Cond != nil {
+			w.exprOps(s.Cond, held)
+		}
+		inner := w.stmts(s.Body.List, copyHeld(held))
+		if s.Post != nil {
+			w.stmt(s.Post, inner)
+		}
+		return held
+	case *ast.RangeStmt:
+		w.exprOps(s.X, held)
+		w.stmts(s.Body.List, copyHeld(held))
+		return held
+	case *ast.SwitchStmt:
+		if s.Init != nil {
+			held = w.stmt(s.Init, held)
+		}
+		if s.Tag != nil {
+			w.exprOps(s.Tag, held)
+		}
+		for _, cl := range s.Body.List {
+			if c, ok := cl.(*ast.CaseClause); ok {
+				w.stmts(c.Body, copyHeld(held))
+			}
+		}
+		return held
+	case *ast.TypeSwitchStmt:
+		for _, cl := range s.Body.List {
+			if c, ok := cl.(*ast.CaseClause); ok {
+				w.stmts(c.Body, copyHeld(held))
+			}
+		}
+		return held
+	case *ast.SelectStmt:
+		if len(held) > 0 && !selectHasDefault(s) {
+			w.blockOp(s.Pos(), "select without default", held)
+		}
+		for _, cl := range s.Body.List {
+			if c, ok := cl.(*ast.CommClause); ok {
+				w.stmts(c.Body, copyHeld(held))
+			}
+		}
+		return held
+	case *ast.GoStmt:
+		// Spawned goroutine runs without our locks; argument
+		// evaluation is non-blocking.
+		return held
+	case *ast.LabeledStmt:
+		return w.stmt(s.Stmt, held)
+	case *ast.DeclStmt:
+		if gd, ok := s.Decl.(*ast.GenDecl); ok {
+			for _, spec := range gd.Specs {
+				if vs, ok := spec.(*ast.ValueSpec); ok {
+					for _, v := range vs.Values {
+						w.exprOps(v, held)
+					}
+				}
+			}
+		}
+	}
+	return held
+}
+
+// call handles a top-level call statement: mutex operations mutate the
+// held set; everything else is checked like any expression.
+func (w *heldWalker) call(call *ast.CallExpr, held []heldEntry) []heldEntry {
+	if obj, acquire, ok := w.lo.lockCall(w.info(), call); ok {
+		if acquire {
+			w.acquire(obj, call.Pos(), held)
+			return append(held, heldEntry{obj: obj, pos: call.Pos()})
+		}
+		if i := heldIndex(held, obj); i >= 0 {
+			return append(held[:i:i], held[i+1:]...)
+		}
+		return held
+	}
+	w.exprOps(call, held)
+	return held
+}
+
+// acquire records order edges from every held lock to obj, flagging
+// immediate re-acquisition.
+func (w *heldWalker) acquire(obj types.Object, pos token.Pos, held []heldEntry) {
+	for _, h := range held {
+		if h.obj == obj {
+			w.lo.p.Reportf(pos, "nested acquisition of %s (already held since %s): one goroutine, one lock, once",
+				w.lo.lockName(obj), w.lo.p.Fset.Position(h.pos))
+			continue
+		}
+		w.lo.edges = append(w.lo.edges, orderEdge{from: h.obj, to: obj, pos: pos})
+	}
+}
+
+// exprOps scans an expression for blocking operations and for calls
+// whose summaries acquire or block, under the current held set.
+func (w *heldWalker) exprOps(e ast.Expr, held []heldEntry) {
+	info := w.info()
+	ast.Inspect(e, func(x ast.Node) bool {
+		switch v := x.(type) {
+		case *ast.FuncLit:
+			return false
+		case *ast.UnaryExpr:
+			if v.Op == token.ARROW {
+				w.blockOp(v.Pos(), "channel receive", held)
+			}
+		case *ast.CallExpr:
+			if what := blockingCall(info, v); what != "" {
+				w.blockOp(v.Pos(), what, held)
+				return true
+			}
+			if _, _, ok := w.lo.lockCall(info, v); ok {
+				return true // handled by the statement walker
+			}
+			w.calleeEffects(v, held)
+		}
+		return true
+	})
+}
+
+// calleeEffects applies a callee's transitive summary at a call site:
+// its acquisitions create order edges from the held locks, its
+// blocking behavior is a hold violation.
+func (w *heldWalker) calleeEffects(call *ast.CallExpr, held []heldEntry) {
+	if len(held) == 0 {
+		return
+	}
+	id := calleeIdentExpr(call.Fun)
+	if id == nil {
+		return
+	}
+	fn, ok := w.info().Uses[id].(*types.Func)
+	if !ok {
+		return
+	}
+	for _, target := range w.lo.calleeNodes(fn) {
+		sum := w.lo.summaries[target]
+		if sum == nil {
+			continue
+		}
+		for _, obj := range sortedLockObjs(sum.acquires, w.lo) {
+			if heldIndex(held, obj) >= 0 {
+				w.lo.p.Reportf(call.Pos(), "call to %s may acquire %s, already held: nested acquisition through the call graph",
+					target.ID, w.lo.lockName(obj))
+				continue
+			}
+			for _, h := range held {
+				w.lo.edges = append(w.lo.edges, orderEdge{from: h.obj, to: obj, pos: call.Pos()})
+			}
+		}
+		if sum.block != nil {
+			w.holdViolation(call.Pos(), "call to "+target.ID+" may block ("+sum.block.what+" at "+w.lo.p.Fset.Position(sum.block.pos).String()+")", held)
+		}
+	}
+}
+
+// calleeNodes resolves a called function object to graph nodes,
+// devirtualizing module interface methods the same way flow does.
+func (lo *lockAnalysis) calleeNodes(fn *types.Func) []*flow.Node {
+	if n := lo.p.Graph.NodeOf(fn); n != nil {
+		return []*flow.Node{n}
+	}
+	return nil
+}
+
+// blockOp reports a direct blocking operation under held locks.
+func (w *heldWalker) blockOp(pos token.Pos, what string, held []heldEntry) {
+	w.holdViolation(pos, what, held)
+}
+
+func (w *heldWalker) holdViolation(pos token.Pos, what string, held []heldEntry) {
+	for _, h := range held {
+		if w.lo.p.Config.LockHoldChecked(h.obj.Pkg().Path()) {
+			w.lo.p.Reportf(pos, "%s while holding %s (locked at %s): nothing may block inside a fan-out lock",
+				what, w.lo.lockName(h.obj), w.lo.p.Fset.Position(h.pos))
+			return
+		}
+	}
+}
+
+func terminates(b *ast.BlockStmt) bool {
+	if len(b.List) == 0 {
+		return false
+	}
+	return stmtTerminates(b.List[len(b.List)-1])
+}
+
+func stmtTerminates(st ast.Stmt) bool {
+	switch s := st.(type) {
+	case *ast.ReturnStmt:
+		return true
+	case *ast.BranchStmt:
+		return s.Tok == token.BREAK || s.Tok == token.CONTINUE || s.Tok == token.GOTO
+	case *ast.BlockStmt:
+		return terminates(s)
+	case *ast.ExprStmt:
+		if call, ok := s.X.(*ast.CallExpr); ok {
+			if id, ok := call.Fun.(*ast.Ident); ok && id.Name == "panic" {
+				return true
+			}
+		}
+	case *ast.IfStmt:
+		if s.Else == nil {
+			return false
+		}
+		return terminates(s.Body) && stmtTerminates(s.Else)
+	}
+	return false
+}
+
+func unionHeld(a, b []heldEntry) []heldEntry {
+	out := copyHeld(a)
+	for _, h := range b {
+		if heldIndex(out, h.obj) < 0 {
+			out = append(out, h)
+		}
+	}
+	return out
+}
+
+func sortedLockObjs(m map[types.Object]token.Pos, lo *lockAnalysis) []types.Object {
+	objs := make([]types.Object, 0, len(m))
+	for obj := range m {
+		objs = append(objs, obj)
+	}
+	sort.Slice(objs, func(i, j int) bool { return lo.lockName(objs[i]) < lo.lockName(objs[j]) })
+	return objs
+}
+
+// lockName renders a stable human name for a lock object:
+// pkg.Type.field for struct fields, pkg.var otherwise.
+func (lo *lockAnalysis) lockName(obj types.Object) string {
+	if name, ok := lo.names[obj]; ok {
+		return name
+	}
+	name := obj.Pkg().Name() + "." + obj.Name()
+	if v, ok := obj.(*types.Var); ok && v.IsField() {
+		scope := obj.Pkg().Scope()
+		for _, tn := range scope.Names() {
+			t, ok := scope.Lookup(tn).(*types.TypeName)
+			if !ok {
+				continue
+			}
+			st, ok := t.Type().Underlying().(*types.Struct)
+			if !ok {
+				continue
+			}
+			for i := 0; i < st.NumFields(); i++ {
+				if st.Field(i) == obj {
+					name = obj.Pkg().Name() + "." + tn + "." + obj.Name()
+				}
+			}
+		}
+	}
+	lo.names[obj] = name
+	return name
+}
+
+// reportInversions finds cycles in the acquisition-order graph and
+// reports every edge on one, deterministically.
+func (lo *lockAnalysis) reportInversions() {
+	// Adjacency as deduped slices, built from the edge list (which is
+	// already in deterministic graph-walk order) so traversal never
+	// ranges a map.
+	adj := map[types.Object][]types.Object{}
+	for _, e := range lo.edges {
+		dup := false
+		for _, to := range adj[e.from] {
+			if to == e.to {
+				dup = true
+				break
+			}
+		}
+		if !dup {
+			adj[e.from] = append(adj[e.from], e.to)
+		}
+	}
+	reaches := func(from, to types.Object) bool {
+		seen := map[types.Object]bool{from: true}
+		stack := []types.Object{from}
+		for len(stack) > 0 {
+			n := stack[len(stack)-1]
+			stack = stack[:len(stack)-1]
+			for _, m := range adj[n] {
+				if m == to {
+					return true
+				}
+				if !seen[m] {
+					seen[m] = true
+					stack = append(stack, m)
+				}
+			}
+		}
+		return false
+	}
+	type key struct {
+		from, to types.Object
+		pos      token.Pos
+	}
+	seen := map[key]bool{}
+	for _, e := range lo.edges {
+		k := key{e.from, e.to, e.pos}
+		if seen[k] {
+			continue
+		}
+		seen[k] = true
+		if reaches(e.to, e.from) {
+			lo.p.Reportf(e.pos, "lock order inversion: %s acquired while holding %s, but another path acquires them in the opposite order",
+				lo.lockName(e.to), lo.lockName(e.from))
+		}
+	}
+}

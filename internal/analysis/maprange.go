@@ -7,11 +7,10 @@ import (
 	"go/types"
 )
 
-// MapRangeAnalyzer forbids map iteration whose order can escape into
-// results inside the deterministic packages. Go randomizes map iteration
-// per run, so an order leak means the same (seed, plan) no longer
-// replays byte-identically — the exact failure mode the fleet equality
-// tests pin down.
+// This file is the map-iteration-order machinery behind dettaint: Go
+// randomizes map iteration per run, so an order leak means the same
+// (seed, plan) no longer replays byte-identically — the exact failure
+// mode the fleet equality tests pin down.
 //
 // A range over a map is accepted only in order-safe shapes:
 //
@@ -22,46 +21,12 @@ import (
 //     statement(s) immediately following the loop sort the appended
 //     slice (the det.SortedKeys idiom, inlined);
 //
-// everything else is a finding: iterate det.SortedKeys /
+// everything else is a violation: iterate det.SortedKeys /
 // det.SortedKeysFunc instead, or restructure.
-func MapRangeAnalyzer() *Analyzer {
-	a := &Analyzer{
-		Name: "maprange",
-		Doc:  "forbid map-iteration order escaping into results in the deterministic packages",
-	}
-	a.Run = func(pass *Pass) {
-		if !pass.Config.IsDeterministic(pass.PkgPath) {
-			return
-		}
-		for _, f := range pass.Files {
-			ast.Inspect(f, func(n ast.Node) bool {
-				var list []ast.Stmt
-				switch blk := n.(type) {
-				case *ast.BlockStmt:
-					list = blk.List
-				case *ast.CaseClause:
-					list = blk.Body
-				case *ast.CommClause:
-					list = blk.Body
-				default:
-					return true
-				}
-				for i, st := range list {
-					rs, ok := st.(*ast.RangeStmt)
-					if !ok || !isMapRange(pass, rs) {
-						continue
-					}
-					checkMapRange(pass, rs, list[i+1:])
-				}
-				return true
-			})
-		}
-	}
-	return a
-}
 
-func isMapRange(pass *Pass, rs *ast.RangeStmt) bool {
-	tv, ok := pass.Info.Types[rs.X]
+// isMapRange reports whether rs ranges over a map.
+func isMapRange(info *types.Info, rs *ast.RangeStmt) bool {
+	tv, ok := info.Types[rs.X]
 	if !ok || tv.Type == nil {
 		return false
 	}
@@ -69,15 +34,16 @@ func isMapRange(pass *Pass, rs *ast.RangeStmt) bool {
 	return isMap
 }
 
-// checkMapRange classifies the loop body and reports unless it is
-// order-safe. following holds the statements after the loop in the same
-// block, for the append-then-sort exemption.
-func checkMapRange(pass *Pass, rs *ast.RangeStmt, following []ast.Stmt) {
-	vars := rangeVarObjects(pass, rs)
-	c := &rangeChecker{pass: pass, vars: vars}
+// mapRangeViolation classifies the loop body and returns the first
+// order-escape, or ok=false when the loop is order-safe. following
+// holds the statements after the loop in the same block, for the
+// append-then-sort exemption.
+func mapRangeViolation(info *types.Info, rs *ast.RangeStmt, following []ast.Stmt) (rangeViolation, bool) {
+	vars := rangeVarObjects(info, rs)
+	c := &rangeChecker{info: info, vars: vars}
 	c.stmts(rs.Body.List)
 	if len(c.violations) == 0 {
-		return
+		return rangeViolation{}, false
 	}
 	// Exemption: nothing but self-appends, each sorted right after the
 	// loop (one sort statement per distinct append target).
@@ -90,17 +56,15 @@ func checkMapRange(pass *Pass, rs *ast.RangeStmt, following []ast.Stmt) {
 		}
 		targets[v.appendTarget] = true
 	}
-	if onlyAppends && sortedAfter(pass, targets, following) {
-		return
+	if onlyAppends && sortedAfter(info, targets, following) {
+		return rangeViolation{}, false
 	}
-	v := c.violations[0]
-	pass.Reportf(rs.Pos(), "map iteration order escapes (%s at %s); iterate det.SortedKeys/SortedKeysFunc, or sort the appended slice immediately after the loop",
-		v.what, pass.Fset.Position(v.pos))
+	return c.violations[0], true
 }
 
 // sortedAfter reports whether the statements directly after the loop are
 // sort calls covering every append target.
-func sortedAfter(pass *Pass, targets map[string]bool, following []ast.Stmt) bool {
+func sortedAfter(info *types.Info, targets map[string]bool, following []ast.Stmt) bool {
 	remaining := len(targets)
 	for _, st := range following {
 		if remaining == 0 {
@@ -111,11 +75,16 @@ func sortedAfter(pass *Pass, targets map[string]bool, following []ast.Stmt) bool
 			return false
 		}
 		call, ok := es.X.(*ast.CallExpr)
-		if !ok || !isSortCall(pass, call) {
+		if !ok || !isSortCall(info, call) {
 			return false
 		}
 		hit := false
 		for _, arg := range call.Args {
+			// Sorting a sub-slice of the target (dst[start:]) still sorts
+			// everything the loop appended.
+			if sl, ok := arg.(*ast.SliceExpr); ok {
+				arg = sl.X
+			}
 			s := types.ExprString(arg)
 			if targets[s] {
 				delete(targets, s)
@@ -131,12 +100,12 @@ func sortedAfter(pass *Pass, targets map[string]bool, following []ast.Stmt) bool
 }
 
 // isSortCall recognizes the sort and slices package entry points.
-func isSortCall(pass *Pass, call *ast.CallExpr) bool {
+func isSortCall(info *types.Info, call *ast.CallExpr) bool {
 	sel, ok := call.Fun.(*ast.SelectorExpr)
 	if !ok {
 		return false
 	}
-	fn, ok := pass.Info.Uses[sel.Sel].(*types.Func)
+	fn, ok := info.Uses[sel.Sel].(*types.Func)
 	if !ok || fn.Pkg() == nil {
 		return false
 	}
@@ -155,16 +124,16 @@ func isSortCall(pass *Pass, call *ast.CallExpr) bool {
 	return false
 }
 
-func rangeVarObjects(pass *Pass, rs *ast.RangeStmt) map[types.Object]bool {
+func rangeVarObjects(info *types.Info, rs *ast.RangeStmt) map[types.Object]bool {
 	vars := map[types.Object]bool{}
 	add := func(e ast.Expr) {
 		id, ok := e.(*ast.Ident)
 		if !ok || id.Name == "_" {
 			return
 		}
-		if obj := pass.Info.Defs[id]; obj != nil {
+		if obj := info.Defs[id]; obj != nil {
 			vars[obj] = true
-		} else if obj := pass.Info.Uses[id]; obj != nil {
+		} else if obj := info.Uses[id]; obj != nil {
 			vars[obj] = true
 		}
 	}
@@ -186,7 +155,7 @@ type rangeViolation struct {
 // rangeChecker walks a map-range body and records every statement whose
 // effect can depend on iteration order.
 type rangeChecker struct {
-	pass       *Pass
+	info       *types.Info
 	vars       map[types.Object]bool
 	violations []rangeViolation
 }
@@ -198,7 +167,7 @@ func (c *rangeChecker) uses(e ast.Expr) bool {
 			return false
 		}
 		if id, ok := n.(*ast.Ident); ok {
-			if obj := c.pass.Info.Uses[id]; obj != nil && c.vars[obj] {
+			if obj := c.info.Uses[id]; obj != nil && c.vars[obj] {
 				found = true
 			}
 		}
@@ -302,7 +271,7 @@ func (c *rangeChecker) assign(s *ast.AssignStmt) {
 	// Self-append: s = append(s, ...) — order-dependent, but eligible
 	// for the sort-immediately-after exemption.
 	if len(s.Lhs) == 1 && len(s.Rhs) == 1 {
-		if call, ok := s.Rhs[0].(*ast.CallExpr); ok && isBuiltin(c.pass, call.Fun, "append") && len(call.Args) > 0 {
+		if call, ok := s.Rhs[0].(*ast.CallExpr); ok && isBuiltin(c.info, call.Fun, "append") && len(call.Args) > 0 {
 			lhs := types.ExprString(s.Lhs[0])
 			if types.ExprString(call.Args[0]) == lhs {
 				if c.usesAny(call.Args[1:]) {
@@ -345,7 +314,7 @@ func (c *rangeChecker) call(e ast.Expr) {
 		}
 		return
 	}
-	if isBuiltin(c.pass, call.Fun, "delete") {
+	if isBuiltin(c.info, call.Fun, "delete") {
 		return
 	}
 	if c.usesAny(call.Args) || c.uses(call.Fun) {
@@ -354,11 +323,11 @@ func (c *rangeChecker) call(e ast.Expr) {
 }
 
 // isBuiltin reports whether fun resolves to the named Go builtin.
-func isBuiltin(pass *Pass, fun ast.Expr, name string) bool {
+func isBuiltin(info *types.Info, fun ast.Expr, name string) bool {
 	id, ok := fun.(*ast.Ident)
 	if !ok || id.Name != name {
 		return false
 	}
-	_, ok = pass.Info.Uses[id].(*types.Builtin)
+	_, ok = info.Uses[id].(*types.Builtin)
 	return ok
 }

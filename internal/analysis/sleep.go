@@ -1,0 +1,47 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// SleepAnalyzer forbids time.Sleep and timer construction in the
+// packages listed in Config.SleepScope — packages whose *liveness* must
+// not depend on real time. The server's deadlock backoff yields to the
+// scheduler instead of sleeping, so commit progress is driven by the
+// lock holders running, not by elapsed wall time.
+//
+// Wall-clock *reads* (time.Now/Since/Until) are not this analyzer's
+// business: the dettaint analyzer chases those transitively from the
+// deterministic entry points, so a read hidden behind a helper or an
+// interface is caught wherever it lands. Sleeping is a per-package
+// liveness property, which is why this one check keeps package scoping.
+func SleepAnalyzer() *Analyzer {
+	a := &Analyzer{
+		Name: "sleepban",
+		Doc:  "forbid time.Sleep and timer construction in the sleep-banned packages",
+	}
+	sleepy := map[string]bool{"Sleep": true, "After": true, "Tick": true, "NewTimer": true, "NewTicker": true, "AfterFunc": true}
+	a.Run = func(pass *Pass) {
+		if !pass.Config.SleepBanned(pass.PkgPath) {
+			return
+		}
+		for _, f := range pass.Files {
+			ast.Inspect(f, func(n ast.Node) bool {
+				sel, ok := n.(*ast.SelectorExpr)
+				if !ok {
+					return true
+				}
+				fn, ok := pass.Info.Uses[sel.Sel].(*types.Func)
+				if !ok || fn.Pkg() == nil || fn.Pkg().Path() != "time" {
+					return true
+				}
+				if sleepy[fn.Name()] {
+					pass.Reportf(sel.Pos(), "time.%s in sleep-banned package %s: progress must come from the scheduler (runtime.Gosched), not elapsed real time", fn.Name(), pass.PkgPath)
+				}
+				return true
+			})
+		}
+	}
+	return a
+}

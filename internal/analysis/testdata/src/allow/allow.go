@@ -1,25 +1,25 @@
-// Fixture for the suppression machinery: a justified //lint:allow on the
-// line above or the same line silences the finding; a directive without a
-// reason and a directive that matches nothing are findings themselves.
+// Fixture for the suppression machinery: //lint:allow on the same or
+// previous line drops a finding; stale and malformed directives are
+// findings themselves. The test roots dettaint at the clock readers.
 package allow
 
 import "time"
 
 func suppressedAbove() time.Time {
-	//lint:allow wallclock operator-facing timestamps are wall-clock by design
+	//lint:allow dettaint operator-facing timestamp, wall clock by design
 	return time.Now()
 }
 
 func suppressedSameLine() time.Time {
-	return time.Now() //lint:allow wallclock fixture exercises same-line placement
+	return time.Now() //lint:allow dettaint same-line placement exercised by the test
 }
 
 func unsuppressed() time.Time {
-	return time.Now() // this wallclock finding must survive
+	return time.Now()
 }
 
-//lint:allow maprange nothing on the next line ever triggers maprange
+//lint:allow dettaint nothing here triggers dettaint, so this is stale
 func stale() {}
 
-//lint:allow wallclock
+//lint:allow dettaint
 func missingReason() {}

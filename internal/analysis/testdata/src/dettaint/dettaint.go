@@ -1,0 +1,72 @@
+// Fixture for the dettaint analyzer: transitive wall-clock, global-rand,
+// and map-order taint from a configured entry point. The test config roots
+// the analysis at fix/dettaint.Run; only functions reachable from Run are
+// on the deterministic plane.
+package dettaint
+
+import (
+	"math/rand"
+	"slices"
+	"sort"
+	"time"
+)
+
+// Run is the deterministic root. Everything it reaches — directly or
+// through helpers — must be a function of (seed, plan).
+func Run(seed int64) []string {
+	stamp()
+	draw(newRand(seed))
+	fine(map[string]int{"a": 1})
+	out := leak(map[string]int{"b": 2})
+	return subSlice(out, map[string]int{"c": 3})
+}
+
+func stamp() time.Time {
+	return time.Now() // want "time.Now on deterministic path"
+}
+
+// draw is two calls deep from the root; the taint is transitive.
+func draw(r *rand.Rand) int {
+	_ = r.Intn(10)       // seeded source: fine
+	return rand.Intn(10) // want "global-source rand.Intn"
+}
+
+func newRand(seed int64) *rand.Rand {
+	return rand.New(rand.NewSource(seed))
+}
+
+// leak lets map-iteration order escape into the returned slice.
+func leak(m map[string]int) []string {
+	var out []string
+	for k := range m { // want "map iteration order escapes"
+		out = append(out, k)
+	}
+	return out
+}
+
+// fine sorts immediately after the loop, so no order escapes.
+func fine(m map[string]int) []string {
+	out := make([]string, 0, len(m))
+	for k := range m {
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// subSlice sorts only the appended tail — still deterministic, the
+// exemption unwraps the slice expression.
+func subSlice(dst []string, m map[string]int) []string {
+	start := len(dst)
+	for k := range m {
+		dst = append(dst, k)
+	}
+	slices.Sort(dst[start:])
+	return dst
+}
+
+// offPlane is not reachable from Run: its clock read is legitimate
+// operator-facing code and must produce no finding.
+func offPlane() time.Time {
+	return time.Now()
+}

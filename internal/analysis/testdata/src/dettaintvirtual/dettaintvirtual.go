@@ -1,0 +1,36 @@
+// Fixture for dettaint's call-graph edges that static call resolution
+// alone cannot see: dynamic dispatch through a module interface
+// (conservative devirtualization reaches every implementation) and
+// closure bodies (a function literal inherits its creator's taint).
+package dettaintvirtual
+
+import "time"
+
+// Sink is a module-declared interface, so calls through it devirtualize
+// to every module implementation.
+type Sink interface{ Record(v int) }
+
+type clockSink struct{ last time.Time }
+
+func (s *clockSink) Record(v int) {
+	s.last = time.Now() // want "time.Now on deterministic path"
+}
+
+type pureSink struct{ n int }
+
+func (s *pureSink) Record(v int) { s.n += v }
+
+// Run is the deterministic root: the interface call taints both Record
+// implementations, and the closure body is tainted through its creator.
+func Run(s Sink) {
+	s.Record(1)
+	viaClosure()
+}
+
+func viaClosure() func() time.Time {
+	f := func() time.Time {
+		return time.Now() // want "time.Now on deterministic path"
+	}
+	f()
+	return f
+}

@@ -1,0 +1,48 @@
+// Fixture for the hotalloc analyzer: allocation sites reachable from a
+// //lint:hotpath entry point, ranked by call-path depth. Functions off
+// the hot graph allocate freely; nil-guarded lazy init is exempt.
+package hotalloc
+
+type owner struct {
+	items []int
+	index map[int]int
+}
+
+// perCycle is the annotated hot entry point: every allocation it
+// reaches recurs once per client per cycle.
+//
+//lint:hotpath the fixture's per-cycle fan-out entry
+func perCycle(n int, s *owner) int {
+	buf := make([]int, n) // want "[depth 0] make"
+	for i := 0; i < n; i++ {
+		s.items = append(s.items, i) // want "append growth in loop"
+		s.index[i] = i               // want "map insert in loop"
+	}
+	if s.index == nil {
+		s.index = make(map[int]int) // lazy init under a nil guard: exempt
+	}
+	f := func() int { return n } // want "closure capture"
+	lits := []int{n}             // want "slice literal"
+	esc := &owner{}              // want "escaping composite literal"
+	box(plain{v: n})             // want "interface boxing"
+	return helper(n) + f() + buf[0] + lits[0] + len(esc.items)
+}
+
+// helper is one call deep: its findings carry depth 1 and the path.
+func helper(n int) int {
+	p := new(owner) // want "[depth 1] new"
+	return n + len(p.items)
+}
+
+type summer interface{ sum() int }
+
+type plain struct{ v int }
+
+func (p plain) sum() int { return p.v }
+
+func box(s summer) int { return s.sum() }
+
+// cold is reachable from no hot entry point: allocate freely.
+func cold(n int) []int {
+	return make([]int, n)
+}

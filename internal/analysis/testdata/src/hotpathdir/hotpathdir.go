@@ -1,0 +1,12 @@
+// Fixture for hotpath directive policing, driven by
+// TestHotpathDirectives with explicit line expectations — a //lint
+// directive and a // want comment cannot share a source line.
+package hotpathdir
+
+//lint:hotpath
+func malformed() {}
+
+func host() {
+	//lint:hotpath a body comment is not an entry-point annotation
+	_ = 0
+}

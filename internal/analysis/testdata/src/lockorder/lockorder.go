@@ -1,0 +1,141 @@
+// Fixture for the lockorder analyzer: acquisition-order inversions
+// (direct and through the call graph), nested acquisition, and blocking
+// operations under a held lock. The test config puts fix/lockorder in
+// both LockOrderScope and LockHoldScope.
+package lockorder
+
+import "sync"
+
+type pair struct {
+	a  sync.Mutex
+	b  sync.Mutex
+	c  sync.Mutex
+	d  sync.Mutex
+	e  sync.Mutex
+	f  sync.Mutex
+	ch chan int
+}
+
+// abPath establishes the order a < b …
+func (p *pair) abPath() {
+	p.a.Lock()
+	p.b.Lock() // want "lock order inversion"
+	p.b.Unlock()
+	p.a.Unlock()
+}
+
+// … and baPath takes them the other way around: both edges of the
+// cycle are reported.
+func (p *pair) baPath() {
+	p.b.Lock()
+	p.a.Lock() // want "lock order inversion"
+	p.a.Unlock()
+	p.b.Unlock()
+}
+
+// acquireD gives callers a transitive d acquisition.
+func (p *pair) acquireD() {
+	p.d.Lock()
+	p.d.Unlock()
+}
+
+// cThenD orders c < d through the callee's summary …
+func (p *pair) cThenD() {
+	p.c.Lock()
+	p.acquireD() // want "lock order inversion"
+	p.c.Unlock()
+}
+
+// … while dThenC orders them directly the other way.
+func (p *pair) dThenC() {
+	p.d.Lock()
+	p.c.Lock() // want "lock order inversion"
+	p.c.Unlock()
+	p.d.Unlock()
+}
+
+// nested re-acquires a lock this goroutine already holds.
+func (p *pair) nested() {
+	p.e.Lock()
+	p.e.Lock() // want "nested acquisition of"
+	p.e.Unlock()
+	p.e.Unlock()
+}
+
+func (p *pair) acquireE() {
+	p.e.Lock()
+	p.e.Unlock()
+}
+
+// nestedVia re-acquires through a callee's summary.
+func (p *pair) nestedVia() {
+	p.e.Lock()
+	p.acquireE() // want "nested acquisition through the call graph"
+	p.e.Unlock()
+}
+
+func (p *pair) sendUnderLock() {
+	p.f.Lock()
+	p.ch <- 1 // want "channel send while holding"
+	p.f.Unlock()
+}
+
+func (p *pair) recvUnderLock() {
+	p.f.Lock()
+	<-p.ch // want "channel receive while holding"
+	p.f.Unlock()
+}
+
+func (p *pair) selectNoDefault() {
+	p.f.Lock()
+	select { // want "select without default while holding"
+	case v := <-p.ch:
+		_ = v
+	}
+	p.f.Unlock()
+}
+
+// selectWithDefault cannot block: no finding.
+func (p *pair) selectWithDefault() {
+	p.f.Lock()
+	select {
+	case p.ch <- 1:
+	default:
+	}
+	p.f.Unlock()
+}
+
+func (p *pair) waitUnderLock(wg *sync.WaitGroup) {
+	p.f.Lock()
+	wg.Wait() // want "sync.WaitGroup.Wait while holding"
+	p.f.Unlock()
+}
+
+// mayBlock blocks, but holds nothing itself.
+func (p *pair) mayBlock() {
+	p.ch <- 1
+}
+
+// blockVia blocks through the callee's summary.
+func (p *pair) blockVia() {
+	p.f.Lock()
+	p.mayBlock() // want "may block"
+	p.f.Unlock()
+}
+
+// condWait is the sanctioned way to wait under a lock: Cond.Wait
+// releases the mutex while waiting. No finding.
+func (p *pair) condWait(c *sync.Cond) {
+	p.f.Lock()
+	c.Wait()
+	p.f.Unlock()
+}
+
+// spawn hands work to a goroutine that runs without our locks.
+func (p *pair) spawn() {
+	p.f.Lock()
+	go func() {
+		p.ch <- 1
+	}()
+	p.f.Unlock()
+}

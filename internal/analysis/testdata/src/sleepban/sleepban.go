@@ -1,0 +1,19 @@
+// Fixture for the sleepban analyzer: time.Sleep and timer construction
+// are banned in the packages of SleepScope, regardless of reachability.
+package sleepban
+
+import "time"
+
+func backoff() {
+	time.Sleep(time.Millisecond) // want "time.Sleep in sleep-banned package"
+}
+
+func timer() *time.Timer {
+	return time.NewTimer(time.Second) // want "time.NewTimer in sleep-banned package"
+}
+
+// reading the clock is dettaint's business, not sleepban's; with no
+// deterministic root configured here it is no finding at all.
+func stamp() time.Time {
+	return time.Now()
+}

@@ -69,15 +69,22 @@ type bucketView struct {
 // NewCycleIndex derives the shared index for b. It fails only when the
 // becast's serialization-graph delta is invalid (a commit-order violation,
 // impossible for server-assembled becasts).
+//
+//lint:hotpath index derivation runs every cycle, per client in local-index mode
 func NewCycleIndex(b *Bcast) (*CycleIndex, error) {
+	//lint:allow hotalloc the CycleIndex is the cycle's retained shared product; clients may still hold the previous index, so it cannot be recycled
 	x := &CycleIndex{
 		entries: len(b.Entries),
+		//lint:allow hotalloc pre-sized once per cycle into the retained index, shared by every client
 		writers: make(map[model.ItemID]model.TxID, len(b.Report)),
 	}
 	if len(b.Report) > 0 {
+		//lint:allow hotalloc pre-sized once per cycle into the retained index, shared by every client
 		x.ordered = make([]model.ItemID, 0, len(b.Report))
 		for _, e := range b.Report {
+			//lint:allow hotalloc the slice above is pre-sized to the report, so these appends never grow it
 			x.ordered = append(x.ordered, e.Item)
+			//lint:allow hotalloc the map above is pre-sized to the report, so these inserts never grow it
 			x.writers[e.Item] = e.FirstWriter
 		}
 	}
@@ -89,12 +96,14 @@ func NewCycleIndex(b *Bcast) (*CycleIndex, error) {
 		x.delta = cd
 	}
 	if len(b.Overflow) > 0 {
+		//lint:allow hotalloc built once per cycle into the retained index, shared by every client
 		x.spans = make(map[model.ItemID]overflowSpan)
 		for i := 0; i < len(b.Overflow); {
 			j := i + 1
 			for j < len(b.Overflow) && b.Overflow[j].Item == b.Overflow[i].Item {
 				j++
 			}
+			//lint:allow hotalloc one span entry per overflow group, once per cycle, into the retained index
 			x.spans[b.Overflow[i].Item] = overflowSpan{start: i, end: j}
 			i = j
 		}
@@ -178,12 +187,14 @@ func (x *CycleIndex) bucketView(granularity int) *bucketView {
 	if bv := x.buckets[granularity]; bv != nil {
 		return bv
 	}
+	//lint:allow hotalloc memoized once per (cycle, granularity); every bucket query of the cycle reuses it
 	bv = &bucketView{set: make(map[int]struct{}, len(x.ordered))}
 	for _, item := range x.ordered {
 		bk := (int(item) - 1) / granularity
 		if _, dup := bv.set[bk]; dup {
 			continue
 		}
+		//lint:allow hotalloc inserts into the memoized per-cycle bucket view, built once and reused
 		bv.set[bk] = struct{}{}
 		lo := bk*granularity + 1
 		hi := lo + granularity - 1
@@ -191,6 +202,7 @@ func (x *CycleIndex) bucketView(granularity int) *bucketView {
 			hi = x.entries
 		}
 		for i := lo; i <= hi; i++ {
+			//lint:allow hotalloc appends into the memoized per-cycle bucket view, built once and reused
 			bv.expanded = append(bv.expanded, model.ItemID(i))
 		}
 	}

@@ -117,6 +117,7 @@ func (c *Cache) Put(item model.ItemID, v model.Version) (model.ItemID, bool) {
 			evicted, didEvict = victim.Item, true
 		}
 	}
+	//lint:allow hotalloc LRU admission allocates its list entry; admissions are bounded by cache churn, and pooling list.Element is not worth the aliasing risk
 	c.index[item] = c.order.PushFront(&Entry{Item: item, Version: v})
 	return evicted, didEvict
 }
@@ -138,31 +139,42 @@ func (c *Cache) Invalidate(item model.ItemID) (Entry, bool) {
 // InvalidItems returns the resident pages currently marked for
 // autoprefetch, in recency order (most recent first). The order is
 // deterministic so that downstream refills touch the LRU list
-// reproducibly.
+// reproducibly. Per-cycle hot paths should prefer AppendInvalidItems
+// with owner-retained scratch.
 func (c *Cache) InvalidItems() []model.ItemID {
-	var out []model.ItemID
+	return c.AppendInvalidItems(nil)
+}
+
+// AppendInvalidItems appends the invalidated resident pages to dst in
+// recency order and returns the extended slice — the scratch-reuse
+// variant of InvalidItems.
+func (c *Cache) AppendInvalidItems(dst []model.ItemID) []model.ItemID {
 	for el := c.order.Front(); el != nil; el = el.Next() {
 		if e := el.Value.(*Entry); e.Invalid {
-			out = append(out, e.Item)
+			//lint:allow hotalloc appends into caller-retained scratch; capacity amortizes to the cache's steady-state churn
+			dst = append(dst, e.Item)
 		}
 	}
-	return out
+	return dst
 }
 
 // Items returns the IDs of all resident pages (valid and invalidated), in
 // recency order, most recent first.
 func (c *Cache) Items() []model.ItemID {
+	//lint:allow hotalloc reached only through the resync path, which runs once per declared gap, not per cycle
 	out := make([]model.ItemID, 0, len(c.index))
 	for el := c.order.Front(); el != nil; el = el.Next() {
+		//lint:allow hotalloc the slice above is pre-sized to the index, so these appends never grow it
 		out = append(out, el.Value.(*Entry).Item)
 	}
 	return out
 }
 
-// Clear drops every resident page.
+// Clear drops every resident page. The index map is retained and
+// clear()ed so a post-flush refill does not regrow its buckets.
 func (c *Cache) Clear() {
 	c.order.Init()
-	c.index = make(map[model.ItemID]*list.Element, c.capacity)
+	clear(c.index)
 }
 
 // Remove drops the page for item entirely.

@@ -70,6 +70,7 @@ func (e *AbortError) Error() string {
 func (e *AbortError) Is(target error) bool { return target == ErrAborted }
 
 func abortErr(format string, args ...any) error {
+	//lint:allow hotalloc abort construction is the cold path: at most one per doomed transaction
 	return &AbortError{Reason: fmt.Sprintf(format, args...)}
 }
 
@@ -415,7 +416,9 @@ func (v *reportView) reset(b *broadcast.Bcast, granularity int) {
 		clear(v.items)
 	}
 	for _, e := range b.Report {
+		//lint:allow hotalloc ordered is owner-retained [:0] scratch; capacity amortizes to the report size
 		v.ordered = append(v.ordered, e.Item)
+		//lint:allow hotalloc items is owner-retained and clear()-reused; buckets amortize to steady state
 		v.items[e.Item] = e.FirstWriter
 	}
 	if granularity > 1 {
@@ -425,6 +428,7 @@ func (v *reportView) reset(b *broadcast.Bcast, granularity int) {
 			clear(v.buckets)
 		}
 		for _, item := range v.ordered {
+			//lint:allow hotalloc buckets is owner-retained and clear()-reused; buckets amortize to steady state
 			v.buckets[(int(item)-1)/granularity] = struct{}{}
 		}
 	}
@@ -460,6 +464,7 @@ func (v *reportView) each(db int, fn func(model.ItemID)) {
 		if _, dup := v.done[bk]; dup {
 			continue
 		}
+		//lint:allow hotalloc done is owner-retained and clear()-reused dedup scratch
 		v.done[bk] = struct{}{}
 		lo := bk*v.granularity + 1
 		hi := lo + v.granularity - 1

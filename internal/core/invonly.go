@@ -34,6 +34,12 @@ type invOnly struct {
 	view   cycleView   // this cycle's report view (shared index or local scratch)
 	marked model.Cycle // u: cycle of the first readset invalidation (0 = fresh)
 
+	// invalidate is the per-cycle cache-invalidation callback, built
+	// once at construction so NewCycle allocates no closure.
+	invalidate func(model.ItemID)
+	// keyScratch is the sorted-readset-walk scratch, reused per cycle.
+	keyScratch []model.ItemID
+
 	// Reconnection-resync state (Options.ResyncOnReconnect).
 	pendingResync bool
 	lastHeard     model.Cycle
@@ -52,6 +58,7 @@ func newInvOnly(opts Options, versioned bool) (*invOnly, error) {
 			return nil, err
 		}
 		s.cache = c
+		s.invalidate = func(item model.ItemID) { s.cache.Invalidate(item) }
 	}
 	return s, nil
 }
@@ -94,6 +101,8 @@ func (s *invOnly) Begin() error {
 func (s *invOnly) Abort() { s.t.reset(); s.marked = 0 }
 
 // NewCycle implements Scheme.
+//
+//lint:hotpath runs once per client per broadcast cycle
 func (s *invOnly) NewCycle(b *broadcast.Bcast) error {
 	if s.cur != nil {
 		if b.Cycle <= s.cur.Cycle {
@@ -115,14 +124,13 @@ func (s *invOnly) NewCycle(b *broadcast.Bcast) error {
 	}
 	s.view.load(b, s.opts.BucketGranularity, s.opts.ForceLocalIndex)
 	if s.cache != nil {
-		s.view.each(len(b.Entries), func(item model.ItemID) {
-			s.cache.Invalidate(item)
-		})
+		s.view.each(len(b.Entries), s.invalidate)
 	}
 	if s.t.active && s.t.doomed == nil {
 		// Sorted readset walk: the abort reason names the first invalidated
 		// item, which must not depend on map-iteration order.
-		for _, item := range det.SortedKeys(s.t.readset) {
+		s.keyScratch = det.AppendSortedKeys(s.keyScratch[:0], s.t.readset)
+		for _, item := range s.keyScratch {
 			if s.view.invalidates(item) {
 				if s.versioned {
 					recordInvHit(s.opts.Recorder, b.Cycle, item, "marked")

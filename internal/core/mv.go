@@ -70,6 +70,8 @@ func (s *mvBroadcast) Begin() error {
 func (s *mvBroadcast) Abort() { s.t.reset() }
 
 // NewCycle implements Scheme.
+//
+//lint:hotpath runs once per client per broadcast cycle
 func (s *mvBroadcast) NewCycle(b *broadcast.Bcast) error {
 	if s.cur != nil {
 		if b.Cycle <= s.cur.Cycle {

@@ -27,6 +27,15 @@ type mvCache struct {
 	t     txn
 	view  cycleView   // this cycle's report view (shared index or local scratch)
 	cu    model.Cycle // first cycle an item of the readset was invalidated
+
+	// invalidate is the per-cycle invalidation callback, built once at
+	// construction; invCycle carries the cycle it applies, so NewCycle
+	// allocates no capturing closure.
+	invalidate func(model.ItemID)
+	invCycle   model.Cycle
+	// keyScratch and invScratch are per-cycle walk scratch, reused.
+	keyScratch []model.ItemID
+	invScratch []model.ItemID
 }
 
 var _ Scheme = (*mvCache)(nil)
@@ -47,7 +56,9 @@ func newMVCache(opts Options) (*mvCache, error) {
 	if err != nil {
 		return nil, err
 	}
-	return &mvCache{opts: opts, multi: multi}, nil
+	s := &mvCache{opts: opts, multi: multi}
+	s.invalidate = func(item model.ItemID) { s.multi.Invalidate(item, s.invCycle) }
+	return s, nil
 }
 
 // Name implements Scheme.
@@ -75,6 +86,8 @@ func (s *mvCache) Begin() error {
 func (s *mvCache) Abort() { s.t.reset(); s.cu = 0 }
 
 // NewCycle implements Scheme.
+//
+//lint:hotpath runs once per client per broadcast cycle
 func (s *mvCache) NewCycle(b *broadcast.Bcast) error {
 	if s.cur != nil {
 		if b.Cycle <= s.cur.Cycle {
@@ -92,7 +105,8 @@ func (s *mvCache) NewCycle(b *broadcast.Bcast) error {
 	// previous cycle, then apply this cycle's report (demoting displaced
 	// versions into the old partition).
 	if s.prev != nil {
-		for _, item := range s.multi.Current().InvalidItems() {
+		s.invScratch = s.multi.Current().AppendInvalidItems(s.invScratch[:0])
+		for _, item := range s.invScratch {
 			if v, err := s.prev.ReadCurrent(item); err == nil {
 				s.multi.Put(item, v)
 			} else {
@@ -101,13 +115,13 @@ func (s *mvCache) NewCycle(b *broadcast.Bcast) error {
 		}
 	}
 	s.view.load(b, s.opts.BucketGranularity, s.opts.ForceLocalIndex)
-	s.view.each(len(b.Entries), func(item model.ItemID) {
-		s.multi.Invalidate(item, b.Cycle)
-	})
+	s.invCycle = b.Cycle
+	s.view.each(len(b.Entries), s.invalidate)
 	if s.t.active && s.t.doomed == nil && s.cu == 0 {
 		// Sorted readset walk: the degradation event names the first
 		// invalidated item, which must not depend on map-iteration order.
-		for _, item := range det.SortedKeys(s.t.readset) {
+		s.keyScratch = det.AppendSortedKeys(s.keyScratch[:0], s.t.readset)
+		for _, item := range s.keyScratch {
 			if s.view.invalidates(item) {
 				recordInvHit(s.opts.Recorder, b.Cycle, item, "degraded")
 				s.cu = b.Cycle

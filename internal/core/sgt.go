@@ -40,6 +40,8 @@ type sgt struct {
 	// edges); targetSet dedupes them.
 	targets   []model.TxID
 	targetSet map[model.TxID]struct{}
+	// keyScratch is the sorted-readset-walk scratch, reused per cycle.
+	keyScratch []model.ItemID
 	// invalidFrom is c_o: the cycle of the first readset invalidation,
 	// the floor below which subgraphs can be pruned.
 	invalidFrom model.Cycle
@@ -96,13 +98,21 @@ func (s *sgt) Abort() {
 }
 
 func (s *sgt) clearTxnGraphState() {
-	s.targets = nil
-	s.targetSet = make(map[model.TxID]struct{})
+	// Owner-retained scratch: capacity survives across transactions so
+	// the per-cycle target walk stops allocating at steady state.
+	s.targets = s.targets[:0]
+	if s.targetSet == nil {
+		s.targetSet = make(map[model.TxID]struct{})
+	} else {
+		clear(s.targetSet)
+	}
 	s.invalidFrom = 0
 	s.ceiling = 0
 }
 
 // NewCycle implements Scheme.
+//
+//lint:hotpath runs once per client per broadcast cycle
 func (s *sgt) NewCycle(b *broadcast.Bcast) error {
 	if s.cur != nil {
 		if b.Cycle <= s.cur.Cycle {
@@ -147,7 +157,8 @@ func (s *sgt) NewCycle(b *broadcast.Bcast) error {
 	if s.t.active && s.t.doomed == nil {
 		// Sorted readset walk: the precedence-target list (and with it any
 		// downstream ordering) must not inherit map-iteration order.
-		for _, item := range det.SortedKeys(s.t.readset) {
+		s.keyScratch = det.AppendSortedKeys(s.keyScratch[:0], s.t.readset)
+		for _, item := range s.keyScratch {
 			if !s.view.invalidates(item) {
 				continue
 			}
@@ -158,7 +169,9 @@ func (s *sgt) NewCycle(b *broadcast.Bcast) error {
 			if _, dup := s.targetSet[tf]; dup {
 				continue
 			}
+			//lint:allow hotalloc targetSet is owner-retained and clear()-reused; buckets amortize to steady state
 			s.targetSet[tf] = struct{}{}
+			//lint:allow hotalloc targets is owner-retained [:0] scratch; capacity amortizes to steady state
 			s.targets = append(s.targets, tf)
 			if s.invalidFrom == 0 {
 				s.invalidFrom = b.Cycle

@@ -19,6 +19,7 @@ import (
 	"sync"
 	"time"
 
+	"bpush/internal/det"
 	"bpush/internal/model"
 )
 
@@ -212,11 +213,11 @@ func (m *Manager) grant(st *lockState, tx TxHandle, item model.ItemID, mode Mode
 // blockersLocked lists the transactions tx would wait on for item/mode.
 func (m *Manager) blockersLocked(st *lockState, tx TxHandle, mode Mode) []TxHandle {
 	var out []TxHandle
-	for h, hm := range st.holders {
+	for _, h := range det.SortedKeys(st.holders) {
 		if h == tx {
 			continue
 		}
-		if mode == Exclusive || hm == Exclusive {
+		if mode == Exclusive || st.holders[h] == Exclusive {
 			out = append(out, h)
 		}
 	}
@@ -245,9 +246,7 @@ func (m *Manager) wouldDeadlock(tx TxHandle, blockers []TxHandle) bool {
 			continue
 		}
 		seen[n] = struct{}{}
-		for next := range m.waitsFor[n] {
-			stack = append(stack, next)
-		}
+		stack = append(stack, det.SortedKeys(m.waitsFor[n])...)
 	}
 	return false
 }
@@ -266,7 +265,7 @@ func (m *Manager) Release(tx TxHandle) {
 	m.mu.Lock()
 	defer m.mu.Unlock()
 	delete(m.waitsFor, tx)
-	for item := range m.held[tx] {
+	for _, item := range det.SortedKeys(m.held[tx]) {
 		st := m.items[item]
 		delete(st.holders, tx)
 		m.wakeLocked(item, st)
@@ -274,7 +273,8 @@ func (m *Manager) Release(tx TxHandle) {
 	delete(m.held, tx)
 	// Drop queued requests from tx (a victim releasing while queued
 	// elsewhere) and tell them to stop waiting.
-	for item, st := range m.items {
+	for _, item := range det.SortedKeys(m.items) {
+		st := m.items[item]
 		changed := false
 		keep := st.queue[:0]
 		for _, q := range st.queue {

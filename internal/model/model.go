@@ -75,6 +75,7 @@ func (t TxID) Before(u TxID) bool {
 // trace recording stamps a TxID string on every serialization-graph event,
 // so this sits on the observed hot path.
 func (t TxID) String() string {
+	//lint:allow hotalloc one pre-sized buffer per rendered event, and only when a trace recorder is attached
 	buf := make([]byte, 0, 16)
 	buf = append(buf, "tx("...)
 	buf = strconv.AppendUint(buf, uint64(t.Cycle), 10)

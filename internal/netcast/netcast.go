@@ -288,6 +288,7 @@ func (b *Broadcaster) attach(conn net.Conn) bool {
 		if b.last != nil {
 			// The queue is freshly made and QueueLen >= 1, so the greet
 			// enqueue cannot block.
+			//lint:allow lockorder the queue was just made with cap >= 1 and nothing has sent on it, so this send cannot block
 			sub.q <- b.last
 			s.queued.Add(1)
 			wakeShard = s
@@ -369,6 +370,8 @@ func (b *Broadcaster) QueueDepth() int64 {
 // subscriber queue. Slow or dead subscribers are dropped — broadcast
 // delivery never blocks on a client, which is the scalability property
 // of push systems.
+//
+//lint:hotpath the 10k-tuner fan-out encodes and ships one frame per cycle
 func (b *Broadcaster) Broadcast(bc *broadcast.Bcast) error {
 	frame, err := wire.Encode(bc)
 	if err != nil {
@@ -384,6 +387,8 @@ func (b *Broadcaster) Broadcast(bc *broadcast.Bcast) error {
 // mangled frames on air; the tuners' checksum verification and resync
 // logic are exercised by real bytes on a real socket. The caller keeps
 // ownership of frame; it is copied once (not per subscriber).
+//
+//lint:hotpath the fault-injection air path runs once per cycle
 func (b *Broadcaster) BroadcastRaw(frame []byte) error {
 	return b.broadcastFrame(NewFrame(frame))
 }
@@ -402,8 +407,10 @@ func (b *Broadcaster) broadcastFrame(f Frame) error {
 	}
 	b.last = f
 	if b.cfg.Serial {
+		//lint:allow hotalloc serial-baseline snapshot must outlive mu, so owner scratch would race concurrent broadcasts
 		conns := make([]net.Conn, 0, len(b.conns))
 		for c := range b.conns {
+			//lint:allow hotalloc the slice above is pre-sized to the subscriber count, so these appends never grow it
 			conns = append(conns, c)
 		}
 		b.mu.Unlock()
@@ -428,6 +435,7 @@ func (b *Broadcaster) broadcastFrame(f Frame) error {
 				sub.gone.Store(true)
 				s.evictions.Add(1)
 				b.evictions.Add(1)
+				//lint:allow hotalloc allocates only when a subscriber is actually evicted, never on the clean fan-out path
 				evicted = append(evicted, sub)
 			}
 		}

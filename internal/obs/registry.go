@@ -36,6 +36,7 @@ func (r *Registry) Counter(name string) *Counter {
 	defer r.mu.Unlock()
 	c, ok := r.counters[name]
 	if !ok {
+		//lint:allow hotalloc constructed once per metric name; steady-state lookups return the cached counter
 		c = &Counter{}
 		r.counters[name] = c
 	}
@@ -67,6 +68,7 @@ func (r *Registry) Histogram(name string, bounds []float64) *Histogram {
 		if err != nil {
 			panic("obs: " + err.Error())
 		}
+		//lint:allow hotalloc constructed once per metric name; steady-state lookups return the cached histogram
 		h = &Histogram{h: sh}
 		r.histograms[name] = h
 	}

@@ -35,8 +35,10 @@ func NewHistogram(bounds []float64) (*Histogram, error) {
 			return nil, fmt.Errorf("stats: histogram bounds not strictly ascending at %d (%g <= %g)", i, b, bounds[i-1])
 		}
 	}
+	//lint:allow hotalloc histograms are built once per metric registration, not per cycle
 	h := &Histogram{
 		bounds: append([]float64(nil), bounds...),
+		//lint:allow hotalloc histograms are built once per metric registration, not per cycle
 		counts: make([]uint64, len(bounds)+1),
 	}
 	return h, nil

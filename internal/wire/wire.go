@@ -72,10 +72,12 @@ func Encode(b *broadcast.Bcast) ([]byte, error) {
 		return nil, fmt.Errorf("%w: nil or empty becast", ErrBadFrame)
 	}
 	var buf bytes.Buffer
+	//lint:allow hotalloc two helper closures per frame encode: once per cycle on air, not per client
 	w := func(v any) {
 		// bytes.Buffer writes cannot fail.
 		_ = binary.Write(&buf, binary.BigEndian, v)
 	}
+	//lint:allow hotalloc two helper closures per frame encode: once per cycle on air, not per client
 	writeTx := func(t model.TxID) {
 		w(uint64(t.Cycle))
 		w(t.Seq)
