@@ -4,6 +4,7 @@ import (
 	"encoding/json"
 	"fmt"
 	"io"
+	"math/rand"
 	"net"
 	"os"
 	"runtime"
@@ -11,7 +12,12 @@ import (
 	"sync/atomic"
 	"time"
 
+	"bpush/internal/client"
+	"bpush/internal/core"
+	"bpush/internal/model"
 	"bpush/internal/netcast"
+	"bpush/internal/obs"
+	"bpush/internal/workload"
 )
 
 // The -load mode turns bpush-cast into a fan-out load harness: it
@@ -45,6 +51,15 @@ type loadOptions struct {
 	Transport string
 	// Out is the JSON report path; empty writes the report to stdout.
 	Out string
+	// Clients is the number of measured scheme clients: real core.Scheme
+	// instances driven over their own tuners, whose per-query wall time
+	// feeds the read tier and whose per-read staleness events feed the
+	// per-scheme histograms.
+	Clients int
+	// SampleSet records that -sample was given explicitly; load mode
+	// samples by default, but an explicit -sample=false turns the
+	// instrumentation off for A/B overhead measurement.
+	SampleSet bool
 }
 
 func (o loadOptions) validate() error {
@@ -53,6 +68,9 @@ func (o loadOptions) validate() error {
 	}
 	if o.Transport != "mem" && o.Transport != "tcp" {
 		return fmt.Errorf("-load-transport must be mem or tcp, got %q", o.Transport)
+	}
+	if o.Clients < 0 {
+		return fmt.Errorf("-load-clients must be non-negative, got %d", o.Clients)
 	}
 	return nil
 }
@@ -86,6 +104,26 @@ type loadReport struct {
 	UnplannedDrops   int64   `json:"unplanned_drops"`
 	TunersDecodedMin int64   `json:"tuners_decoded_min"`
 	TunersDecodedMax int64   `json:"tuners_decoded_max"`
+
+	// Measured clients (read tier + staleness).
+	LoadClients   int   `json:"load_clients,omitempty"`
+	ClientQueries int64 `json:"client_queries,omitempty"`
+
+	// Metrics is the station's full registry snapshot at the end of the
+	// run: the span.* latency tiers, net.queue_depth, per-shard drain
+	// histograms, and the per-scheme staleness histograms. Bucket bounds
+	// and counts are included, so bpush-inspect lag recomputes the
+	// quantiles exactly offline.
+	Metrics obs.RegistrySnapshot `json:"metrics"`
+}
+
+// tickMark is the receive-tier reference point: the wall-clock start of
+// the Tick that put cycle Cycle on air. Probe tuners subtract it from
+// their decode time, so span.receive_ns is the cumulative commit-to-
+// decoded latency as one subscriber experiences it.
+type tickMark struct {
+	cycle model.Cycle
+	ns    int64
 }
 
 // loadTuner is one harness subscriber: a decoding reader that counts
@@ -103,6 +141,12 @@ func runLoad(cfg cliConfig) error {
 	st := cfg.Station
 	st.Interval = 0 // the harness paces cycles itself
 	st.Cast.Serial = cfg.Load.Serial
+	// Load mode measures the latency tiers by default — the report's
+	// whole point is attribution — unless -sample=false asks for the
+	// uninstrumented baseline (the A/B behind BENCH_latency.json).
+	if !cfg.Load.SampleSet {
+		st.Sample = true
+	}
 	if cfg.Load.Transport == "mem" && st.Cast.LocalBufSize == 0 {
 		// 10k tuners at the socket-default 64 KiB per direction would
 		// need >1 GiB of ring buffers; 8 KiB still holds several frames.
@@ -164,9 +208,16 @@ func runLoad(cfg cliConfig) error {
 	rep.AcceptNs = time.Since(acceptStart).Nanoseconds()
 	rep.AcceptPerSec = float64(cfg.Load.Tuners) / time.Since(acceptStart).Seconds()
 
-	for _, lt := range tuners {
+	// Receive tier: every DefaultSampleStride-th tuner is a probe. The
+	// measured loop publishes a tickMark per cycle; a probe that decodes
+	// that cycle's frame observes decode-time minus tick-start into
+	// span.receive_ns through the station's registry recorder.
+	var mark atomic.Pointer[tickMark]
+	rec := station.ClientRecorder()
+	for i, lt := range tuners {
+		probe := i%netcast.DefaultSampleStride == 0
 		readers.Add(1)
-		go func(lt *loadTuner) {
+		go func(lt *loadTuner, probe bool) {
 			defer readers.Done()
 			tn := netcast.TuneBuffered(lt.conn, 4096)
 			for {
@@ -175,13 +226,29 @@ func runLoad(cfg cliConfig) error {
 					return
 				default:
 				}
-				if _, err := tn.Next(); err != nil {
+				b, err := tn.Next()
+				if err != nil {
 					return
 				}
 				lt.decoded.Add(1)
+				if probe {
+					if m := mark.Load(); m != nil && m.cycle == b.Cycle {
+						rec.Record(obs.Event{Type: obs.TypeSpan, T: obs.At(b.Cycle, 0), Reason: obs.SpanReceive, N: time.Now().UnixNano() - m.ns})
+					}
+				}
 			}
-		}(lt)
+		}(lt, probe)
 	}
+
+	// Read tier + staleness: measured scheme clients run real queries
+	// over their own tuners. They attach after the audience so the
+	// accept-phase numbers stay comparable across runs.
+	clients, err := startLoadClients(cfg, station, rec)
+	if err != nil {
+		close(stopRead)
+		return err
+	}
+	rep.LoadClients = len(clients.conns)
 
 	// Broadcast phase: one warm-up cycle (the initial database load is a
 	// much larger frame), then the measured cycles. On-air time is the
@@ -197,9 +264,19 @@ func runLoad(cfg cliConfig) error {
 	}
 	bytesBefore := bc.Traffic().BytesSent
 	framesBefore := bc.Traffic().FramesSent
+	// The warm-up tick consumed source index 0 and cycle numbers advance
+	// by one per tick, so measured tick c will broadcast base+c+1. The
+	// mark is published before the tick — the frame cannot reach a probe
+	// earlier — and a wrong prediction only makes probes skip samples
+	// (cycle mismatch), never misattribute them.
+	base, err := station.Source().Get(0)
+	if err != nil {
+		return err
+	}
 	var onAir, sustained time.Duration
 	for c := 0; c < cfg.Load.Cycles; c++ {
 		t0 := time.Now()
+		mark.Store(&tickMark{cycle: base.Cycle + model.Cycle(c+1), ns: t0.UnixNano()})
 		if err := station.Tick(); err != nil {
 			return err
 		}
@@ -209,6 +286,7 @@ func runLoad(cfg cliConfig) error {
 		}
 		sustained += time.Since(t0)
 	}
+	mark.Store(nil)
 	tr := bc.Traffic()
 	rep.OnAirNsPerCycle = onAir.Nanoseconds() / int64(cfg.Load.Cycles)
 	rep.SustainedNsPerCycle = sustained.Nanoseconds() / int64(cfg.Load.Cycles)
@@ -217,6 +295,11 @@ func runLoad(cfg cliConfig) error {
 	if rep.DeliveredFrames > 0 {
 		rep.FrameBytes = (tr.BytesSent - bytesBefore) / rep.DeliveredFrames
 	}
+
+	// Stop the measured clients before the eviction phase: their
+	// continuous drains would keep their queues from overflowing and
+	// hold Subscribers above zero forever.
+	rep.ClientQueries = clients.stop()
 
 	// Eviction phase (sharded only; the serial writer has no queues to
 	// overflow — it blocks on the wedged socket instead, which is the
@@ -257,6 +340,7 @@ func runLoad(cfg cliConfig) error {
 		}
 	}
 	rep.TunersDecodedMin, rep.TunersDecodedMax = min, max
+	rep.Metrics = station.Registry().Snapshot()
 
 	out := os.Stdout
 	if cfg.Load.Out != "" {
@@ -274,6 +358,111 @@ func writeReport(w io.Writer, rep loadReport) error {
 	enc := json.NewEncoder(w)
 	enc.SetIndent("", "  ")
 	return enc.Encode(rep)
+}
+
+// loadClientSchemes is the rotation of measured-client configurations:
+// one cache-backed invalidation-only client, one multiversion client,
+// one serialization-graph client, repeating for larger -load-clients.
+var loadClientSchemes = []core.Options{
+	{Kind: core.KindInvOnly, CacheSize: 64},
+	{Kind: core.KindMVBroadcast},
+	{Kind: core.KindSGT, CacheSize: 64},
+}
+
+// loadClients tracks the measured scheme clients of a load run.
+type loadClients struct {
+	conns   []net.Conn
+	wg      sync.WaitGroup
+	queries atomic.Int64
+}
+
+// stop closes the client connections, waits for the query loops to
+// observe the feed error and exit, and returns the total query count.
+func (lc *loadClients) stop() int64 {
+	for _, c := range lc.conns {
+		_ = c.Close()
+	}
+	lc.wg.Wait()
+	return lc.queries.Load()
+}
+
+// startLoadClients attaches cfg.Load.Clients measured clients: each one
+// is a real core scheme over its own tuner, running Zipf queries in a
+// loop. Per-query wall time lands in span.read_ns and the scheme's own
+// staleness events land in the staleness.<scheme>.* histograms, both
+// through rec (the station's registry recorder). The client runtimes
+// block until the first becast — the warm-up tick releases them.
+func startLoadClients(cfg cliConfig, station *netcast.Station, rec obs.Recorder) (*loadClients, error) {
+	lc := &loadClients{}
+	n := cfg.Load.Clients
+	if n == 0 {
+		return lc, nil
+	}
+	before := station.Subscribers()
+	for i := 0; i < n; i++ {
+		var conn net.Conn
+		var err error
+		if cfg.Load.Transport == "mem" {
+			conn, err = station.Cast().SubscribeLocal()
+		} else {
+			conn, err = net.Dial("tcp", station.Addr())
+		}
+		if err != nil {
+			_ = lc.stop()
+			return nil, fmt.Errorf("attach measured client %d: %w", i, err)
+		}
+		lc.conns = append(lc.conns, conn)
+	}
+	deadline := time.Now().Add(30 * time.Second)
+	for station.Subscribers() < before+n {
+		if time.Now().After(deadline) {
+			_ = lc.stop()
+			return nil, fmt.Errorf("measured clients never registered")
+		}
+		runtime.Gosched()
+	}
+	for i, conn := range lc.conns {
+		opts := loadClientSchemes[i%len(loadClientSchemes)]
+		opts.Recorder = rec
+		seed := cfg.Station.Seed + 1000 + int64(i)
+		lc.wg.Add(1)
+		go func(conn net.Conn, opts core.Options, seed int64) {
+			defer lc.wg.Done()
+			lc.runClient(cfg, conn, opts, seed, rec)
+		}(conn, opts, seed)
+	}
+	return lc, nil
+}
+
+// runClient drives one measured client until its connection closes.
+func (lc *loadClients) runClient(cfg cliConfig, conn net.Conn, opts core.Options, seed int64, rec obs.Recorder) {
+	scheme, err := core.New(opts)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "bpush-cast: measured client:", err)
+		return
+	}
+	qgen, err := workload.NewQueryGen(workload.ClientConfig{
+		ReadRange:   cfg.Station.DBSize,
+		Theta:       cfg.Station.Workload.Theta,
+		OpsPerQuery: 4,
+	}, rand.New(rand.NewSource(seed)))
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "bpush-cast: measured client:", err)
+		return
+	}
+	cl, err := client.New(scheme, netcast.TuneBuffered(conn, 4096), client.Config{})
+	if err != nil {
+		return // connection closed before the first becast
+	}
+	for {
+		q0 := time.Now()
+		_, err := cl.RunQuery(qgen.Query())
+		if err != nil {
+			return // feed closed: the harness is shutting the clients down
+		}
+		rec.Record(obs.Event{Type: obs.TypeSpan, T: obs.At(cl.Cycle(), 0), Reason: obs.SpanRead, N: time.Since(q0).Nanoseconds()})
+		lc.queries.Add(1)
+	}
 }
 
 // waitQueueDrain blocks until the fan-out queues are empty — every

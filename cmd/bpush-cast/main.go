@@ -57,7 +57,7 @@ func run(args []string) error {
 	defer func() { _ = st.Close() }()
 	fmt.Printf("broadcasting %d items every %v on %s (S=%d)\n", cfg.Station.DBSize, cfg.Station.Interval, st.Addr(), cfg.Station.Versions)
 	if a := st.MetricsAddr(); a != "" {
-		fmt.Printf("metrics on http://%s/metricsz, trace on http://%s/tracez\n", a, a)
+		fmt.Printf("metrics on http://%s/metricsz, status on http://%s/statusz, trace on http://%s/tracez\n", a, a, a)
 	}
 	fmt.Println("press Ctrl-C to stop")
 
@@ -93,7 +93,10 @@ func buildConfig(args []string) (cliConfig, error) {
 		seed      = fs.Int64("seed", 1, "workload seed")
 		faultSpec = fs.String("fault", "none", "channel-side fault plan: none, a named plan, or a spec like drop=0.05,corrupt=0.01")
 		faultSeed = fs.Int64("fault-seed", 0, "fault RNG seed (0 = derive from the workload seed)")
-		httpAddr  = fs.String("http", "", "serve /metricsz and /tracez on this address (empty = off)")
+		httpAddr  = fs.String("http", "", "serve /metricsz, /statusz, and /tracez on this address (empty = off)")
+		sample    = fs.Bool("sample", false, "measure per-tier latency (commit/encode/on-air/drain) into span.* histograms")
+		stride    = fs.Int("sample-stride", 0, "sample every Nth subscriber for queue/drain lag (0 = default)")
+		pprofFlag = fs.Bool("pprof", false, "mount net/http/pprof under /debug/pprof/ on the -http address")
 
 		shards       = fs.Int("shards", 0, "fan-out writer shards (0 = default)")
 		queueLen     = fs.Int("queue", 0, "per-subscriber send-queue bound in frames; overflow evicts (0 = default)")
@@ -104,10 +107,17 @@ func buildConfig(args []string) (cliConfig, error) {
 		loadSerial    = fs.Bool("load-serial", false, "load mode: measure the retained serial writer baseline")
 		loadTransport = fs.String("load-transport", "mem", "load mode subscriber transport: mem (in-process, no descriptors) or tcp")
 		loadOut       = fs.String("load-out", "", "load mode: write the JSON report here (empty = stdout)")
+		loadClients   = fs.Int("load-clients", 3, "load mode: measured scheme clients running real queries (receive/read tiers + staleness)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return cliConfig{}, err
 	}
+	sampleSet := false
+	fs.Visit(func(f *flag.Flag) {
+		if f.Name == "sample" {
+			sampleSet = true
+		}
+	})
 	plan, err := fault.ParsePlan(*faultSpec)
 	if err != nil {
 		return cliConfig{}, err
@@ -126,12 +136,15 @@ func buildConfig(args []string) (cliConfig, error) {
 				UpdatesPerCycle: *updates,
 				ReadsPerUpdate:  4,
 			},
-			Interval:  *interval,
-			Workers:   *workers,
-			Seed:      *seed,
-			Fault:     plan,
-			FaultSeed: *faultSeed,
-			HTTPAddr:  *httpAddr,
+			Interval:     *interval,
+			Workers:      *workers,
+			Seed:         *seed,
+			Fault:        plan,
+			FaultSeed:    *faultSeed,
+			HTTPAddr:     *httpAddr,
+			Sample:       *sample,
+			SampleStride: *stride,
+			Pprof:        *pprofFlag,
 			Cast: netcast.Config{
 				Shards:       *shards,
 				QueueLen:     *queueLen,
@@ -144,6 +157,8 @@ func buildConfig(args []string) (cliConfig, error) {
 			Serial:    *loadSerial,
 			Transport: *loadTransport,
 			Out:       *loadOut,
+			Clients:   *loadClients,
+			SampleSet: sampleSet,
 		},
 	}, nil
 }

@@ -5,6 +5,7 @@ import (
 	"encoding/json"
 	"os"
 	"path/filepath"
+	"strings"
 	"testing"
 	"time"
 )
@@ -27,8 +28,11 @@ func TestBuildConfigDefaults(t *testing.T) {
 	if cfg.Load.Tuners != 0 {
 		t.Errorf("load mode on by default: %+v", cfg.Load)
 	}
-	if cfg.Load.Cycles != 20 || cfg.Load.Transport != "mem" {
+	if cfg.Load.Cycles != 20 || cfg.Load.Transport != "mem" || cfg.Load.Clients != 3 {
 		t.Errorf("unexpected load defaults: %+v", cfg.Load)
+	}
+	if st.Sample || st.Pprof {
+		t.Errorf("sampling/pprof on by default: %+v", st)
 	}
 }
 
@@ -68,6 +72,9 @@ func TestLoadOptionsValidate(t *testing.T) {
 	if err := (loadOptions{Cycles: 3, Transport: "udp"}).validate(); err == nil {
 		t.Error("bad transport accepted")
 	}
+	if err := (loadOptions{Cycles: 3, Transport: "mem", Clients: -1}).validate(); err == nil {
+		t.Error("negative client count accepted")
+	}
 }
 
 // runLoadHarness runs a small load harness with the given extra flags
@@ -78,6 +85,9 @@ func runLoadHarness(t *testing.T, extra ...string) loadReport {
 	args := append([]string{
 		"-addr", "127.0.0.1:0", "-db", "100", "-update-range", "50",
 		"-load", "40", "-load-cycles", "3", "-queue", "8", "-load-out", out,
+		// The frame/eviction accounting below assumes the audience is
+		// exactly -load tuners; measured clients get their own test.
+		"-load-clients", "0",
 	}, extra...)
 	cfg, err := buildConfig(args)
 	if err != nil {
@@ -162,6 +172,35 @@ func TestLoadHarnessTCP(t *testing.T) {
 	}
 	if rep.Evictions != 10 {
 		t.Errorf("evicted %d subscribers, want 10", rep.Evictions)
+	}
+}
+
+// TestLoadHarnessAttribution: with measured clients, the report embeds
+// the full cross-tier attribution — producer span tiers, receive samples
+// from the probe tuners, per-query read latency, and per-scheme
+// staleness — in its registry snapshot. This is the data bpush-inspect
+// lag renders.
+func TestLoadHarnessAttribution(t *testing.T) {
+	rep := runLoadHarness(t, "-load-clients", "3", "-load-cycles", "6")
+	if rep.LoadClients != 3 {
+		t.Fatalf("load_clients = %d, want 3", rep.LoadClients)
+	}
+	for _, name := range []string{"span.commit_ns", "span.encode_ns", "span.on_air_ns", "span.receive_ns", "span.read_ns", "net.queue_depth"} {
+		if h, ok := rep.Metrics.Histograms[name]; !ok || h.Count == 0 {
+			t.Errorf("metrics missing %s samples (present=%v)", name, ok)
+		}
+	}
+	if rep.ClientQueries == 0 {
+		t.Errorf("measured clients completed no queries")
+	}
+	staleness := false
+	for name := range rep.Metrics.Histograms {
+		if strings.HasPrefix(name, "staleness.") {
+			staleness = true
+		}
+	}
+	if !staleness {
+		t.Errorf("no per-scheme staleness histograms in the snapshot")
 	}
 }
 

@@ -1,0 +1,164 @@
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+
+	"bpush/internal/stats"
+)
+
+// runBench implements the "bench" subcommand: it reads every
+// BENCH_*.json in a directory and renders one trajectory report — each
+// numeric metric with its value, which benchmark file (and therefore
+// which PR) it came from, and the delta against the previous PR's
+// measurement when the same metric appears more than once. The BENCH
+// files are the repo's performance memory; this table is how a regression
+// shows up without re-running every harness.
+func runBench(args []string, out io.Writer) error {
+	fs := flag.NewFlagSet("bpush-inspect bench", flag.ContinueOnError)
+	fs.Usage = func() {
+		fmt.Fprintln(fs.Output(), "usage: bpush-inspect bench [dir]")
+		fs.PrintDefaults()
+	}
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	dir := "."
+	switch fs.NArg() {
+	case 0:
+	case 1:
+		dir = fs.Arg(0)
+	default:
+		return fmt.Errorf("bench: expected at most one directory, got %d args", fs.NArg())
+	}
+	files, err := filepath.Glob(filepath.Join(dir, "BENCH_*.json"))
+	if err != nil {
+		return err
+	}
+	if len(files) == 0 {
+		return fmt.Errorf("bench: no BENCH_*.json files in %s", dir)
+	}
+	sort.Slice(files, func(i, j int) bool {
+		pi, pj := benchPR(files[i]), benchPR(files[j])
+		if pi != pj {
+			return pi < pj
+		}
+		return files[i] < files[j]
+	})
+	var rows []benchRow
+	for _, f := range files {
+		raw, err := os.ReadFile(f)
+		if err != nil {
+			return err
+		}
+		var doc any
+		if err := json.Unmarshal(raw, &doc); err != nil {
+			return fmt.Errorf("bench: %s: %w", f, err)
+		}
+		base := strings.TrimSuffix(filepath.Base(f), ".json")
+		var metrics []benchRow
+		flattenBench("", doc, func(path string, v float64) {
+			metrics = append(metrics, benchRow{metric: path, value: v, source: base, pr: benchPR(f)})
+		})
+		// JSON object iteration comes back in map order; sort within the
+		// file so the report is deterministic.
+		sort.Slice(metrics, func(i, j int) bool { return metrics[i].metric < metrics[j].metric })
+		rows = append(rows, metrics...)
+	}
+	renderBench(out, rows)
+	return nil
+}
+
+// benchRow is one numeric metric from one benchmark file.
+type benchRow struct {
+	metric string
+	value  float64
+	source string
+	pr     int
+}
+
+// benchProvenance maps each benchmark file to the PR that introduced it
+// (see CHANGES.md). Unknown files sort after the known ones.
+var benchProvenance = map[string]int{
+	"BENCH_fleet":       1,
+	"BENCH_fault":       2,
+	"BENCH_obs":         4,
+	"BENCH_sharedindex": 5,
+	"BENCH_producer":    6,
+	"BENCH_netcast":     7,
+	"BENCH_hotalloc":    8,
+	"BENCH_latency":     9,
+}
+
+func benchPR(path string) int {
+	base := strings.TrimSuffix(filepath.Base(path), ".json")
+	if pr, ok := benchProvenance[base]; ok {
+		return pr
+	}
+	return 1 << 20
+}
+
+// flattenBench walks a decoded JSON document and emits every numeric
+// leaf with its dotted path ("load_sweep[2].on_air_ns_per_cycle").
+// Strings, booleans, and nulls are context, not metrics.
+func flattenBench(path string, v any, emit func(string, float64)) {
+	switch x := v.(type) {
+	case map[string]any:
+		keys := make([]string, 0, len(x))
+		for k := range x {
+			keys = append(keys, k)
+		}
+		sort.Strings(keys)
+		for _, k := range keys {
+			p := k
+			if path != "" {
+				p = path + "." + k
+			}
+			flattenBench(p, x[k], emit)
+		}
+	case []any:
+		for i, e := range x {
+			flattenBench(fmt.Sprintf("%s[%d]", path, i), e, emit)
+		}
+	case float64:
+		if path != "" {
+			emit(path, x)
+		}
+	}
+}
+
+// renderBench prints the trajectory table. Rows keep file order (PR
+// order); when a metric name recurs in a later PR, the delta column
+// shows the relative change against its previous occurrence.
+func renderBench(out io.Writer, rows []benchRow) {
+	prev := map[string]float64{}
+	t := stats.NewTable("metric", "value", "source", "PR", "delta")
+	for _, r := range rows {
+		delta := ""
+		if p, ok := prev[r.metric]; ok && p != 0 {
+			delta = fmt.Sprintf("%+.1f%%", 100*(r.value-p)/p)
+		}
+		prev[r.metric] = r.value
+		pr := fmt.Sprintf("%d", r.pr)
+		if r.pr >= 1<<20 {
+			pr = "?"
+		}
+		t.AddRow(r.metric, fmtBenchValue(r.value), r.source, pr, delta)
+	}
+	fmt.Fprintf(out, "benchmark trajectory (%d metrics):\n", len(rows))
+	fmt.Fprint(out, t.String())
+}
+
+// fmtBenchValue renders a metric value without trailing float noise.
+func fmtBenchValue(v float64) string {
+	if v == float64(int64(v)) && v < 1e15 && v > -1e15 {
+		return fmt.Sprintf("%d", int64(v))
+	}
+	return fmt.Sprintf("%.4g", v)
+}

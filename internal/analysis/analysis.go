@@ -74,6 +74,16 @@ type Config struct {
 	// progress is driven by the lock holders running, not by elapsed
 	// wall time.
 	SleepScope []string
+	// ClockScope lists the exact import paths where wall-clock reads
+	// (time.Now, time.Since, time.Until) are banned everywhere except
+	// inside the functions named by ClockEntry. This pins the clock seam
+	// of the observability layer: real time enters through one sanctioned
+	// constructor and travels as plain int64s from there.
+	ClockScope []string
+	// ClockEntry lists the fully-qualified functions ("pkgpath.Func" or
+	// "pkgpath.Type.Method") allowed to read the wall clock inside
+	// ClockScope packages.
+	ClockEntry []string
 	// LockOrderScope lists the exact import paths whose mutexes are
 	// subject to the lockorder analyzer: every pair of locks must be
 	// acquired in one consistent order, module-wide.
@@ -140,6 +150,10 @@ func DefaultConfig() Config {
 			"bpush/internal/obs.Registry.*",
 			"bpush/internal/obs.Ring.*",
 			"bpush/internal/obs.Recorder.Record",
+			// Offline quantile recompute: bpush-inspect lag promises the
+			// exact numbers /statusz showed, so the snapshot restore path
+			// must be as deterministic as the live histograms.
+			"bpush/internal/obs.HistogramSnapshot.*",
 			// The lint tool itself: two runs over one module must
 			// produce identical bytes (CI compares them).
 			"bpush/internal/analysis.Load",
@@ -155,6 +169,12 @@ func DefaultConfig() Config {
 		// sleep-free: backoff is yield-based so cycle production never
 		// paces itself on the wall clock.
 		SleepScope: []string{"bpush/internal/server"},
+		// The observability layer owns the clock seam: obs.WallSampler is
+		// the only function allowed to touch time.Now, so span
+		// measurement cannot grow a second clock source that the
+		// deterministic roots would silently reach.
+		ClockScope: []string{"bpush/internal/obs"},
+		ClockEntry: []string{"bpush/internal/obs.WallSampler"},
 		// The fan-out tier and the lock tables it leans on must keep
 		// one global lock order, and nothing may block inside a shard
 		// or station lock.
@@ -195,6 +215,10 @@ func containsPrefix(prefixes []string, path string) bool {
 // SleepBanned reports whether path bans time.Sleep and timer
 // construction.
 func (c Config) SleepBanned(path string) bool { return containsPath(c.SleepScope, path) }
+
+// ClockScoped reports whether path bans wall-clock reads outside the
+// ClockEntry functions.
+func (c Config) ClockScoped(path string) bool { return containsPath(c.ClockScope, path) }
 
 // LockOrdered reports whether path's mutexes are subject to the
 // lock-order analysis.
@@ -355,6 +379,7 @@ func Suite() []*Analyzer {
 		HotAllocAnalyzer(),
 		LockOrderAnalyzer(),
 		SleepAnalyzer(),
+		ClockEntryAnalyzer(),
 		BufAliasAnalyzer(),
 		GoroutineAnalyzer(),
 		ErrcheckAnalyzer(),

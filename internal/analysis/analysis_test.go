@@ -97,6 +97,10 @@ func TestAnalyzerFixtures(t *testing.T) {
 			LockHoldScope:  []string{"fix/lockorder"},
 		}},
 		{"sleepban", Config{SleepScope: []string{"fix/sleepban"}}},
+		{"clockentry", Config{
+			ClockScope: []string{"fix/clockentry"},
+			ClockEntry: []string{"fix/clockentry.WallSampler"},
+		}},
 		{"bufalias", Config{}}, // empty AliasingScope: the check applies everywhere
 		{"bufaliasimmutable", Config{
 			ImmutableBytes: []string{"fix/bufaliasimmutable.Frame"},

@@ -1,0 +1,76 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// ClockEntryAnalyzer pins the wall clock to its sanctioned entry points.
+// In the packages of Config.ClockScope, reading real time (time.Now,
+// time.Since, time.Until) is only allowed inside the functions named by
+// Config.ClockEntry — in this repository, obs.WallSampler, the one
+// function that may mint a Sampler from the process clock. Everything
+// else in the observability layer moves time around as plain int64s, so
+// the deterministic roots stay clock-free and a new helper cannot
+// quietly reintroduce a second clock source.
+//
+// The check is lexical by design: a clock read anywhere inside the entry
+// function's declaration (closures included) is the entry point doing
+// its job; a clock read anywhere else in a scoped package is a finding,
+// reachable or not. Reachability from the deterministic roots is the
+// dettaint analyzer's business — this one guards the seam itself.
+func ClockEntryAnalyzer() *Analyzer {
+	a := &Analyzer{
+		Name: "clockentry",
+		Doc:  "wall-clock reads in clock-scoped packages must live in the configured entry functions",
+	}
+	clocky := map[string]bool{"Now": true, "Since": true, "Until": true}
+	a.Run = func(pass *Pass) {
+		if !pass.Config.ClockScoped(pass.PkgPath) {
+			return
+		}
+		check := func(n ast.Node) {
+			ast.Inspect(n, func(n ast.Node) bool {
+				sel, ok := n.(*ast.SelectorExpr)
+				if !ok {
+					return true
+				}
+				fn, ok := pass.Info.Uses[sel.Sel].(*types.Func)
+				if !ok || fn.Pkg() == nil || fn.Pkg().Path() != "time" {
+					return true
+				}
+				if clocky[fn.Name()] {
+					pass.Reportf(sel.Pos(), "time.%s outside the clock entry points of %s: read the clock through a Sampler minted by %v", fn.Name(), pass.PkgPath, pass.Config.ClockEntry)
+				}
+				return true
+			})
+		}
+		for _, f := range pass.Files {
+			for _, decl := range f.Decls {
+				if fd, ok := decl.(*ast.FuncDecl); ok {
+					if containsPath(pass.Config.ClockEntry, pass.PkgPath+"."+funcDeclName(fd)) {
+						continue
+					}
+				}
+				check(decl)
+			}
+		}
+	}
+	return a
+}
+
+// funcDeclName renders a declaration's name the way ClockEntry specs
+// spell it: "Func" for functions, "Type.Method" for methods.
+func funcDeclName(fd *ast.FuncDecl) string {
+	if fd.Recv == nil || len(fd.Recv.List) == 0 {
+		return fd.Name.Name
+	}
+	t := fd.Recv.List[0].Type
+	if star, ok := t.(*ast.StarExpr); ok {
+		t = star.X
+	}
+	if id, ok := t.(*ast.Ident); ok {
+		return id.Name + "." + fd.Name.Name
+	}
+	return fd.Name.Name
+}

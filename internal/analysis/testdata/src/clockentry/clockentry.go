@@ -1,0 +1,30 @@
+// Fixture for the clockentry analyzer: in clock-scoped packages, wall
+// clock reads live only in the configured entry functions. The entry
+// function's own read (closure included) is the seam doing its job;
+// every other read is a second clock source and a finding.
+package clockentry
+
+import "time"
+
+// WallSampler is the configured entry point.
+func WallSampler() func() int64 {
+	return func() int64 { return time.Now().UnixNano() }
+}
+
+func sneaky() int64 {
+	return time.Now().UnixNano() // want "time.Now outside the clock entry"
+}
+
+func elapsed(t0 time.Time) time.Duration {
+	return time.Since(t0) // want "time.Since outside the clock entry"
+}
+
+func deadline(t1 time.Time) time.Duration {
+	return time.Until(t1) // want "time.Until outside the clock entry"
+}
+
+// Moving time around as values is fine — only reading the clock is the
+// entry points' privilege.
+func format(ns int64) string {
+	return time.Unix(0, ns).UTC().Format(time.RFC3339Nano)
+}

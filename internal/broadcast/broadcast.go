@@ -292,6 +292,13 @@ func (b *Bcast) OverflowSlot(i int) int { return len(b.Entries) + i }
 // ReadCurrent returns the current version of an item as broadcast this
 // cycle, for callers that do not model channel timing.
 func (b *Bcast) ReadCurrent(item model.ItemID) (model.Version, error) {
+	// Guess-and-verify fast path: under the flat program item i occupies
+	// data slot i-1, which skips the positions map on the per-read
+	// staleness accounting. Any slot carrying the item works — assemble
+	// stamps every occurrence with the same current version.
+	if p := int(item) - 1; p >= 0 && p < len(b.Entries) && b.Entries[p].Item == item {
+		return b.Entries[p].Version, nil
+	}
 	p := b.Position(item)
 	if p < 0 {
 		return model.Version{}, fmt.Errorf("broadcast: %v not in program", item)

@@ -349,29 +349,79 @@ func missRange(s Scheme, from, to model.Cycle) error {
 	return nil
 }
 
+// readMeta is the per-read staleness bookkeeping kept only when the
+// scheme is observed (Options.Recorder != nil): the cycle the read was
+// served at and the newest version cycle the serving becast carried for
+// the item (equal to the version read when the becast did not carry the
+// item, so the lag degrades to 0 = unknown).
+type readMeta struct {
+	at  model.Cycle
+	cur model.Cycle
+}
+
 // txn is the per-transaction state shared by all schemes.
 type txn struct {
 	active  bool
+	track   bool  // keep readMeta for staleness events
 	doomed  error // non-nil once the transaction is aborted internally
 	start   model.Cycle
 	reads   []model.ReadObservation
 	readset map[model.ItemID]struct{}
+	meta    []readMeta // parallel to reads; only when track
 }
 
-func (t *txn) begin() error {
+func (t *txn) begin(track bool) error {
 	if t.active {
 		return ErrTxnActive
 	}
-	*t = txn{active: true, readset: make(map[model.ItemID]struct{})}
+	// meta never escapes the txn (emitStaleness copies it into events),
+	// so its backing array is reusable scratch; reads is handed out via
+	// Info.Reads at commit and must stay fresh.
+	*t = txn{active: true, track: track, readset: make(map[model.ItemID]struct{}), meta: t.meta[:0]}
 	return nil
 }
 
-func (t *txn) record(obs model.ReadObservation, cycle model.Cycle) {
+func (t *txn) record(ro model.ReadObservation, b *broadcast.Bcast) {
 	if t.start == 0 {
-		t.start = cycle
+		t.start = b.Cycle
 	}
-	t.reads = append(t.reads, obs)
-	t.readset[obs.Item] = struct{}{}
+	t.reads = append(t.reads, ro)
+	t.readset[ro.Item] = struct{}{}
+	if t.track {
+		cur := ro.Version
+		if v, err := b.ReadCurrent(ro.Item); err == nil {
+			cur = v.Cycle
+		}
+		t.meta = append(t.meta, readMeta{at: b.Cycle, cur: cur})
+	}
+}
+
+// emitStaleness closes the currency accounting of a committing
+// transaction: one TypeStaleness event per read, in read order, stamped
+// (commit, read index). See obs.TypeStaleness for the field semantics.
+// Schemes call it from Commit after checkServable succeeds and before
+// the transaction state is reset; aborted transactions emit nothing.
+func (t *txn) emitStaleness(rec obs.Recorder, method string, commit model.Cycle) {
+	if rec == nil || !t.track {
+		return
+	}
+	for i, ro := range t.reads {
+		m := t.meta[i]
+		var lag int64
+		if m.cur > ro.Version {
+			lag = int64(m.cur - ro.Version)
+		}
+		rec.Record(obs.Event{
+			Type:   obs.TypeStaleness,
+			T:      obs.At(commit, int64(i)),
+			Method: method,
+			Item:   uint32(ro.Item),
+			Ser:    uint64(ro.Version),
+			Cycles: int(commit - ro.Version),
+			Span:   int(commit - m.at),
+			N:      lag,
+		})
+	}
 }
 
 func (t *txn) checkServable() error {
@@ -386,7 +436,9 @@ func (t *txn) has(item model.ItemID) bool {
 	return ok
 }
 
-func (t *txn) reset() { *t = txn{} }
+// reset keeps the meta scratch (see begin) but drops everything else —
+// reads escaped through Info.Reads at commit.
+func (t *txn) reset() { *t = txn{meta: t.meta[:0]} }
 
 // reportView answers "was this item invalidated this cycle?" under either
 // item or bucket granularity (§7). Bucket granularity assumes the flat

@@ -90,7 +90,7 @@ func (s *invOnly) Begin() error {
 	if s.cur == nil {
 		return fmt.Errorf("core: Begin before first cycle")
 	}
-	if err := s.t.begin(); err != nil {
+	if err := s.t.begin(s.opts.Recorder != nil); err != nil {
 		return err
 	}
 	s.marked = 0
@@ -291,7 +291,7 @@ func (s *invOnly) ServeChannel(item model.ItemID, pos int) (Read, int, error) {
 
 func (s *invOnly) deliver(item model.ItemID, v model.Version, src ReadSource, slot int) Read {
 	ro := model.ReadObservation{Item: item, Value: v.Value, Version: v.Cycle, Writer: v.Writer}
-	s.t.record(ro, s.cur.Cycle)
+	s.t.record(ro, s.cur)
 	recordRead(s.opts.Recorder, s.cur.Cycle, slot, item, v, src)
 	return Read{Obs: ro, Source: src}
 }
@@ -315,6 +315,7 @@ func (s *invOnly) Commit() (CommitInfo, error) {
 	if info.StartCycle == 0 {
 		info.StartCycle = s.cur.Cycle
 	}
+	s.t.emitStaleness(s.opts.Recorder, s.Name(), s.cur.Cycle)
 	s.t.reset()
 	s.marked = 0
 	return info, nil

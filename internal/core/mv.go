@@ -63,7 +63,7 @@ func (s *mvBroadcast) Begin() error {
 	if s.cur == nil {
 		return fmt.Errorf("core: Begin before first cycle")
 	}
-	return s.t.begin()
+	return s.t.begin(s.opts.Recorder != nil)
 }
 
 // Abort implements Scheme.
@@ -185,7 +185,7 @@ func (s *mvBroadcast) oldVersions(item model.ItemID) []broadcast.OldVersion {
 
 func (s *mvBroadcast) deliver(item model.ItemID, v model.Version, src ReadSource, slot int) Read {
 	ro := model.ReadObservation{Item: item, Value: v.Value, Version: v.Cycle, Writer: v.Writer}
-	s.t.record(ro, s.cur.Cycle)
+	s.t.record(ro, s.cur)
 	recordRead(s.opts.Recorder, s.cur.Cycle, slot, item, v, src)
 	return Read{Obs: ro, Source: src}
 }
@@ -207,6 +207,7 @@ func (s *mvBroadcast) Commit() (CommitInfo, error) {
 		CommitCycle:        s.cur.Cycle,
 		SerializationCycle: start,
 	}
+	s.t.emitStaleness(s.opts.Recorder, s.Name(), s.cur.Cycle)
 	s.t.reset()
 	return info, nil
 }

@@ -75,7 +75,7 @@ func (s *mvCache) Begin() error {
 	if s.cur == nil {
 		return fmt.Errorf("core: Begin before first cycle")
 	}
-	if err := s.t.begin(); err != nil {
+	if err := s.t.begin(s.opts.Recorder != nil); err != nil {
 		return err
 	}
 	s.cu = 0
@@ -206,7 +206,7 @@ func (s *mvCache) ServeChannel(item model.ItemID, pos int) (Read, int, error) {
 
 func (s *mvCache) deliver(item model.ItemID, v model.Version, src ReadSource, slot int) Read {
 	ro := model.ReadObservation{Item: item, Value: v.Value, Version: v.Cycle, Writer: v.Writer}
-	s.t.record(ro, s.cur.Cycle)
+	s.t.record(ro, s.cur)
 	recordRead(s.opts.Recorder, s.cur.Cycle, slot, item, v, src)
 	return Read{Obs: ro, Source: src}
 }
@@ -233,6 +233,7 @@ func (s *mvCache) Commit() (CommitInfo, error) {
 		CommitCycle:        s.cur.Cycle,
 		SerializationCycle: ser,
 	}
+	s.t.emitStaleness(s.opts.Recorder, s.Name(), s.cur.Cycle)
 	s.t.reset()
 	s.cu = 0
 	return info, nil

@@ -84,7 +84,7 @@ func (s *sgt) Begin() error {
 	if s.cur == nil {
 		return fmt.Errorf("core: Begin before first cycle")
 	}
-	if err := s.t.begin(); err != nil {
+	if err := s.t.begin(s.opts.Recorder != nil); err != nil {
 		return err
 	}
 	s.clearTxnGraphState()
@@ -290,7 +290,7 @@ func (s *sgt) accept(item model.ItemID, v model.Version) error {
 
 func (s *sgt) deliver(item model.ItemID, v model.Version, src ReadSource, slot int) Read {
 	ro := model.ReadObservation{Item: item, Value: v.Value, Version: v.Cycle, Writer: v.Writer}
-	s.t.record(ro, s.cur.Cycle)
+	s.t.record(ro, s.cur)
 	recordRead(s.opts.Recorder, s.cur.Cycle, slot, item, v, src)
 	return Read{Obs: ro, Source: src}
 }
@@ -316,6 +316,7 @@ func (s *sgt) Commit() (CommitInfo, error) {
 		CommitCycle:        s.cur.Cycle,
 		SerializationCycle: 0,
 	}
+	s.t.emitStaleness(s.opts.Recorder, s.Name(), s.cur.Cycle)
 	s.t.reset()
 	s.clearTxnGraphState()
 	return info, nil

@@ -126,13 +126,39 @@ func deadlineWrite(conn net.Conn, timeout time.Duration, f Frame) (int, error) {
 	return conn.Write(f)
 }
 
+// qframe is one queue entry: the shared immutable frame plus the
+// enqueue timestamp (nanoseconds from the lag sampler) when this
+// particular enqueue was sampled, 0 otherwise. The frame itself is still
+// shared zero-copy across every queue; only the 8-byte stamp is
+// per-subscriber.
+type qframe struct {
+	f  Frame
+	at int64
+}
+
 // subscriber is one connected tuner: a connection plus its bounded send
 // queue of immutable frames.
 type subscriber struct {
 	id   uint64
 	conn net.Conn
-	q    chan Frame
+	q    chan qframe
 	gone atomic.Bool // removed from its shard; writer skips it
+}
+
+// lagSampler is the broadcaster's opt-in wall-clock instrumentation: a
+// clock (obs.WallSampler, the lint-pinned entry point), a queue-depth
+// histogram fed at enqueue time, and one drain-latency histogram per
+// shard fed when the writer completes the sampled frame's write. Only
+// subscribers whose id is a multiple of stride are stamped, bounding the
+// clock-read and histogram cost at 10k-subscriber fan-outs; the stamped
+// subset is id-stable, so the same tuners are tracked cycle after cycle.
+// The stride is rounded up to a power of two so the per-subscriber check
+// on the fan-out walk is one mask, not a division.
+type lagSampler struct {
+	now   obs.Sampler
+	mask  uint64 // stride-1; stride is a power of two
+	depth *obs.Histogram
+	drain []*obs.Histogram // indexed by shard
 }
 
 // shard is one fan-out partition: the subscribers hashed to it and the
@@ -170,6 +196,10 @@ type Broadcaster struct {
 	wg   sync.WaitGroup
 
 	writeFrame writeFunc
+	// sampler is the opt-in lag instrumentation (SampleLag). Atomic so
+	// the shard writers, which start before wiring completes, read it
+	// without holding mu.
+	sampler atomic.Pointer[lagSampler]
 
 	framesSent    atomic.Int64
 	bytesSent     atomic.Int64
@@ -283,13 +313,14 @@ func (b *Broadcaster) attach(conn net.Conn) bool {
 		id := b.nextID
 		b.nextID++
 		s := b.shards[id%uint64(len(b.shards))]
-		sub := &subscriber{id: id, conn: conn, q: make(chan Frame, b.cfg.QueueLen)}
+		sub := &subscriber{id: id, conn: conn, q: make(chan qframe, b.cfg.QueueLen)}
 		s.subs[id] = sub
 		if b.last != nil {
 			// The queue is freshly made and QueueLen >= 1, so the greet
-			// enqueue cannot block.
+			// enqueue cannot block. Greetings are never lag-sampled: they
+			// are not part of any cycle's fan-out.
 			//lint:allow lockorder the queue was just made with cap >= 1 and nothing has sent on it, so this send cannot block
-			sub.q <- b.last
+			sub.q <- qframe{f: b.last}
 			s.queued.Add(1)
 			wakeShard = s
 		}
@@ -365,6 +396,44 @@ func (b *Broadcaster) QueueDepth() int64 {
 	return n
 }
 
+// SampleLag enables wall-clock lag sampling on the fan-out path: every
+// stride-th subscriber's enqueue records the instantaneous queue depth
+// into depth and stamps its queue entry, and the owning shard's writer
+// records the enqueue-to-written latency into drain[shard] when the
+// stamped frame leaves the wire. now must come from obs.WallSampler —
+// the single clock entry point bpush-lint pins — and drain needs one
+// histogram per shard. Sampling is off until SampleLag is called (zero
+// cost beyond one atomic nil load per broadcast) and unsupported in
+// serial mode, which has no queues to attribute.
+func (b *Broadcaster) SampleLag(now obs.Sampler, depth *obs.Histogram, drain []*obs.Histogram, stride int) error {
+	if b.cfg.Serial {
+		return fmt.Errorf("netcast: lag sampling requires the sharded broadcaster")
+	}
+	if now == nil || depth == nil {
+		return fmt.Errorf("netcast: lag sampling needs a sampler and a depth histogram")
+	}
+	if len(drain) != len(b.shards) {
+		return fmt.Errorf("netcast: %d drain histograms for %d shards", len(drain), len(b.shards))
+	}
+	for i, h := range drain {
+		if h == nil {
+			return fmt.Errorf("netcast: nil drain histogram for shard %d", i)
+		}
+	}
+	if stride < 1 {
+		stride = 1
+	}
+	// Round up to a power of two: sampling density is a rate, not a
+	// contract, and the mask keeps the 10k-wide fan-out walk division
+	// free.
+	pow := uint64(1)
+	for pow < uint64(stride) {
+		pow <<= 1
+	}
+	b.sampler.Store(&lagSampler{now: now, mask: pow - 1, depth: depth, drain: drain})
+	return nil
+}
+
 // Broadcast pushes one becast to every subscriber: the becast is encoded
 // exactly once into an immutable frame shared zero-copy by every
 // subscriber queue. Slow or dead subscribers are dropped — broadcast
@@ -424,11 +493,19 @@ func (b *Broadcaster) broadcastFrame(f Frame) error {
 	// and the eviction contract turns that into a dropped subscriber
 	// (whose client resynchronizes through the gap path) instead of a
 	// stalled cycle.
+	sm := b.sampler.Load()
 	var evicted []*subscriber
 	for _, s := range b.shards {
 		for id, sub := range s.subs {
+			var at int64
+			if sm != nil && sub.id&sm.mask == 0 {
+				// Queue depth is sampled before this enqueue, so a
+				// freshly drained subscriber reads 0.
+				sm.depth.Observe(float64(len(sub.q)))
+				at = sm.now()
+			}
 			select {
-			case sub.q <- f:
+			case sub.q <- qframe{f: f, at: at}:
 				s.queued.Add(1)
 			default:
 				delete(s.subs, id)
@@ -480,8 +557,8 @@ func (b *Broadcaster) runShard(s *shard) {
 			drain:
 				for {
 					select {
-					case f := <-sub.q:
-						n, err := b.writeFrame(sub.conn, b.cfg.WriteTimeout, f)
+					case qf := <-sub.q:
+						n, err := b.writeFrame(sub.conn, b.cfg.WriteTimeout, qf.f)
 						b.bytesSent.Add(int64(n))
 						s.bytes.Add(int64(n))
 						s.queued.Add(-1)
@@ -491,6 +568,11 @@ func (b *Broadcaster) runShard(s *shard) {
 						}
 						b.framesSent.Add(1)
 						s.sent.Add(1)
+						if qf.at != 0 {
+							if sm := b.sampler.Load(); sm != nil {
+								sm.drain[s.id].Observe(float64(sm.now() - qf.at))
+							}
+						}
 						progress = true
 					default:
 						break drain

@@ -2,11 +2,13 @@ package netcast
 
 import (
 	"fmt"
+	"strings"
 	"sync"
 	"time"
 
 	"bpush/internal/cyclesource"
 	"bpush/internal/fault"
+	"bpush/internal/model"
 	"bpush/internal/obs"
 	"bpush/internal/wire"
 	"bpush/internal/workload"
@@ -49,12 +51,36 @@ type StationConfig struct {
 	Cast Config
 	// HTTPAddr, when non-empty, serves the station's live metrics over
 	// HTTP (e.g. "127.0.0.1:0"): GET /metricsz renders the metric
-	// registry as JSON and GET /tracez the most recent trace events.
+	// registry as JSON, GET /statusz a plain-text operator summary, and
+	// GET /tracez the most recent trace events.
 	HTTPAddr string
 	// TraceRing bounds the in-memory trace buffer behind /tracez
 	// (default 1024 events).
 	TraceRing int
+	// Sample enables wall-clock latency attribution: the tick loop
+	// measures the commit/encode/on-air tiers into span.* histograms and
+	// the broadcaster samples per-subscriber queue depth and per-shard
+	// drain latency (SampleLag). The clock is read only through
+	// obs.WallSampler; with Sample false no code on the broadcast path
+	// touches the clock at all.
+	Sample bool
+	// SampleStride is the subscriber-id stride of the broadcaster's lag
+	// sampling (every stride-th subscriber is stamped). Zero means
+	// DefaultSampleStride.
+	SampleStride int
+	// Pprof additionally mounts net/http/pprof on the metrics server
+	// (requires HTTPAddr). Off by default: profiling endpoints are
+	// opt-in on an operator surface.
+	Pprof bool
 }
+
+// DefaultSampleStride is the lag-sampling subscriber stride when
+// StationConfig.SampleStride is zero: at 10k subscribers roughly 150
+// clock reads and histogram observations per broadcast — plenty for
+// stable quantiles while keeping the measured sampling overhead inside
+// run-to-run noise on both the on-air walk and the writer drain path
+// (BENCH_latency.json A/B).
+const DefaultSampleStride = 64
 
 // Station periodically takes the next cycle from a shared cyclesource
 // producer and broadcasts the becast to all subscribers. Production and
@@ -62,12 +88,14 @@ type StationConfig struct {
 // subscribers are connected — the Broadcaster fans the one frame out —
 // so station cost per cycle is independent of the audience size.
 type Station struct {
-	cfg  StationConfig
-	src  *cyclesource.Source
-	bc   *Broadcaster
-	reg  *obs.Registry
-	ring *obs.Ring
-	http *metricsServer // nil unless cfg.HTTPAddr
+	cfg   StationConfig
+	src   *cyclesource.Source
+	bc    *Broadcaster
+	reg   *obs.Registry
+	ring  *obs.Ring
+	rec   obs.Recorder   // ring + registry tee, the producer-side sink
+	clock obs.Sampler    // non-nil iff cfg.Sample: the tick loop's tier clock
+	http  *metricsServer // nil unless cfg.HTTPAddr
 
 	mu      sync.Mutex
 	next    int // index of the next cycle to put on air
@@ -79,11 +107,37 @@ type Station struct {
 
 // regRecorder folds trace events into the station's metric registry: one
 // counter per event type, per-kind fault counters, per-phase producer
-// pipeline unit counters, and a cycle-length histogram.
+// pipeline unit counters, latency-tier span histograms, per-scheme
+// staleness histograms, and a cycle-length histogram. It must stay
+// clock-free: it sits in bpush-lint's deterministic scope (every
+// obs.Recorder implementation does), and span events already carry their
+// nanosecond measurements from the emitting tier's sampler.
 type regRecorder struct{ reg *obs.Registry }
 
 // cycleSlotBounds buckets becast lengths (data + overflow slots).
 var cycleSlotBounds = []float64{64, 128, 256, 512, 1024, 2048, 4096, 8192, 16384}
+
+// spanNsBounds buckets wall-clock tier latencies: roughly log-spaced
+// from 1µs to 5s, wide enough for an in-process encode and a stalled
+// socket drain to land in interior buckets.
+var spanNsBounds = []float64{
+	1e3, 2.5e3, 5e3, 1e4, 2.5e4, 5e4, 1e5, 2.5e5, 5e5,
+	1e6, 2.5e6, 5e6, 1e7, 2.5e7, 5e7, 1e8, 2.5e8, 5e8, 1e9, 5e9,
+}
+
+// queueDepthBounds buckets sampled per-subscriber send-queue depths; the
+// 0 bound separates fully drained subscribers from lagging ones.
+var queueDepthBounds = []float64{0, 1, 2, 4, 8, 16, 32, 64, 128, 256}
+
+// stalenessCycleBounds buckets per-read currency distances in cycles;
+// the 0 bound isolates perfectly current reads.
+var stalenessCycleBounds = []float64{0, 1, 2, 3, 4, 6, 8, 12, 16, 24, 32, 48, 64}
+
+// spanMetric maps a span tier name to its histogram metric name
+// ("on-air" -> "span.on_air_ns").
+func spanMetric(tier string) string {
+	return "span." + strings.ReplaceAll(tier, "-", "_") + "_ns"
+}
 
 func (r regRecorder) Record(e obs.Event) {
 	r.reg.Counter("events." + string(e.Type)).Inc()
@@ -96,6 +150,13 @@ func (r regRecorder) Record(e obs.Event) {
 		// Per-phase throughput of the commit pipeline: transactions
 		// planned, items placed, conflict edges executed.
 		r.reg.Counter("producer." + e.Reason + ".units").Add(e.N)
+	case obs.TypeSpan:
+		r.reg.Histogram(spanMetric(e.Reason), spanNsBounds).Observe(float64(e.N))
+	case obs.TypeStaleness:
+		p := "staleness." + e.Method + "."
+		r.reg.Histogram(p+"age_cycles", stalenessCycleBounds).Observe(float64(e.Cycles))
+		r.reg.Histogram(p+"lag_cycles", stalenessCycleBounds).Observe(float64(e.N))
+		r.reg.Histogram(p+"span_cycles", stalenessCycleBounds).Observe(float64(e.Span))
 	}
 }
 
@@ -107,6 +168,9 @@ func NewStation(cfg StationConfig) (*Station, error) {
 	}
 	if cfg.Workload.DBSize != cfg.DBSize {
 		return nil, fmt.Errorf("netcast: workload DBSize %d != station DBSize %d", cfg.Workload.DBSize, cfg.DBSize)
+	}
+	if cfg.Pprof && cfg.HTTPAddr == "" {
+		return nil, fmt.Errorf("netcast: Pprof requires HTTPAddr")
 	}
 	ringSize := cfg.TraceRing
 	if ringSize <= 0 {
@@ -142,12 +206,34 @@ func NewStation(cfg StationConfig) (*Station, error) {
 	if err != nil {
 		return nil, err
 	}
+	var clock obs.Sampler
+	if cfg.Sample {
+		// The one place the station touches the clock; every measured
+		// tier below receives this sampler or its int64 readings.
+		clock = obs.WallSampler()
+		if !bc.cfg.Serial {
+			drain := make([]*obs.Histogram, bc.cfg.Shards)
+			for i := range drain {
+				drain[i] = reg.Histogram(fmt.Sprintf("net.shard.%d.drain_ns", i), spanNsBounds)
+			}
+			stride := cfg.SampleStride
+			if stride <= 0 {
+				stride = DefaultSampleStride
+			}
+			if err := bc.SampleLag(clock, reg.Histogram("net.queue_depth", queueDepthBounds), drain, stride); err != nil {
+				_ = bc.Close()
+				return nil, err
+			}
+		}
+	}
 	s := &Station{
 		cfg:     cfg,
 		src:     src,
 		bc:      bc,
 		reg:     reg,
 		ring:    ring,
+		rec:     rec,
+		clock:   clock,
 		mangler: mangler,
 		stop:    make(chan struct{}),
 		done:    make(chan struct{}),
@@ -242,8 +328,14 @@ func (s *Station) run() {
 // Tick produces the next cycle (the first tick broadcasts the initial
 // database load) and pushes its becast to every subscriber. With a fault
 // plan configured the frame passes through the mangler first; dropped
-// cycles put nothing on air, so subscribers see an undeclared gap.
+// cycles put nothing on air, so subscribers see an undeclared gap. With
+// StationConfig.Sample the tick is measured tier by tier — produce,
+// encode, fan out — into span.* histograms; the unsampled path below is
+// byte-for-byte the pre-instrumentation one.
 func (s *Station) Tick() error {
+	if s.clock != nil {
+		return s.tickSampled(s.clock)
+	}
 	s.mu.Lock()
 	//lint:allow lockorder mu is the tick serializer, not a fan-out lock: waiting for cycle production is the point of Tick, and no subscriber's progress depends on mu
 	b, err := s.src.Get(s.next)
@@ -270,6 +362,70 @@ func (s *Station) Tick() error {
 	}
 	return nil
 }
+
+// tickSampled is Tick with per-tier wall-clock attribution: commit spans
+// the producer pipeline (plan/place/execute plus becast assembly),
+// encode the wire serialization (and channel-side mangling when a fault
+// plan is live), on-air the sharded fan-out enqueue. Receive and read
+// are measured downstream — by tuners and clients — against the same
+// sampler family; the drain tier is the broadcaster's own SampleLag.
+func (s *Station) tickSampled(clock obs.Sampler) error {
+	t0 := clock()
+	s.mu.Lock()
+	//lint:allow lockorder mu is the tick serializer, not a fan-out lock: waiting for cycle production is the point of Tick, and no subscriber's progress depends on mu
+	b, err := s.src.Get(s.next)
+	if err != nil {
+		s.mu.Unlock()
+		return err
+	}
+	s.next++
+	t1 := clock()
+	frame, err := wire.Encode(b)
+	if err != nil {
+		s.mu.Unlock()
+		return err
+	}
+	var frames [][]byte
+	if s.mangler != nil {
+		frames = s.mangler.Mangle(frame)
+	}
+	t2 := clock()
+	s.mu.Unlock()
+	var castErr error
+	if s.mangler == nil {
+		// wire.Encode returned a fresh buffer; seal it without a copy,
+		// exactly as Broadcast would.
+		castErr = s.bc.BroadcastFrame(sealFrame(frame))
+	} else {
+		for _, f := range frames {
+			if err := s.bc.BroadcastRaw(f); err != nil {
+				castErr = err
+				break
+			}
+		}
+	}
+	t3 := clock()
+	s.recordSpan(b.Cycle, obs.SpanCommit, t1-t0)
+	s.recordSpan(b.Cycle, obs.SpanEncode, t2-t1)
+	s.recordSpan(b.Cycle, obs.SpanOnAir, t3-t2)
+	return castErr
+}
+
+// recordSpan emits one tier measurement into the station's sink (ring +
+// registry). Negative durations (a clock step) clamp to zero.
+func (s *Station) recordSpan(c model.Cycle, tier string, ns int64) {
+	if ns < 0 {
+		ns = 0
+	}
+	s.rec.Record(obs.Event{Type: obs.TypeSpan, T: obs.At(c, 0), Reason: tier, N: ns})
+}
+
+// ClientRecorder returns a recorder that folds client-side scheme events
+// into the station's metric registry — measured load clients attach it so
+// their per-read staleness events land in the same /metricsz snapshot as
+// the producer's tiers. It bypasses the trace ring: /tracez stays a
+// producer-side view instead of an interleaving of every client.
+func (s *Station) ClientRecorder() obs.Recorder { return regRecorder{s.reg} }
 
 // FaultStats reports the mangler's cumulative fault counters; the zero
 // Stats when no fault plan is configured.

@@ -97,6 +97,43 @@ const (
 	// derived from the batch alone, never from partitioning, so the
 	// stream is invariant under the pipeline's worker count.
 	TypeProducerPhase Type = "producer-phase"
+	// TypeSpan is one tier of the live pipeline's latency attribution:
+	// Reason names the tier (SpanCommit ... SpanRead) and N carries the
+	// measured duration in nanoseconds, stamped at (cycle, 0). Span
+	// events exist only in the wall-clocked netcast tier — the station's
+	// tick loop, shard writers, tuners, and measured clients — never in
+	// the simulator, whose causal spans are already carried by the
+	// virtual-timed events (producer-phase = commit, cycle-begin/end =
+	// on-air, read/staleness = consume). The nanosecond values come
+	// exclusively through a Sampler (see WallSampler), so everything
+	// downstream of the emitting site handles opaque int64s and stays in
+	// bpush-lint's deterministic scope.
+	TypeSpan Type = "span"
+	// TypeStaleness closes the currency accounting of one committed
+	// read: every scheme emits one event per read of a committing
+	// transaction, in read order, stamped T = (commit cycle, read
+	// index). Ser is the version cycle the read observed, Cycles the
+	// version's age at commit (commit - Ser, the paper's currency
+	// distance applied per read), Span the commit-to-read span (commit -
+	// serving cycle), and N the currency lag at serve time: how many
+	// cycles newer the item's then-current on-air version was than the
+	// version actually read (0 = the read was current, also 0 when the
+	// serving becast did not carry the item, e.g. h-interval chunks).
+	// Method names the emitting scheme so events from several clients can
+	// share one sink.
+	TypeStaleness Type = "staleness"
+)
+
+// Latency-attribution tiers, the Reason values of TypeSpan, in pipeline
+// order: producer commit, frame encode, broadcast fan-out (on-air),
+// per-shard queue drain, tuner receive, client read.
+const (
+	SpanCommit  = "commit"
+	SpanEncode  = "encode"
+	SpanOnAir   = "on-air"
+	SpanDrain   = "drain"
+	SpanReceive = "receive"
+	SpanRead    = "read"
 )
 
 // Producer pipeline phases, the Reason values of TypeProducerPhase.

@@ -255,3 +255,62 @@ func TestRegistrySnapshotJSONDeterministic(t *testing.T) {
 		t.Fatalf("counter names not sorted: %s", s)
 	}
 }
+
+// TestHistogramSnapshotRoundTrip pins the offline-recompute contract:
+// a snapshot carries the full bucket layout (Bounds, Counts, Min, Max,
+// Sum), so Restore rebuilds a histogram whose every quantile equals the
+// live one exactly — and the snapshot survives a JSON round trip intact.
+// bpush-inspect lag depends on this to reproduce /statusz numbers from a
+// saved /metricsz document.
+func TestHistogramSnapshotRoundTrip(t *testing.T) {
+	reg := NewRegistry()
+	h := reg.Histogram("rt.hist", []float64{1, 10, 100, 1000, 10000})
+	for i := 1; i <= 333; i++ {
+		h.Observe(float64(i * 37))
+	}
+	live, err := h.Snapshot().Restore()
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	raw, err := json.Marshal(reg.Snapshot())
+	if err != nil {
+		t.Fatal(err)
+	}
+	var back RegistrySnapshot
+	if err := json.Unmarshal(raw, &back); err != nil {
+		t.Fatal(err)
+	}
+	snap, ok := back.Histograms["rt.hist"]
+	if !ok {
+		t.Fatal("histogram missing after JSON round trip")
+	}
+	restored, err := snap.Restore()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if restored.N() != live.N() || restored.Min() != live.Min() || restored.Max() != live.Max() || restored.Sum() != live.Sum() {
+		t.Fatalf("aggregates differ after JSON round trip: %+v vs live", snap)
+	}
+	for _, q := range []float64{0.5, 0.9, 0.95, 0.99} {
+		if got, want := restored.Quantile(q), live.Quantile(q); got != want {
+			t.Errorf("Quantile(%g) = %g after round trip, want %g", q, got, want)
+		}
+	}
+	// The precomputed P50/P95/P99 fields must agree with recomputation.
+	if v, err := snap.Quantile(0.95); err != nil || v != snap.P95 {
+		t.Errorf("snapshot Quantile(0.95) = %g, %v; want P95 field %g", v, err, snap.P95)
+	}
+}
+
+// TestHistogramSnapshotQuantileErrors: a corrupted snapshot must refuse
+// to recompute rather than return silently-wrong quantiles.
+func TestHistogramSnapshotQuantileErrors(t *testing.T) {
+	bad := HistogramSnapshot{Bounds: []float64{1, 2}, Counts: []uint64{1}, Count: 1, Min: 0, Max: 3, Sum: 3}
+	if _, err := bad.Quantile(0.5); err == nil {
+		t.Error("mismatched counts length accepted")
+	}
+	if _, err := bad.Restore(); err == nil {
+		t.Error("Restore accepted mismatched counts length")
+	}
+}

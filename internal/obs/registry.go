@@ -126,12 +126,17 @@ func (h *Histogram) Snapshot() HistogramSnapshot {
 	if hh.N() > 0 {
 		s.P50 = hh.Quantile(0.50)
 		s.P90 = hh.Quantile(0.90)
+		s.P95 = hh.Quantile(0.95)
 		s.P99 = hh.Quantile(0.99)
 	}
 	return s
 }
 
-// HistogramSnapshot is the exported state of one histogram.
+// HistogramSnapshot is the exported state of one histogram. Bounds and
+// Counts carry the full bucket layout (Counts has one trailing overflow
+// bucket), so any consumer of a snapshot — not just this process — can
+// rebuild the histogram and recompute quantiles exactly; the P* fields
+// are the same values precomputed for convenience.
 type HistogramSnapshot struct {
 	Count  uint64    `json:"count"`
 	Sum    float64   `json:"sum"`
@@ -141,7 +146,28 @@ type HistogramSnapshot struct {
 	Counts []uint64  `json:"counts"`
 	P50    float64   `json:"p50"`
 	P90    float64   `json:"p90"`
+	P95    float64   `json:"p95"`
 	P99    float64   `json:"p99"`
+}
+
+// Quantile recomputes the q-quantile exactly from the snapshot's bucket
+// bounds and counts — the round trip a decoded /metricsz snapshot or an
+// embedded load report goes through offline. It returns the same value
+// the live histogram's Quantile would have, or an error when the
+// snapshot's bucket layout is inconsistent.
+func (s HistogramSnapshot) Quantile(q float64) (float64, error) {
+	h, err := stats.Restore(s.Bounds, s.Counts, s.Min, s.Max, s.Sum)
+	if err != nil {
+		return 0, err
+	}
+	return h.Quantile(q), nil
+}
+
+// Restore rebuilds the full stats.Histogram behind the snapshot, for
+// consumers that need more than one quantile or want to Merge several
+// snapshots (e.g. per-shard drain histograms) before querying.
+func (s HistogramSnapshot) Restore() (*stats.Histogram, error) {
+	return stats.Restore(s.Bounds, s.Counts, s.Min, s.Max, s.Sum)
 }
 
 // RegistrySnapshot is a point-in-time copy of every metric. Its JSON

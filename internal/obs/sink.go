@@ -159,6 +159,7 @@ type Summary struct {
 	MeanLatencySlots float64 // slots, committed queries only
 	MeanSpan         float64
 	MeanStaleness    float64 // commit cycle - serialization cycle
+	MeanReadAge      float64 // per committed read: commit cycle - version cycle
 
 	Reads        int
 	CacheReads   int
@@ -180,6 +181,7 @@ type Aggregator struct {
 	s               Summary
 	latency, slots  stats.Accumulator
 	span, staleness stats.Accumulator
+	readAge         stats.Accumulator
 }
 
 // NewAggregator creates an empty aggregating sink.
@@ -212,6 +214,8 @@ func (a *Aggregator) Record(e Event) {
 		default:
 			a.s.AirReads++
 		}
+	case TypeStaleness:
+		a.readAge.Add(float64(e.Cycles))
 	case TypeInvHit:
 		a.s.InvalidationHits++
 	case TypeRestart:
@@ -234,6 +238,7 @@ func (a *Aggregator) Summary() Summary {
 	s.MeanLatencySlots = a.slots.Mean()
 	s.MeanSpan = a.span.Mean()
 	s.MeanStaleness = a.staleness.Mean()
+	s.MeanReadAge = a.readAge.Mean()
 	if s.Reads > 0 {
 		s.CacheHitRate = float64(s.CacheReads) / float64(s.Reads)
 		s.OverflowReadRate = float64(s.VersionReads) / float64(s.Reads)

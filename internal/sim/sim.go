@@ -212,6 +212,12 @@ type Metrics struct {
 	// — the currency metric of §5.2.2 (0 = the most current view).
 	// SGT commits have no named state and are excluded.
 	MeanStaleness float64
+	// MeanReadAge is the mean version age, in cycles, over every read of
+	// every committed query: commit cycle minus the version cycle the
+	// read observed. Unlike MeanStaleness it is defined for all schemes
+	// (SGT included) and weights each read, not each query — the per-read
+	// currency the staleness trace events histogram.
+	MeanReadAge float64
 
 	CacheHitRate     float64 // fraction of reads served from cache
 	OverflowReadRate float64 // fraction of reads served from overflow
@@ -341,7 +347,7 @@ func runClient(cfg Config, src *cyclesource.Source) (*Metrics, error) {
 	}
 
 	m := &Metrics{SchemeName: scheme.Name()}
-	var latency, latencySlots, span, bcastLen, staleness stats.Accumulator
+	var latency, latencySlots, span, bcastLen, staleness, readAge stats.Accumulator
 	var reads, cacheReads, overflowReads int
 
 	total := cfg.Warmup + cfg.Queries
@@ -373,6 +379,9 @@ func runClient(cfg Config, src *cyclesource.Source) (*Metrics, error) {
 			if res.Info.SerializationCycle != 0 {
 				staleness.Add(float64(res.Info.CommitCycle - res.Info.SerializationCycle))
 			}
+			for _, ro := range res.Info.Reads {
+				readAge.Add(float64(res.Info.CommitCycle - ro.Version))
+			}
 		} else {
 			m.Aborted++
 		}
@@ -387,6 +396,7 @@ func runClient(cfg Config, src *cyclesource.Source) (*Metrics, error) {
 	m.MeanLatencySlots = latencySlots.Mean()
 	m.MeanSpan = span.Mean()
 	m.MeanStaleness = staleness.Mean()
+	m.MeanReadAge = readAge.Mean()
 	if reads > 0 {
 		m.CacheHitRate = float64(cacheReads) / float64(reads)
 		m.OverflowReadRate = float64(overflowReads) / float64(reads)

@@ -1,0 +1,180 @@
+package sim
+
+import (
+	"bytes"
+	"fmt"
+	"testing"
+
+	"bpush/internal/core"
+	"bpush/internal/model"
+	"bpush/internal/obs"
+)
+
+// stalenessEvents decodes a JSONL stream and returns its staleness
+// events.
+func stalenessEvents(t *testing.T, raw []byte) []obs.Event {
+	t.Helper()
+	events, err := obs.ReadJSONL(bytes.NewReader(raw))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var out []obs.Event
+	for _, e := range events {
+		if e.Type == obs.TypeStaleness {
+			out = append(out, e)
+		}
+	}
+	return out
+}
+
+// TestStalenessTraceDeterminism is the span/staleness half of the
+// trace-determinism bar: across seeds and control-info granularities
+// (per-item and bucketed), a parallel fleet's trace — including every
+// per-read staleness event — is byte-identical to the serial fleet's.
+// Staleness events carry virtual time only (cycle, read index), so
+// nothing about scheduling can reach them.
+func TestStalenessTraceDeterminism(t *testing.T) {
+	const clients = 3
+	for _, gran := range []struct {
+		name   string
+		scheme core.Options
+	}{
+		// Bucket-granularity invalidation reports only exist for the
+		// caching schemes (§4.3); multiversion covers the per-item arm.
+		{"item", core.Options{Kind: core.KindMVBroadcast}},
+		{"bucket", core.Options{Kind: core.KindInvOnly, CacheSize: 100, BucketGranularity: 4}},
+	} {
+		for seed := int64(1); seed <= 8; seed++ {
+			t.Run(fmt.Sprintf("%s/seed%d", gran.name, seed), func(t *testing.T) {
+				cfg := traceConfig()
+				cfg.Queries = 30
+				cfg.Warmup = 5
+				cfg.Seed = seed
+				cfg.Scheme = gran.scheme
+				cfg.ServerVersions = 3
+
+				serial := cfg
+				serial.Parallel = 1
+				parallel := cfg
+				parallel.Parallel = 3
+
+				st := fleetTrace(t, serial, clients)
+				pt := fleetTrace(t, parallel, clients)
+				if !bytes.Equal(st, pt) {
+					t.Fatalf("staleness-bearing fleet traces differ between serial and parallel execution")
+				}
+				if len(stalenessEvents(t, st)) == 0 {
+					t.Fatalf("trace carries no staleness events")
+				}
+			})
+		}
+	}
+}
+
+// TestInvOnlyStalenessAlwaysCurrent pins the §3.1 currency property: an
+// invalidation-only client only ever reads values that are current at
+// the moment they are served — from the cycle on air, or from a cache
+// entry the invalidation report has not killed — so the currency lag of
+// every committed read is exactly zero. (Version age may still be
+// positive: a current value keeps the cycle stamp of its last writer.)
+func TestInvOnlyStalenessAlwaysCurrent(t *testing.T) {
+	cfg := traceConfig()
+	cfg.Warmup = 0
+	cfg.Queries = 150
+	var buf bytes.Buffer
+	w := obs.NewJSONL(&buf)
+	cfg.Recorder = w
+	if _, err := Run(cfg); err != nil {
+		t.Fatal(err)
+	}
+	events := stalenessEvents(t, buf.Bytes())
+	if len(events) == 0 {
+		t.Fatal("no staleness events recorded")
+	}
+	for _, e := range events {
+		if e.Method != "inv-only+cache" {
+			t.Fatalf("unexpected method %q", e.Method)
+		}
+		if e.N != 0 {
+			t.Errorf("inv-only read of item %d at cycle %d has currency lag %d, want 0", e.Item, e.T.Cycle, e.N)
+		}
+	}
+}
+
+// TestMVStalenessBoundedByOverflowSpan pins the §3.2 bound: a cacheless
+// multiversion client serves every read from the becast on air, so the
+// currency lag of a read served at cycle rc cannot exceed that becast's
+// overflow span — the distance from rc back to the oldest version it
+// carries. The becast stream is a pure function of the config, so the
+// test replays it through Config.NewSource and checks every event
+// against the per-cycle bound.
+func TestMVStalenessBoundedByOverflowSpan(t *testing.T) {
+	cfg := traceConfig()
+	cfg.Warmup = 0
+	cfg.Queries = 200
+	cfg.Scheme = core.Options{Kind: core.KindMVBroadcast}
+	cfg.ServerVersions = 4
+	var buf bytes.Buffer
+	w := obs.NewJSONL(&buf)
+	cfg.Recorder = w
+	if _, err := Run(cfg); err != nil {
+		t.Fatal(err)
+	}
+	events := stalenessEvents(t, buf.Bytes())
+	if len(events) == 0 {
+		t.Fatal("no staleness events recorded")
+	}
+
+	// Replay the identical becast stream and compute, per cycle, the
+	// oldest version cycle on air (data segment + overflow segment).
+	src, err := cfg.NewSource()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var maxCycle model.Cycle
+	for _, e := range events {
+		if rc := model.Cycle(e.T.Cycle); rc > maxCycle {
+			maxCycle = rc
+		}
+	}
+	oldest := map[model.Cycle]model.Cycle{}
+	for i := 0; ; i++ {
+		b, err := src.Get(i)
+		if err != nil {
+			t.Fatal(err)
+		}
+		min := b.Cycle
+		for _, en := range b.Entries {
+			if en.Version.Cycle < min {
+				min = en.Version.Cycle
+			}
+		}
+		for _, ov := range b.Overflow {
+			if ov.Version.Cycle < min {
+				min = ov.Version.Cycle
+			}
+		}
+		oldest[b.Cycle] = min
+		if b.Cycle >= maxCycle {
+			break
+		}
+	}
+
+	sawLag := false
+	for _, e := range events {
+		rc := model.Cycle(e.T.Cycle) - model.Cycle(e.Span) // the cycle that served the read
+		min, ok := oldest[rc]
+		if !ok {
+			t.Fatalf("staleness event references unknown serving cycle %d", rc)
+		}
+		if bound := int64(rc - min); e.N > bound {
+			t.Errorf("read of item %d served at cycle %d has lag %d beyond the on-air span %d", e.Item, rc, e.N, bound)
+		}
+		if e.N > 0 {
+			sawLag = true
+		}
+	}
+	if !sawLag {
+		t.Error("no read with positive lag — the bound was never exercised")
+	}
+}

@@ -202,6 +202,7 @@ func TestAggregatorMatchesMetrics(t *testing.T) {
 				{"MeanLatencySlots", s.MeanLatencySlots, m.MeanLatencySlots},
 				{"MeanSpan", s.MeanSpan, m.MeanSpan},
 				{"MeanStaleness", s.MeanStaleness, m.MeanStaleness},
+				{"MeanReadAge", s.MeanReadAge, m.MeanReadAge},
 				{"CacheHitRate", s.CacheHitRate, m.CacheHitRate},
 				{"OverflowReadRate", s.OverflowReadRate, m.OverflowReadRate},
 			}

@@ -44,6 +44,36 @@ func NewHistogram(bounds []float64) (*Histogram, error) {
 	return h, nil
 }
 
+// Restore rebuilds a histogram from previously exported state — the
+// bucket bounds and counts of a snapshot, plus the observed extremes and
+// sum. The restored histogram answers Quantile/Mean/N exactly as the
+// original did at snapshot time, which is what lets offline tools
+// (bpush-inspect lag, the /statusz renderer) recompute quantiles from a
+// registry snapshot instead of trusting pre-baked estimates. Counts must
+// have exactly len(bounds)+1 entries (the last is the overflow bucket).
+func Restore(bounds []float64, counts []uint64, min, max, sum float64) (*Histogram, error) {
+	h, err := NewHistogram(bounds)
+	if err != nil {
+		return nil, err
+	}
+	if len(counts) != len(h.counts) {
+		return nil, fmt.Errorf("stats: restore with %d counts for %d buckets (want %d)", len(counts), len(bounds), len(h.counts))
+	}
+	var n uint64
+	for i, c := range counts {
+		h.counts[i] = c
+		n += c
+	}
+	h.n = n
+	if n > 0 {
+		if math.IsNaN(min) || math.IsNaN(max) || min > max {
+			return nil, fmt.Errorf("stats: restore with invalid extremes [%g, %g]", min, max)
+		}
+		h.min, h.max, h.sum = min, max, sum
+	}
+	return h, nil
+}
+
 // LinearBuckets returns n ascending bounds start, start+width, ... — a
 // convenience for the common evenly spaced layout.
 func LinearBuckets(start, width float64, n int) []float64 {

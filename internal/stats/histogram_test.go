@@ -147,3 +147,66 @@ func TestHistogramMergeMismatch(t *testing.T) {
 		t.Errorf("unhelpful error: %v", err)
 	}
 }
+
+// TestHistogramRestoreRoundTrip pins the property the registry snapshot
+// export relies on: Bounds/Counts/Min/Max/Sum fully determine the
+// histogram, so Restore rebuilds one whose every quantile equals the
+// original's exactly.
+func TestHistogramRestoreRoundTrip(t *testing.T) {
+	h := mustHistogram(t, []float64{1, 10, 100, 1000})
+	for i := 1; i <= 500; i++ {
+		h.Add(float64(i * 3))
+	}
+	r, err := Restore(h.Bounds(), h.Counts(), h.Min(), h.Max(), h.Sum())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.N() != h.N() || r.Min() != h.Min() || r.Max() != h.Max() || r.Sum() != h.Sum() {
+		t.Fatalf("restored aggregates differ: %d/%g/%g/%g vs %d/%g/%g/%g",
+			r.N(), r.Min(), r.Max(), r.Sum(), h.N(), h.Min(), h.Max(), h.Sum())
+	}
+	for _, q := range []float64{0, 0.25, 0.5, 0.9, 0.95, 0.99, 1} {
+		if got, want := r.Quantile(q), h.Quantile(q); got != want {
+			t.Errorf("Quantile(%g) = %g after restore, want %g", q, got, want)
+		}
+	}
+	if !reflect.DeepEqual(r.Counts(), h.Counts()) {
+		t.Errorf("restored counts differ: %v vs %v", r.Counts(), h.Counts())
+	}
+	// A restored histogram is live: merging and adding keep working.
+	if err := r.Merge(h); err != nil {
+		t.Fatal(err)
+	}
+	if r.N() != 2*h.N() {
+		t.Errorf("merge after restore: n = %d, want %d", r.N(), 2*h.N())
+	}
+}
+
+// TestHistogramRestoreEmpty round-trips a histogram that never saw a
+// sample.
+func TestHistogramRestoreEmpty(t *testing.T) {
+	h := mustHistogram(t, []float64{1, 2})
+	r, err := Restore(h.Bounds(), h.Counts(), h.Min(), h.Max(), h.Sum())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.N() != 0 {
+		t.Errorf("restored empty histogram has n = %d", r.N())
+	}
+}
+
+func TestHistogramRestoreValidation(t *testing.T) {
+	bounds := []float64{1, 2}
+	if _, err := Restore(bounds, []uint64{1, 2}, 0, 3, 3); err == nil {
+		t.Error("short counts accepted")
+	}
+	if _, err := Restore(nil, []uint64{1}, 0, 0, 0); err == nil {
+		t.Error("empty bounds accepted")
+	}
+	if _, err := Restore(bounds, []uint64{1, 0, 0}, 5, 2, 5); err == nil {
+		t.Error("min > max with samples accepted")
+	}
+	if _, err := Restore(bounds, []uint64{1, 0, 0}, math.NaN(), 2, 2); err == nil {
+		t.Error("NaN extreme accepted")
+	}
+}
