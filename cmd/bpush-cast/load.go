@@ -109,6 +109,20 @@ type loadReport struct {
 	LoadClients   int   `json:"load_clients,omitempty"`
 	ClientQueries int64 `json:"client_queries,omitempty"`
 
+	// Durable-log mode (-log-dir): where the cycle log spills, the
+	// in-memory window bound, and how many cycles the station resumed
+	// from a previous run's log.
+	LogDir        string `json:"log_dir,omitempty"`
+	MemCycles     int    `json:"mem_cycles,omitempty"`
+	ResumedCycles uint64 `json:"resumed_cycles,omitempty"`
+
+	// Heap occupancy (post-GC HeapAlloc) bracketing the measured
+	// broadcast phase: with a bounded -mem-cycles window the end value
+	// stays flat however many cycles run, which is the acceptance
+	// evidence for the spill path.
+	HeapAllocStart uint64 `json:"heap_alloc_start"`
+	HeapAllocEnd   uint64 `json:"heap_alloc_end"`
+
 	// Metrics is the station's full registry snapshot at the end of the
 	// run: the span.* latency tiers, net.queue_depth, per-shard drain
 	// histograms, and the per-scheme staleness histograms. Bucket bounds
@@ -249,6 +263,12 @@ func runLoad(cfg cliConfig) error {
 		return err
 	}
 	rep.LoadClients = len(clients.conns)
+	rep.LogDir = st.LogDir
+	rep.MemCycles = st.MemCycles
+	if st.LogDir != "" {
+		rep.ResumedCycles = station.Source().Produced()
+	}
+	rep.HeapAllocStart = heapAlloc()
 
 	// Broadcast phase: one warm-up cycle (the initial database load is a
 	// much larger frame), then the measured cycles. On-air time is the
@@ -287,6 +307,7 @@ func runLoad(cfg cliConfig) error {
 		sustained += time.Since(t0)
 	}
 	mark.Store(nil)
+	rep.HeapAllocEnd = heapAlloc()
 	tr := bc.Traffic()
 	rep.OnAirNsPerCycle = onAir.Nanoseconds() / int64(cfg.Load.Cycles)
 	rep.SustainedNsPerCycle = sustained.Nanoseconds() / int64(cfg.Load.Cycles)
@@ -463,6 +484,15 @@ func (lc *loadClients) runClient(cfg cliConfig, conn net.Conn, opts core.Options
 		rec.Record(obs.Event{Type: obs.TypeSpan, T: obs.At(cl.Cycle(), 0), Reason: obs.SpanRead, N: time.Since(q0).Nanoseconds()})
 		lc.queries.Add(1)
 	}
+}
+
+// heapAlloc returns the live heap after a forced GC, so the readings
+// compare retained memory rather than allocation churn.
+func heapAlloc() uint64 {
+	runtime.GC()
+	var ms runtime.MemStats
+	runtime.ReadMemStats(&ms)
+	return ms.HeapAlloc
 }
 
 // waitQueueDrain blocks until the fan-out queues are empty — every

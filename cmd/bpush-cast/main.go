@@ -56,6 +56,9 @@ func run(args []string) error {
 	}
 	defer func() { _ = st.Close() }()
 	fmt.Printf("broadcasting %d items every %v on %s (S=%d)\n", cfg.Station.DBSize, cfg.Station.Interval, st.Addr(), cfg.Station.Versions)
+	if cfg.Station.LogDir != "" {
+		fmt.Printf("durable cycle log in %s: resuming at cycle %d\n", cfg.Station.LogDir, st.Source().Produced()+1)
+	}
 	if a := st.MetricsAddr(); a != "" {
 		fmt.Printf("metrics on http://%s/metricsz, status on http://%s/statusz, trace on http://%s/tracez\n", a, a, a)
 	}
@@ -94,7 +97,10 @@ func buildConfig(args []string) (cliConfig, error) {
 		faultSpec = fs.String("fault", "none", "channel-side fault plan: none, a named plan, or a spec like drop=0.05,corrupt=0.01")
 		faultSeed = fs.Int64("fault-seed", 0, "fault RNG seed (0 = derive from the workload seed)")
 		httpAddr  = fs.String("http", "", "serve /metricsz, /statusz, and /tracez on this address (empty = off)")
-		sample    = fs.Bool("sample", false, "measure per-tier latency (commit/encode/on-air/drain) into span.* histograms")
+		logDir    = fs.String("log-dir", "", "durable cycle log directory: cycles are appended to disk and a restart resumes the same stream (empty = memory only)")
+		memCycles = fs.Int("mem-cycles", 0, "with -log-dir: keep only the newest N cycles in memory, serving older ones from disk (0 = keep all)")
+		snapEvery = fs.Int("snapshot-every", 0, "with -log-dir: append a producer snapshot every N cycles to bound restart replay (0 = default cadence, negative = disable)")
+		sample    = fs.Bool("sample", false, "measure per-tier latency (restore/commit/encode/on-air/drain) into span.* histograms")
 		stride    = fs.Int("sample-stride", 0, "sample every Nth subscriber for queue/drain lag (0 = default)")
 		pprofFlag = fs.Bool("pprof", false, "mount net/http/pprof under /debug/pprof/ on the -http address")
 
@@ -136,15 +142,18 @@ func buildConfig(args []string) (cliConfig, error) {
 				UpdatesPerCycle: *updates,
 				ReadsPerUpdate:  4,
 			},
-			Interval:     *interval,
-			Workers:      *workers,
-			Seed:         *seed,
-			Fault:        plan,
-			FaultSeed:    *faultSeed,
-			HTTPAddr:     *httpAddr,
-			Sample:       *sample,
-			SampleStride: *stride,
-			Pprof:        *pprofFlag,
+			Interval:      *interval,
+			Workers:       *workers,
+			Seed:          *seed,
+			Fault:         plan,
+			FaultSeed:     *faultSeed,
+			HTTPAddr:      *httpAddr,
+			Sample:        *sample,
+			SampleStride:  *stride,
+			Pprof:         *pprofFlag,
+			LogDir:        *logDir,
+			MemCycles:     *memCycles,
+			SnapshotEvery: *snapEvery,
 			Cast: netcast.Config{
 				Shards:       *shards,
 				QueueLen:     *queueLen,

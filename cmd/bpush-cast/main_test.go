@@ -217,3 +217,23 @@ func TestWriteReportStable(t *testing.T) {
 		}
 	}
 }
+
+// TestBuildConfigDurableFlags pins the -log-dir family's wiring into the
+// station config.
+func TestBuildConfigDurableFlags(t *testing.T) {
+	cfg, err := buildConfig([]string{"-log-dir", "/tmp/bpush-log", "-mem-cycles", "64", "-snapshot-every", "32"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	st := cfg.Station
+	if st.LogDir != "/tmp/bpush-log" || st.MemCycles != 64 || st.SnapshotEvery != 32 {
+		t.Errorf("durable-log flags not applied: LogDir=%q MemCycles=%d SnapshotEvery=%d", st.LogDir, st.MemCycles, st.SnapshotEvery)
+	}
+	cfg, err = buildConfig(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cfg.Station.LogDir != "" || cfg.Station.MemCycles != 0 || cfg.Station.SnapshotEvery != 0 {
+		t.Errorf("durable log on by default: %+v", cfg.Station)
+	}
+}

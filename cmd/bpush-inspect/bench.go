@@ -94,6 +94,7 @@ var benchProvenance = map[string]int{
 	"BENCH_netcast":     7,
 	"BENCH_hotalloc":    8,
 	"BENCH_latency":     9,
+	"BENCH_durability":  10,
 }
 
 func benchPR(path string) int {

@@ -61,6 +61,9 @@ func run(args []string, out io.Writer) error {
 		prodW      = fs.Int("producer-workers", 1, "server commit-pipeline workers (plan/place/execute; results are identical at any count)")
 		faultSpec  = fs.String("fault", "none", "fault plan: none | "+faultNames()+" | spec like drop=0.05,corrupt=0.01")
 		faultSeed  = fs.Int64("fault-seed", 0, "fault RNG seed (0 = derive from the client seed)")
+		logDir     = fs.String("log-dir", "", "durable cycle log directory: the produced stream is appended to disk and a later run over the same directory resumes it (empty = memory only)")
+		memCycles  = fs.Int("mem-cycles", 0, "with -log-dir: keep only the newest N cycles in memory, serving older ones from disk (0 = keep all)")
+		snapEvery  = fs.Int("snapshot-every", 0, "with -log-dir: producer snapshot cadence in cycles (0 = default, negative = disable)")
 		tracePath  = fs.String("trace", "", "write the run's JSONL event trace to this file (inspect with: bpush-inspect trace)")
 		forceLocal = fs.Bool("force-local-index", false, "skip the shared per-cycle index; every client rebuilds its control-info structures locally (results are identical; for differential testing and benchmarks)")
 	)
@@ -100,6 +103,9 @@ func run(args []string, out io.Writer) error {
 	cfg.Fault = plan
 	cfg.FaultSeed = *faultSeed
 	cfg.ForceLocalIndex = *forceLocal
+	cfg.LogDir = *logDir
+	cfg.MemCycles = *memCycles
+	cfg.SnapshotEvery = *snapEvery
 
 	// The trace is assembled deterministically: the producer stream first,
 	// then each client's stream in index order. Per-client recorders keep a

@@ -155,3 +155,40 @@ func TestTraceFlagWritesReadableTrace(t *testing.T) {
 		t.Error("fleet trace depends on worker count")
 	}
 }
+
+// TestRunDurableRestart drives the CLI's -log-dir path end to end: a
+// first run leaves a durable log behind, and a second run over the same
+// directory resumes it (serving the recorded prefix from disk) with
+// identical client-visible output.
+func TestRunDurableRestart(t *testing.T) {
+	dir := t.TempDir()
+	args := func(extra ...string) []string {
+		base := []string{
+			"-scheme", "vcache", "-cache", "20", "-db", "120", "-update-range", "60",
+			"-read-range", "120", "-updates", "6", "-queries", "30", "-warmup", "5",
+		}
+		return append(base, extra...)
+	}
+	var plain strings.Builder
+	if err := run(args(), &plain); err != nil {
+		t.Fatal(err)
+	}
+	var first strings.Builder
+	if err := run(args("-log-dir", dir, "-mem-cycles", "8", "-snapshot-every", "10"), &first); err != nil {
+		t.Fatal(err)
+	}
+	if first.String() != plain.String() {
+		t.Error("durable run output differs from memory-only run")
+	}
+	var second strings.Builder
+	if err := run(args("-log-dir", dir, "-mem-cycles", "8", "-snapshot-every", "10"), &second); err != nil {
+		t.Fatal(err)
+	}
+	if second.String() != plain.String() {
+		t.Error("resumed run output differs from memory-only run")
+	}
+	// The durable knobs require -log-dir; the validation error surfaces.
+	if err := run(args("-mem-cycles", "8"), &plain); err == nil {
+		t.Error("-mem-cycles without -log-dir accepted")
+	}
+}

@@ -129,6 +129,13 @@ func DefaultConfig() Config {
 			"bpush/internal/cyclesource.New",
 			"bpush/internal/cyclesource.Source.*",
 			"bpush/internal/cyclesource.Feed.*",
+			// The durable cycle log: record framing and recovery are a
+			// pure function of the bytes on disk (os.ReadDir returns a
+			// sorted listing), so a resumed producer replays the exact
+			// stream. Rooted explicitly in case a caller bypasses the
+			// source and opens a log directly.
+			"bpush/internal/durlog.Open",
+			"bpush/internal/durlog.Log.*",
 			// The 2PL oracle is test-only at runtime but must stay
 			// byte-equivalent to the pipeline, so it is rooted
 			// explicitly.
@@ -164,7 +171,10 @@ func DefaultConfig() Config {
 		},
 		GoroutineScope: []string{"bpush/internal"},
 		GoroutineAllow: []string{"bpush/internal/pool", "bpush/internal/netcast"},
-		ErrcheckScope:  []string{"bpush/internal/wire", "bpush/internal/netcast"},
+		// durlog joins the strict error-check scope: a swallowed fsync,
+		// truncate, or read error on the durable log is a silent
+		// durability hole, exactly the class errcheck exists to catch.
+		ErrcheckScope: []string{"bpush/internal/wire", "bpush/internal/netcast", "bpush/internal/durlog"},
 		// The commit path (pipeline and 2PL oracle alike) must stay
 		// sleep-free: backoff is yield-based so cycle production never
 		// paces itself on the wall clock.

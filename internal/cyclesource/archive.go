@@ -17,16 +17,27 @@ func newRand(seed int64) *rand.Rand { return rand.New(rand.NewSource(seed)) }
 // than the oracle window; such commits are skipped, not failed.
 var ErrOracleWindow = errors.New("cyclesource: query outlived the oracle window")
 
-// archive keeps every database state and cycle log produced, plus the full
-// serialization graph, for the correctness oracle. Retention is total —
-// the archive is part of the replayable cycle log, so a consumer that
-// starts late can still have its earliest commits checked. The window
-// applies at check time, relative to the checked query's commit cycle:
-// the verdict for a given commit is therefore identical no matter how far
-// production has advanced, which keeps oracle counters deterministic when
-// many clients share one source.
+// archive keeps the database states and cycle logs produced, plus the
+// full serialization graph, for the correctness oracle. Retention is
+// total by default — the archive is part of the replayable cycle log, so
+// a consumer that starts late can still have its earliest commits
+// checked. The window applies at check time, relative to the checked
+// query's commit cycle: the verdict for a given commit is therefore
+// identical no matter how far production has advanced, which keeps
+// oracle counters deterministic when many clients share one source.
+//
+// Once the source spills cycles to disk (LogDir with bounded MemCycles),
+// retention follows the same bound: states and logs older than the
+// in-memory window minus the check window are pruned, and a check whose
+// span reaches below the pruned floor is reported as outside the oracle
+// window — a clean, skipped verdict, never a silently wrong one (the SGT
+// branch's per-cycle log lookup would otherwise treat a pruned log as "no
+// writers that cycle"). A consumer that walks the stream as it is
+// produced never commits below the floor, so pruning leaves its verdicts
+// and counters untouched; the pruning differential pins that.
 type archive struct {
 	window model.Cycle
+	floor  model.Cycle // lowest unpruned cycle; 1 until pruning starts
 	states map[model.Cycle]model.DBState
 	logs   map[model.Cycle]*server.CycleLog
 	graph  *sg.Graph
@@ -35,10 +46,27 @@ type archive struct {
 func newArchive(window int) *archive {
 	return &archive{
 		window: model.Cycle(window),
+		floor:  1,
 		states: make(map[model.Cycle]model.DBState),
 		logs:   make(map[model.Cycle]*server.CycleLog),
 		graph:  sg.New(),
 	}
+}
+
+// prune discards states and logs below floor. Archived cycles are
+// contiguous, so the walk deletes by key — no map iteration whose order
+// could leak anywhere. The graph is kept whole: its per-cycle footprint
+// is a handful of transactions, not a database state, and reachability
+// queries may legitimately traverse edges older than the state window.
+func (a *archive) prune(floor model.Cycle) {
+	if floor <= a.floor {
+		return
+	}
+	for c := a.floor; c < floor; c++ {
+		delete(a.states, c)
+		delete(a.logs, c)
+	}
+	a.floor = floor
 }
 
 // low returns the oldest cycle the oracle vouches for, for a query that
@@ -73,6 +101,11 @@ func (a *archive) addLog(l *server.CycleLog) {
 func (a *archive) check(info core.CommitInfo) error {
 	low := a.low(info.CommitCycle)
 	if info.StartCycle < low {
+		return ErrOracleWindow
+	}
+	if low < a.floor {
+		// Part of the span the check may consult has been pruned; skip
+		// rather than risk a verdict built on missing logs.
 		return ErrOracleWindow
 	}
 	if info.SerializationCycle != 0 {

@@ -14,10 +14,18 @@
 // is serialized under the source's lock, Feeds may be driven from
 // different goroutines; each Feed itself is single-consumer.
 //
-// The cycle log is retained in full — it is the replay buffer that lets a
-// consumer start from cycle 1 long after production has moved on (a fleet
-// worker pool admits clients as slots free up). Memory is proportional to
-// the number of cycles produced, which the driving run bounds.
+// The cycle log is retained in full by default — it is the replay buffer
+// that lets a consumer start from cycle 1 long after production has moved
+// on (a fleet worker pool admits clients as slots free up), and memory is
+// then proportional to the number of cycles produced. With Config.LogDir
+// the log additionally spills to an append-only segmented disk log
+// (internal/durlog): every produced becast is appended before it is
+// published, Config.MemCycles bounds the in-memory window to the hottest
+// suffix (cold cycles are served transparently from disk — decoded frames
+// are unindexed, exactly like network-received becasts, which the
+// shared-index differential suite proves is invisible), and a source
+// reopened over the same directory resumes production at the next cycle,
+// byte-identical to one that never stopped.
 package cyclesource
 
 import (
@@ -26,6 +34,8 @@ import (
 
 	"bpush/internal/broadcast"
 	"bpush/internal/core"
+	"bpush/internal/durlog"
+	"bpush/internal/model"
 	"bpush/internal/obs"
 	"bpush/internal/server"
 	"bpush/internal/workload"
@@ -83,9 +93,46 @@ type Config struct {
 	// length in slots) and the serialization-graph edges each cycle's
 	// commits contributed. Production is serialized under the source's
 	// lock, so the event stream is deterministic no matter how many
-	// consumers race to trigger production.
+	// consumers race to trigger production. A resumed source does not
+	// re-emit events for cycles recovered from disk — those were emitted
+	// by the run that produced them — so the concatenation of the
+	// producer traces across restarts equals the uninterrupted trace.
 	Recorder obs.Recorder
+
+	// LogDir, when non-empty, makes the cycle log durable: every produced
+	// becast is appended to the segmented disk log in this directory
+	// before it is published, and New reopens an existing log — replaying
+	// committed cycles (from the latest snapshot when one exists) to
+	// rebuild producer state — so production resumes at the next cycle.
+	// Recovery tolerates a torn tail: the log is truncated back to the
+	// last complete record, never refused.
+	LogDir string
+	// MemCycles bounds the in-memory cycle window once the log spills to
+	// disk: only the newest MemCycles becasts stay resident, older ones
+	// are decoded from the log on demand. Zero keeps every cycle in
+	// memory (the disk log is then purely for restart durability).
+	// Requires LogDir.
+	MemCycles int
+	// SnapshotEvery appends a full producer snapshot to the log every N
+	// cycles, so a restart replays at most N-1 cycles instead of the
+	// whole log. Zero means DefaultSnapshotEvery when LogDir is set;
+	// negative disables snapshots. Requires LogDir. When Check is set,
+	// restarts ignore snapshots and replay from cycle 1 — the oracle's
+	// serialization graph cannot be rebuilt from a state snapshot.
+	SnapshotEvery int
+	// SegmentBytes overrides the disk log's segment capacity (testing
+	// and tuning; zero means the durlog default). Requires LogDir.
+	SegmentBytes int
+	// Metrics, when non-nil, receives the disk log's counters
+	// (durlog.append/replay/snapshot/recover). Requires LogDir.
+	Metrics *obs.Registry
 }
+
+// DefaultSnapshotEvery is the snapshot cadence when LogDir is set and
+// SnapshotEvery is zero: frequent enough that restarts replay a bounded
+// suffix, rare enough that snapshot bytes stay a small fraction of the
+// appended cycle frames at the default workload.
+const DefaultSnapshotEvery = 256
 
 func (c Config) validate() error {
 	if c.DBSize <= 0 || c.Versions < 1 {
@@ -106,20 +153,36 @@ func (c Config) validate() error {
 	if c.Check && c.OracleWindow < 8 {
 		return fmt.Errorf("cyclesource: OracleWindow must be >= 8, got %d", c.OracleWindow)
 	}
+	if c.MemCycles < 0 {
+		return fmt.Errorf("cyclesource: MemCycles must be >= 0, got %d", c.MemCycles)
+	}
+	if c.LogDir == "" {
+		switch {
+		case c.MemCycles > 0:
+			return fmt.Errorf("cyclesource: MemCycles requires LogDir (no disk log to spill to)")
+		case c.SnapshotEvery != 0:
+			return fmt.Errorf("cyclesource: SnapshotEvery requires LogDir")
+		case c.SegmentBytes != 0:
+			return fmt.Errorf("cyclesource: SegmentBytes requires LogDir")
+		}
+	}
 	return nil
 }
 
 // Source produces each broadcast cycle exactly once, on demand, and caches
 // it in a replayable log. Safe for concurrent use.
 type Source struct {
-	cfg    Config
-	mu     sync.RWMutex
-	srv    *server.Server
-	gen    *workload.ServerGen
-	prog   broadcast.Program   // full-cycle program (classic organization)
-	chunks []broadcast.Program // per-interval chunks (§7 h-interval organization)
-	log    []*broadcast.Bcast  // the replayable cycle log; log[i] is the i-th becast on air
-	arch   *archive            // nil unless cfg.Check
+	cfg           Config
+	mu            sync.RWMutex
+	srv           *server.Server
+	gen           *workload.ServerGen
+	prog          broadcast.Program   // full-cycle program (classic organization)
+	chunks        []broadcast.Program // per-interval chunks (§7 h-interval organization)
+	log           []*broadcast.Bcast  // the in-memory window; log[i] is becast base+i
+	base          int                 // cycles before log[0]: evicted to disk or recovered at resume
+	arch          *archive            // nil unless cfg.Check
+	dlog          *durlog.Log         // nil unless cfg.LogDir
+	snapshotEvery int                 // resolved snapshot cadence (0 = disabled)
 }
 
 // New creates a producer. No cycle is produced until the first Get.
@@ -134,7 +197,11 @@ func New(cfg Config) (*Source, error) {
 	if workers < 1 {
 		workers = 1
 	}
-	srv, err := server.New(server.Config{DBSize: cfg.DBSize, MaxVersions: cfg.Versions, Workers: workers, Recorder: cfg.Recorder})
+	// The server starts unobserved: a durable source may have to replay
+	// recovered cycles, whose events were emitted by the run that
+	// produced them. The recorder attaches once live production can
+	// begin, so restart traces concatenate to the uninterrupted trace.
+	srv, err := server.New(server.Config{DBSize: cfg.DBSize, MaxVersions: cfg.Versions, Workers: workers})
 	if err != nil {
 		return nil, err
 	}
@@ -158,30 +225,149 @@ func New(cfg Config) (*Source, error) {
 	if cfg.Check {
 		s.arch = newArchive(cfg.OracleWindow)
 	}
+	if cfg.LogDir != "" {
+		if err := s.openDurable(); err != nil {
+			return nil, err
+		}
+	}
+	s.srv.SetRecorder(cfg.Recorder)
 	return s, nil
 }
 
+// openDurable opens (or creates) the disk log and, when it already holds
+// cycles, rebuilds the producer state so production resumes at the next
+// cycle. The replay path re-commits the recovered cycles' transactions —
+// from the latest snapshot when one exists, from cycle 1 otherwise — but
+// never re-emits their trace events and never re-appends them to disk.
+func (s *Source) openDurable() error {
+	dlog, err := durlog.Open(s.cfg.LogDir, durlog.Options{SegmentBytes: s.cfg.SegmentBytes, Metrics: s.cfg.Metrics})
+	if err != nil {
+		return err
+	}
+	s.dlog = dlog
+	switch {
+	case s.cfg.SnapshotEvery > 0:
+		s.snapshotEvery = s.cfg.SnapshotEvery
+	case s.cfg.SnapshotEvery == 0:
+		s.snapshotEvery = DefaultSnapshotEvery
+	}
+	produced := dlog.Cycles()
+	if produced == 0 {
+		return nil
+	}
+	if err := s.resume(produced); err != nil {
+		_ = dlog.Close()
+		s.dlog = nil
+		return err
+	}
+	return nil
+}
+
+// resume fast-forwards the producer past the first `produced` cycles of
+// the recovered log. State after cycle c is the initial load plus the
+// commits of cycles 2..c (the first becast carries the initial load), so
+// a snapshot taken at sequence p skips p-1 commits and p-1 workload
+// draws. With the oracle enabled the snapshot shortcut is skipped: the
+// archive needs every state, log, and graph edge, so the whole prefix is
+// replayed and then pruned to the same floor an uninterrupted spilling
+// run would have reached.
+func (s *Source) resume(produced int) error {
+	replayFrom := 0
+	if !s.cfg.Check {
+		snap, err := s.dlog.LatestSnapshot()
+		if err != nil {
+			return err
+		}
+		if snap != nil && snap.Seq <= uint64(produced) && snap.Seq > 0 {
+			srv, err := server.Restore(server.Config{DBSize: s.cfg.DBSize, MaxVersions: s.cfg.Versions, Workers: workerCount(s.cfg.Workers)}, snap.State)
+			if err != nil {
+				return err
+			}
+			s.srv = srv
+			replayFrom = int(snap.Seq)
+			// The generator drew once per committed cycle: discard the
+			// draws the snapshot already accounts for.
+			for c := 1; c < replayFrom; c++ {
+				_ = s.gen.Cycle()
+			}
+		}
+	}
+	if s.arch != nil && replayFrom == 0 {
+		s.arch.addState(1, s.srv.Snapshot())
+	}
+	for c := replayFrom; c < produced; c++ {
+		if c == 0 {
+			continue // cycle 1 is the initial load; nothing committed
+		}
+		log, err := s.srv.CommitAndAdvance(s.gen.Cycle())
+		if err != nil {
+			return err
+		}
+		if s.arch != nil {
+			s.arch.addLog(log)
+			s.arch.addState(log.Cycle, s.srv.Snapshot())
+		}
+	}
+	s.base = produced
+	s.pruneArchive()
+	return nil
+}
+
+func workerCount(w int) int {
+	if w < 1 {
+		return 1
+	}
+	return w
+}
+
 // Get returns the i-th becast (0-based), producing cycles up to i if they
-// have not been produced yet. Becasts are immutable once returned.
+// have not been produced yet. Becasts are immutable once returned. Cycles
+// inside the in-memory window are returned directly; cycles that spilled
+// to disk (or predate a resume) are decoded from the durable log — fresh
+// and unindexed, exactly like becasts decoded from network frames, which
+// the shared-index differential suite proves is observationally
+// invisible.
 func (s *Source) Get(i int) (*broadcast.Bcast, error) {
 	if i < 0 {
 		return nil, fmt.Errorf("cyclesource: negative cycle index %d", i)
 	}
 	s.mu.RLock()
-	if i < len(s.log) {
-		b := s.log[i]
+	if i >= s.base && i-s.base < len(s.log) {
+		b := s.log[i-s.base]
 		s.mu.RUnlock()
 		return b, nil
 	}
+	if i < s.base {
+		// base only grows, so the cycle is on disk for good.
+		dlog := s.dlog
+		s.mu.RUnlock()
+		return readSpilled(dlog, i)
+	}
 	s.mu.RUnlock()
 	s.mu.Lock()
-	defer s.mu.Unlock()
-	for i >= len(s.log) {
+	for i >= s.base+len(s.log) {
 		if err := s.produce(); err != nil {
+			s.mu.Unlock()
 			return nil, err
 		}
 	}
-	return s.log[i], nil
+	if i < s.base {
+		// Another producer raced past us and the window slid over i.
+		dlog := s.dlog
+		s.mu.Unlock()
+		return readSpilled(dlog, i)
+	}
+	b := s.log[i-s.base]
+	s.mu.Unlock()
+	return b, nil
+}
+
+// readSpilled serves a cycle that left the in-memory window.
+func readSpilled(dlog *durlog.Log, i int) (*broadcast.Bcast, error) {
+	if dlog == nil {
+		return nil, fmt.Errorf("cyclesource: cycle %d spilled but the source is closed", i)
+	}
+	return dlog.ReadCycle(i)
 }
 
 // produce runs one more cycle: commit the next batch of update
@@ -194,7 +380,7 @@ func (s *Source) produce() error {
 		err       error
 		committed int
 	)
-	if len(s.log) == 0 {
+	if s.base+len(s.log) == 0 {
 		if s.arch != nil {
 			s.arch.addState(1, s.srv.Snapshot())
 		}
@@ -227,12 +413,62 @@ func (s *Source) produce() error {
 			return err
 		}
 	}
+	if s.dlog != nil {
+		// Durability point: the cycle reaches the disk log before any
+		// consumer can observe it, so a restart never loses a published
+		// cycle (the torn-tail rule only ever discards unpublished
+		// bytes).
+		if err := s.dlog.AppendCycle(b); err != nil {
+			return err
+		}
+		if seq := s.base + len(s.log) + 1; s.snapshotEvery > 0 && seq%s.snapshotEvery == 0 {
+			snap := &durlog.Snapshot{Seq: uint64(seq), State: s.srv.ExportState()}
+			if err := s.dlog.AppendSnapshot(snap); err != nil {
+				return err
+			}
+		}
+	}
 	if rec := s.cfg.Recorder; rec != nil {
 		rec.Record(obs.Event{Type: obs.TypeCycleBegin, T: obs.At(b.Cycle, 0)})
 		rec.Record(obs.Event{Type: obs.TypeCycleEnd, T: obs.At(b.Cycle, int64(b.Len())), Slots: int64(b.Len()), N: int64(committed)})
 	}
 	s.log = append(s.log, b)
+	if s.cfg.MemCycles > 0 && len(s.log) > s.cfg.MemCycles {
+		// Slide the window: drop the oldest becasts from memory (they
+		// stay readable from the disk log) and reuse the backing array
+		// so a long-running producer's footprint stays flat.
+		n := len(s.log) - s.cfg.MemCycles
+		k := copy(s.log, s.log[n:])
+		for j := k; j < len(s.log); j++ {
+			s.log[j] = nil
+		}
+		s.log = s.log[:k]
+		s.base += n
+	}
+	s.pruneArchive()
 	return nil
+}
+
+// pruneArchive drops archived states and cycle logs that no in-window
+// check can reach anymore. It only runs once cycles spill to disk
+// (LogDir with a bounded MemCycles): an in-memory source keeps total
+// retention, preserving the historical guarantee that a consumer
+// starting from cycle 1 arbitrarily late can still have its earliest
+// commits checked. The floor is a pure function of how many cycles have
+// been produced, so a resumed source prunes to exactly the floor an
+// uninterrupted run would have reached.
+func (s *Source) pruneArchive() {
+	if s.arch == nil || s.dlog == nil || s.cfg.MemCycles == 0 {
+		return
+	}
+	total := s.base + len(s.log)
+	// Oldest becast still in memory is cycle total-MemCycles+1; a
+	// consumer walking the window commits no earlier than that, and its
+	// check spans at most `window` cycles further back.
+	floor := total - s.cfg.MemCycles + 1 - int(s.arch.window)
+	if floor > 1 {
+		s.arch.prune(model.Cycle(floor))
+	}
 }
 
 func (s *Source) assemble(log *server.CycleLog) (*broadcast.Bcast, error) {
@@ -243,11 +479,27 @@ func (s *Source) assemble(log *server.CycleLog) (*broadcast.Bcast, error) {
 	return broadcast.AssembleChunk(s.srv, log, chunk)
 }
 
-// Produced returns the number of cycles produced so far.
+// Produced returns the number of cycles produced so far, including
+// cycles recovered from a durable log at resume and cycles that have
+// spilled out of the in-memory window.
 func (s *Source) Produced() uint64 {
 	s.mu.RLock()
 	defer s.mu.RUnlock()
-	return uint64(len(s.log))
+	return uint64(s.base + len(s.log))
+}
+
+// Close releases the durable log; a memory-only source ignores it. The
+// source must not be used after Close — consumers still holding Feeds
+// get errors for any cycle outside the in-memory window.
+func (s *Source) Close() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.dlog == nil {
+		return nil
+	}
+	err := s.dlog.Close()
+	s.dlog = nil
+	return err
 }
 
 // Check verifies a committed query against the archived cycle stream; it
@@ -269,6 +521,19 @@ func (s *Source) Check(info core.CommitInfo) error {
 // for a single consumer, but distinct Feeds may run concurrently.
 func (s *Source) NewFeed() *Feed {
 	return &Feed{src: s}
+}
+
+// NewFeedAt returns a consumer cursor positioned at the given 0-based
+// cycle index — a late joiner that tunes in mid-stream. On a durable
+// source the cycles behind the cursor may live only on disk; the feed
+// serves them identically (the snapshot-catch-up differential pins
+// this). The index may be at or beyond the production frontier, in which
+// case the first Next produces up to it.
+func (s *Source) NewFeedAt(i int) *Feed {
+	if i < 0 {
+		i = 0
+	}
+	return &Feed{src: s, next: i}
 }
 
 // maxTrackedLens bounds the per-consumer becast-length sample used for

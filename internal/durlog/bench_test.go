@@ -1,0 +1,90 @@
+package durlog_test
+
+import (
+	"testing"
+
+	"bpush/internal/durlog"
+	"bpush/internal/wire"
+)
+
+// BenchmarkDurlogAppend measures the per-cycle cost of spilling a becast
+// to the segmented log (encode + framed write, no per-record fsync).
+func BenchmarkDurlogAppend(b *testing.B) {
+	becasts := testBcasts(b, 21, 8)
+	frame, err := wire.Encode(becasts[0])
+	if err != nil {
+		b.Fatal(err)
+	}
+	l, err := durlog.Open(b.TempDir(), durlog.Options{})
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer func() { _ = l.Close() }()
+	b.SetBytes(int64(len(frame)))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := l.AppendCycle(becasts[i%len(becasts)]); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkDurlogReplay measures serving a cold cycle from disk — the
+// cost a bounded-memory station pays when a late joiner's Feed walks
+// into the spilled window.
+func BenchmarkDurlogReplay(b *testing.B) {
+	const cycles = 64
+	becasts := testBcasts(b, 22, cycles)
+	frame, err := wire.Encode(becasts[0])
+	if err != nil {
+		b.Fatal(err)
+	}
+	l, err := durlog.Open(b.TempDir(), durlog.Options{})
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer func() { _ = l.Close() }()
+	for _, bc := range becasts {
+		if err := l.AppendCycle(bc); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.SetBytes(int64(len(frame)))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := l.ReadCycle(i % cycles); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkDurlogRecover measures Open over an existing multi-segment
+// log — the restart path's fixed cost before any replay begins.
+func BenchmarkDurlogRecover(b *testing.B) {
+	dir := b.TempDir()
+	l, err := durlog.Open(dir, durlog.Options{SegmentBytes: 1 << 16})
+	if err != nil {
+		b.Fatal(err)
+	}
+	for _, bc := range testBcasts(b, 23, 64) {
+		if err := l.AppendCycle(bc); err != nil {
+			b.Fatal(err)
+		}
+	}
+	if err := l.Close(); err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		r, err := durlog.Open(dir, durlog.Options{SegmentBytes: 1 << 16})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if r.Cycles() != 64 {
+			b.Fatal("short recovery")
+		}
+		if err := r.Close(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

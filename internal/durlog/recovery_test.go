@@ -1,0 +1,229 @@
+package durlog_test
+
+import (
+	"bytes"
+	"math/rand"
+	"os"
+	"path/filepath"
+	"sort"
+	"testing"
+
+	"bpush/internal/durlog"
+)
+
+func testRand(seed int64) *rand.Rand { return rand.New(rand.NewSource(seed)) }
+
+// buildDir fills a fresh log directory with n cycles (tiny segments, so
+// the crash matrix covers rolls too) and returns the directory plus the
+// byte offsets, within the tail segment, at which each of its records
+// ends — the recovery points the torn-tail rule must land on.
+func buildDir(t *testing.T, seed int64, n, segBytes int) (dir string, tailName string, tailEnds []int64) {
+	t.Helper()
+	dir = t.TempDir()
+	l, err := durlog.Open(dir, durlog.Options{SegmentBytes: segBytes})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, b := range testBcasts(t, seed, n) {
+		if err := l.AppendCycle(b); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := l.Close(); err != nil {
+		t.Fatal(err)
+	}
+	names, err := filepath.Glob(filepath.Join(dir, "seg-*.bpl"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	sort.Strings(names)
+	tailName = names[len(names)-1]
+	tailEnds = recordEnds(t, tailName)
+	return dir, tailName, tailEnds
+}
+
+// recordEnds walks a segment's records by their length fields and
+// returns the offset just past each record.
+func recordEnds(t *testing.T, path string) []int64 {
+	t.Helper()
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var ends []int64
+	off := int64(0)
+	for off < int64(len(raw)) {
+		payload := int64(raw[off+13])<<24 | int64(raw[off+14])<<16 | int64(raw[off+15])<<8 | int64(raw[off+16])
+		off += 21 + payload
+		ends = append(ends, off)
+	}
+	if off != int64(len(raw)) {
+		t.Fatalf("segment %s does not frame cleanly", path)
+	}
+	return ends
+}
+
+// completeBelow counts the records of the tail segment wholly contained
+// in a prefix of len bytes.
+func completeBelow(ends []int64, n int64) int {
+	c := 0
+	for _, e := range ends {
+		if e <= n {
+			c++
+		}
+	}
+	return c
+}
+
+// TestTornTailEveryOffset is the crash-point recovery matrix: the tail
+// segment is truncated at every byte offset, and every prefix must open
+// — recovering exactly the records that are complete in the prefix — and
+// accept appends that continue the stream.
+func TestTornTailEveryOffset(t *testing.T) {
+	if testing.Short() {
+		t.Skip("per-byte crash matrix")
+	}
+	const cycles = 6
+	_, tailName, ends := buildDir(t, 5, cycles, 1<<20) // one segment
+	tailRaw, err := os.ReadFile(tailName)
+	if err != nil {
+		t.Fatal(err)
+	}
+	full := testBcasts(t, 5, cycles+1)
+
+	for cut := int64(0); cut <= int64(len(tailRaw)); cut++ {
+		dir := t.TempDir()
+		if err := os.WriteFile(filepath.Join(dir, filepath.Base(tailName)), tailRaw[:cut], 0o644); err != nil {
+			t.Fatal(err)
+		}
+		l, err := durlog.Open(dir, durlog.Options{})
+		if err != nil {
+			t.Fatalf("cut %d: open refused: %v", cut, err)
+		}
+		wantCycles := completeBelow(ends, cut)
+		if got := l.Cycles(); got != wantCycles {
+			t.Fatalf("cut %d: recovered %d cycles, want %d", cut, got, wantCycles)
+		}
+		wantRecovered := cut - prefixEnd(ends, cut)
+		if got := l.RecoveredBytes(); got != wantRecovered {
+			t.Fatalf("cut %d: recovered %d bytes, want %d", cut, got, wantRecovered)
+		}
+		// Re-append continues the stream from the recovery point.
+		if err := l.AppendCycle(full[wantCycles]); err != nil {
+			t.Fatalf("cut %d: re-append failed: %v", cut, err)
+		}
+		got, err := l.ReadCycle(wantCycles)
+		if err != nil {
+			t.Fatalf("cut %d: %v", cut, err)
+		}
+		if !bytes.Equal(frameBytes(t, got), frameBytes(t, full[wantCycles])) {
+			t.Fatalf("cut %d: re-appended cycle differs", cut)
+		}
+		if err := l.Close(); err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+// prefixEnd returns the largest record end <= n (0 if none).
+func prefixEnd(ends []int64, n int64) int64 {
+	var last int64
+	for _, e := range ends {
+		if e <= n {
+			last = e
+		}
+	}
+	return last
+}
+
+// TestTornTailAfterRoll places the tear in a multi-segment log's tail:
+// earlier segments must survive untouched.
+func TestTornTailAfterRoll(t *testing.T) {
+	const cycles = 12
+	dir, tailName, ends := buildDir(t, 6, cycles, 4096)
+	if len(ends) == cycles {
+		t.Fatal("log did not roll; lower SegmentBytes")
+	}
+	inEarlier := cycles - len(ends)
+	// Tear mid-way through the tail's last record.
+	cut := ends[len(ends)-1] - 3
+	if err := os.Truncate(tailName, cut); err != nil {
+		t.Fatal(err)
+	}
+	l, err := durlog.Open(dir, durlog.Options{SegmentBytes: 4096})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer func() { _ = l.Close() }()
+	want := inEarlier + completeBelow(ends, cut)
+	if got := l.Cycles(); got != want {
+		t.Fatalf("recovered %d cycles, want %d", got, want)
+	}
+	becasts := testBcasts(t, 6, cycles)
+	for i := 0; i < want; i++ {
+		got, err := l.ReadCycle(i)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(frameBytes(t, got), frameBytes(t, becasts[i])) {
+			t.Fatalf("cycle %d differs after torn-tail recovery", i)
+		}
+	}
+}
+
+// TestCorruptionDowngradesToError flips every byte of a non-tail segment
+// in turn: Open must either fail cleanly or (when the flip lands in a
+// record of the tail... it cannot here) never panic, and must never
+// serve a cycle whose frame differs from the original stream.
+func TestCorruptionDowngradesToError(t *testing.T) {
+	if testing.Short() {
+		t.Skip("per-byte corruption matrix")
+	}
+	const cycles = 8
+	dir, _, _ := buildDir(t, 7, cycles, 4096)
+	names, err := filepath.Glob(filepath.Join(dir, "seg-*.bpl"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	sort.Strings(names)
+	if len(names) < 2 {
+		t.Fatal("need a non-tail segment")
+	}
+	victim := names[0]
+	raw, err := os.ReadFile(victim)
+	if err != nil {
+		t.Fatal(err)
+	}
+	becasts := testBcasts(t, 7, cycles)
+	for i := range raw {
+		corrupted := make([]byte, len(raw))
+		copy(corrupted, raw)
+		corrupted[i] ^= 0x40
+		if err := os.WriteFile(victim, corrupted, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		l, err := durlog.Open(dir, durlog.Options{SegmentBytes: 4096})
+		if err != nil {
+			continue // clean rejection
+		}
+		// The flip survived framing (e.g. it landed in a becast frame's
+		// own redundancy-free region but then the record CRC must have
+		// caught it — so reaching here means record framing still
+		// validates; every served cycle must still match the stream).
+		for c := 0; c < l.Cycles(); c++ {
+			got, err := l.ReadCycle(c)
+			if err != nil {
+				break
+			}
+			if !bytes.Equal(frameBytes(t, got), frameBytes(t, becasts[c])) {
+				t.Fatalf("flip at byte %d served a silently wrong cycle %d", i, c)
+			}
+		}
+		if err := l.Close(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := os.WriteFile(victim, raw, 0o644); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,146 @@
+package netcast
+
+import (
+	"testing"
+
+	"bpush/internal/model"
+	"bpush/internal/workload"
+)
+
+// durableStationConfig is the manual-tick test station plus a durable
+// cycle log in dir.
+func durableStationConfig(dir string) StationConfig {
+	return StationConfig{
+		Addr:     "127.0.0.1:0",
+		DBSize:   50,
+		Versions: 4,
+		Workload: workload.ServerConfig{
+			DBSize: 50, UpdateRange: 25, Theta: 0.95,
+			TxPerCycle: 2, UpdatesPerCycle: 4, ReadsPerUpdate: 2,
+		},
+		Seed:   7,
+		LogDir: dir,
+	}
+}
+
+// TestStationRestartResumes pins the bpush-cast contract: a station
+// reopened over its log directory broadcasts the NEXT cycle, not cycle 1
+// again — a tuner that survived the outage sees a gap, never a replay.
+func TestStationRestartResumes(t *testing.T) {
+	dir := t.TempDir()
+	st, err := NewStation(durableStationConfig(dir))
+	if err != nil {
+		t.Fatal(err)
+	}
+	const before = 5
+	for i := 0; i < before; i++ {
+		if err := st.Tick(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := st.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	st2, err := NewStation(durableStationConfig(dir))
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { _ = st2.Close() })
+	if got := st2.Source().Produced(); got != before {
+		t.Fatalf("restarted station resumed at %d produced cycles, want %d", got, before)
+	}
+
+	tuner, err := Dial(st2.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer tuner.Close()
+	waitSubscribed(t, st2)
+	if err := st2.Tick(); err != nil {
+		t.Fatal(err)
+	}
+	b, err := tuner.Next()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if b.Cycle != model.Cycle(before+1) {
+		t.Fatalf("first post-restart becast is cycle %d, want %d", b.Cycle, before+1)
+	}
+}
+
+// TestStationRestartBoundedMemory combines the restart with a bounded
+// in-memory window and checks the restore span and durlog counters land
+// in the station registry.
+func TestStationRestartBoundedMemory(t *testing.T) {
+	dir := t.TempDir()
+	cfg := durableStationConfig(dir)
+	cfg.MemCycles = 2
+	cfg.SnapshotEvery = 3
+	st, err := NewStation(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 8; i++ {
+		if err := st.Tick(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if got := st.Registry().Counter("durlog.append.records").Value(); got != 8 {
+		t.Fatalf("durlog.append.records = %d, want 8", got)
+	}
+	if err := st.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	cfg2 := durableStationConfig(dir)
+	cfg2.MemCycles = 2
+	cfg2.SnapshotEvery = 3
+	cfg2.Sample = true
+	st2, err := NewStation(cfg2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { _ = st2.Close() })
+	if got := st2.Source().Produced(); got != 8 {
+		t.Fatalf("bounded restart resumed at %d, want 8", got)
+	}
+	if err := st2.Tick(); err != nil {
+		t.Fatal(err)
+	}
+	// Spilled prefix stays readable through the resumed source.
+	b, err := st2.Source().Get(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if b.Cycle != 1 {
+		t.Fatalf("spilled cycle 0 decodes as cycle %d", b.Cycle)
+	}
+	snap := st2.Registry().Histogram(spanMetric("restore"), spanNsBounds).Snapshot()
+	if snap.Count != 1 {
+		t.Fatalf("span.restore_ns count = %d, want 1 restore span per start", snap.Count)
+	}
+}
+
+// TestStationCloseReleasesLog pins that Close releases the log so a new
+// station can take over the directory immediately.
+func TestStationCloseReleasesLog(t *testing.T) {
+	dir := t.TempDir()
+	for round := 0; round < 3; round++ {
+		st, err := NewStation(durableStationConfig(dir))
+		if err != nil {
+			t.Fatalf("round %d: %v", round, err)
+		}
+		if got := st.Source().Produced(); got != uint64(round*2) {
+			t.Fatalf("round %d resumed at %d, want %d", round, got, round*2)
+		}
+		for i := 0; i < 2; i++ {
+			if err := st.Tick(); err != nil {
+				t.Fatal(err)
+			}
+		}
+		if err := st.Close(); err != nil {
+			t.Fatal(err)
+		}
+	}
+}

@@ -72,6 +72,21 @@ type StationConfig struct {
 	// (requires HTTPAddr). Off by default: profiling endpoints are
 	// opt-in on an operator surface.
 	Pprof bool
+	// LogDir, when non-empty, makes the station durable: every produced
+	// cycle is appended to the segmented disk log in this directory
+	// before it goes on air, and a station restarted over the same
+	// directory resumes the broadcast at the next cycle of the same
+	// deterministic stream. See cyclesource.Config.LogDir.
+	LogDir string
+	// MemCycles bounds the in-memory cycle window once LogDir is set:
+	// only the newest MemCycles becasts stay resident and older cycles
+	// are decoded from disk on demand, so a long-running station's
+	// memory stays flat. Zero keeps every cycle in memory.
+	MemCycles int
+	// SnapshotEvery is the producer snapshot cadence in cycles (0 =
+	// cyclesource.DefaultSnapshotEvery, negative disables). Snapshots
+	// bound how many cycles a restart replays.
+	SnapshotEvery int
 }
 
 // DefaultSampleStride is the lag-sampling subscriber stride when
@@ -179,16 +194,43 @@ func NewStation(cfg StationConfig) (*Station, error) {
 	reg := obs.NewRegistry()
 	ring := obs.NewRing(ringSize)
 	rec := obs.Tee(ring, regRecorder{reg})
+	var clock obs.Sampler
+	if cfg.Sample {
+		// The one place the station touches the clock; every measured
+		// tier below receives this sampler or its int64 readings.
+		clock = obs.WallSampler()
+	}
+	var t0 int64
+	if clock != nil {
+		t0 = clock()
+	}
+	var metrics *obs.Registry
+	if cfg.LogDir != "" {
+		metrics = reg
+	}
 	src, err := cyclesource.New(cyclesource.Config{
-		DBSize:   cfg.DBSize,
-		Versions: cfg.Versions,
-		Workload: cfg.Workload,
-		Seed:     cfg.Seed,
-		Workers:  cfg.Workers,
-		Recorder: rec,
+		DBSize:        cfg.DBSize,
+		Versions:      cfg.Versions,
+		Workload:      cfg.Workload,
+		Seed:          cfg.Seed,
+		Workers:       cfg.Workers,
+		Recorder:      rec,
+		LogDir:        cfg.LogDir,
+		MemCycles:     cfg.MemCycles,
+		SnapshotEvery: cfg.SnapshotEvery,
+		Metrics:       metrics,
 	})
 	if err != nil {
 		return nil, err
+	}
+	if clock != nil && cfg.LogDir != "" {
+		// One restore span per (re)start: how long reopening the log and
+		// replaying to the resume point took.
+		ns := clock() - t0
+		if ns < 0 {
+			ns = 0
+		}
+		rec.Record(obs.Event{Type: obs.TypeSpan, T: obs.At(model.Cycle(src.Produced()), 0), Reason: obs.SpanRestore, N: ns})
 	}
 	var mangler *fault.Mangler
 	if !cfg.Fault.IsZero() {
@@ -206,11 +248,7 @@ func NewStation(cfg StationConfig) (*Station, error) {
 	if err != nil {
 		return nil, err
 	}
-	var clock obs.Sampler
 	if cfg.Sample {
-		// The one place the station touches the clock; every measured
-		// tier below receives this sampler or its int64 readings.
-		clock = obs.WallSampler()
 		if !bc.cfg.Serial {
 			drain := make([]*obs.Histogram, bc.cfg.Shards)
 			for i := range drain {
@@ -234,6 +272,7 @@ func NewStation(cfg StationConfig) (*Station, error) {
 		ring:    ring,
 		rec:     rec,
 		clock:   clock,
+		next:    int(src.Produced()),
 		mangler: mangler,
 		stop:    make(chan struct{}),
 		done:    make(chan struct{}),
@@ -438,7 +477,10 @@ func (s *Station) FaultStats() fault.Stats {
 	return s.mangler.Stats()
 }
 
-// Close stops the ticker, the metrics endpoint, and the broadcaster.
+// Close stops the ticker, the metrics endpoint, the broadcaster, and the
+// durable cycle log (syncing its tail), in that order: nothing can
+// produce a cycle once the ticker and fan-out are down, so the log
+// closes quiescent.
 func (s *Station) Close() error {
 	select {
 	case <-s.stop:
@@ -449,5 +491,9 @@ func (s *Station) Close() error {
 	if s.http != nil {
 		_ = s.http.close()
 	}
-	return s.bc.Close()
+	err := s.bc.Close()
+	if cerr := s.src.Close(); err == nil {
+		err = cerr
+	}
+	return err
 }

@@ -125,9 +125,11 @@ const (
 )
 
 // Latency-attribution tiers, the Reason values of TypeSpan, in pipeline
-// order: producer commit, frame encode, broadcast fan-out (on-air),
-// per-shard queue drain, tuner receive, client read.
+// order: durable-log restore (once per station start, when a cycle log
+// is configured), producer commit, frame encode, broadcast fan-out
+// (on-air), per-shard queue drain, tuner receive, client read.
 const (
+	SpanRestore = "restore"
 	SpanCommit  = "commit"
 	SpanEncode  = "encode"
 	SpanOnAir   = "on-air"

@@ -1,0 +1,125 @@
+package server_test
+
+import (
+	"bytes"
+	"math/rand"
+	"reflect"
+	"testing"
+
+	"bpush/internal/obs"
+	"bpush/internal/server"
+	"bpush/internal/workload"
+)
+
+func stateGen(t *testing.T, seed int64) *workload.ServerGen {
+	t.Helper()
+	gen, err := workload.NewServerGen(workload.ServerConfig{
+		DBSize: 48, UpdateRange: 24, Offset: 3, Theta: 0.85,
+		TxPerCycle: 4, UpdatesPerCycle: 8, ReadsPerUpdate: 2,
+	}, rand.New(rand.NewSource(seed)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return gen
+}
+
+// TestExportRestoreDifferential is the restart-equivalence core at the
+// server layer: a restored server must be observationally identical to
+// the original — same snapshot, and byte-identical commit deltas for
+// every subsequent cycle.
+func TestExportRestoreDifferential(t *testing.T) {
+	cfg := server.Config{DBSize: 48, MaxVersions: 3}
+	orig, err := server.New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	gen := stateGen(t, 41)
+	for c := 0; c < 7; c++ {
+		if _, err := orig.CommitAndAdvance(gen.Cycle()); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	restored, err := server.Restore(cfg, orig.ExportState())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if restored.Cycle() != orig.Cycle() {
+		t.Fatalf("restored cycle %d, want %d", restored.Cycle(), orig.Cycle())
+	}
+	if !reflect.DeepEqual(restored.Snapshot(), orig.Snapshot()) {
+		t.Fatal("restored snapshot differs")
+	}
+	if !reflect.DeepEqual(restored.ExportState(), orig.ExportState()) {
+		t.Fatal("export does not round-trip through Restore")
+	}
+
+	// Both servers now consume the SAME future workload; every commit's
+	// delta and every post-commit snapshot must match.
+	genA, genB := stateGen(t, 42), stateGen(t, 42)
+	for c := 0; c < 7; c++ {
+		if _, err := orig.CommitAndAdvance(genA.Cycle()); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for c := 0; c < 7; c++ {
+		if _, err := restored.CommitAndAdvance(genB.Cycle()); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if !reflect.DeepEqual(restored.Snapshot(), orig.Snapshot()) {
+		t.Fatal("divergence after identical post-restore commits")
+	}
+	if !reflect.DeepEqual(restored.ExportState(), orig.ExportState()) {
+		t.Fatal("full state diverges after identical post-restore commits")
+	}
+}
+
+// TestRestoreValidates pins the clean-error contract: a state that does
+// not match the config is rejected, never silently adopted.
+func TestRestoreValidates(t *testing.T) {
+	srv, err := server.New(server.Config{DBSize: 8, MaxVersions: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	st := srv.ExportState()
+	if _, err := server.Restore(server.Config{DBSize: 16, MaxVersions: 2}, st); err == nil {
+		t.Error("DBSize mismatch accepted")
+	}
+	bad := srv.ExportState()
+	bad.Items[3].Versions = nil
+	if _, err := server.Restore(server.Config{DBSize: 8, MaxVersions: 2}, bad); err == nil {
+		t.Error("item with no versions accepted")
+	}
+	bad2 := srv.ExportState()
+	bad2.Items = bad2.Items[:4]
+	if _, err := server.Restore(server.Config{DBSize: 8, MaxVersions: 2}, bad2); err == nil {
+		t.Error("truncated item list accepted")
+	}
+}
+
+// TestSetRecorderAttaches proves the resume idiom: a server built
+// without a recorder replays silently, then SetRecorder turns on
+// observation for subsequent commits only.
+func TestSetRecorderAttaches(t *testing.T) {
+	srv, err := server.New(server.Config{DBSize: 48, MaxVersions: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	gen := stateGen(t, 43)
+	if _, err := srv.CommitAndAdvance(gen.Cycle()); err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	w := obs.NewJSONL(&buf)
+	srv.SetRecorder(w)
+	if _, err := srv.CommitAndAdvance(gen.Cycle()); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Err(); err != nil {
+		t.Fatal(err)
+	}
+	if buf.Len() == 0 {
+		t.Error("no events recorded after SetRecorder")
+	}
+}

@@ -3,6 +3,7 @@ package sim
 import (
 	"fmt"
 
+	"bpush/internal/cyclesource"
 	"bpush/internal/pool"
 	"bpush/internal/stats"
 )
@@ -38,15 +39,23 @@ type FleetMetrics struct {
 // goroutines (0 = one per CPU, 1 = serial); per-client results and all
 // aggregates are identical regardless of the worker count.
 func RunFleet(cfg Config, clients int) (*FleetMetrics, error) {
-	if clients <= 0 {
-		return nil, fmt.Errorf("sim: fleet size must be positive, got %d", clients)
-	}
 	src, err := cfg.NewSource()
 	if err != nil {
 		return nil, err
 	}
+	defer func() { _ = src.Close() }()
+	return runFleet(cfg, src, clients)
+}
+
+// runFleet drives the fleet over an injected source — the seam the
+// durability differential uses to run a fleet against a producer resumed
+// from disk. The caller owns (and closes) the source.
+func runFleet(cfg Config, src *cyclesource.Source, clients int) (*FleetMetrics, error) {
+	if clients <= 0 {
+		return nil, fmt.Errorf("sim: fleet size must be positive, got %d", clients)
+	}
 	fm := &FleetMetrics{Clients: clients, PerClient: make([]*Metrics, clients)}
-	err = pool.For(cfg.Parallel, clients, func(i int) error {
+	err := pool.For(cfg.Parallel, clients, func(i int) error {
 		c := cfg
 		c.ClientSeed = cfg.Seed + 1000*int64(i+1)
 		if cfg.RecorderFor != nil {

@@ -133,6 +133,19 @@ type Config struct {
 	// under the source's lock, so this stream is deterministic even with
 	// a parallel fleet racing to trigger production.
 	SourceRecorder obs.Recorder
+
+	// LogDir, when non-empty, makes the run's cycle log durable: every
+	// produced becast is appended to a segmented disk log in this
+	// directory, and a later run over the same directory resumes the
+	// identical stream instead of reproducing it. See
+	// cyclesource.Config.LogDir.
+	LogDir string
+	// MemCycles bounds the in-memory cycle window when LogDir is set;
+	// older cycles are served from disk. Zero keeps every cycle resident.
+	MemCycles int
+	// SnapshotEvery is the producer snapshot cadence in cycles when
+	// LogDir is set (0 = cyclesource default, negative disables).
+	SnapshotEvery int
 }
 
 // DefaultConfig returns the paper's default operating point: D=1000,
@@ -269,12 +282,15 @@ func (c Config) NewSource() (*cyclesource.Source, error) {
 			UpdatesPerCycle: c.Updates / intervals,
 			ReadsPerUpdate:  c.ReadsPerUpdate,
 		},
-		Seed:         c.Seed,
-		Program:      prog,
-		Chunks:       intervals,
-		Check:        c.Check,
-		OracleWindow: c.OracleWindow,
-		DisableIndex: c.ForceLocalIndex,
+		Seed:          c.Seed,
+		Program:       prog,
+		Chunks:        intervals,
+		Check:         c.Check,
+		OracleWindow:  c.OracleWindow,
+		DisableIndex:  c.ForceLocalIndex,
+		LogDir:        c.LogDir,
+		MemCycles:     c.MemCycles,
+		SnapshotEvery: c.SnapshotEvery,
 	})
 }
 
@@ -284,6 +300,7 @@ func Run(cfg Config) (*Metrics, error) {
 	if err != nil {
 		return nil, err
 	}
+	defer func() { _ = src.Close() }()
 	return runClient(cfg, src)
 }
 
